@@ -1,0 +1,122 @@
+// Command streammap is the compiler driver: it maps a benchmark stream
+// graph onto a simulated multi-GPU machine and emits a report, generated
+// CUDA-like source, Graphviz, or a simulated execution.
+//
+// Usage:
+//
+//	streammap -app DES -n 8 -gpus 4 [-partitioner alg1|prev|single]
+//	          [-mapper ilp|prev] [-emit report|cuda|dot|run] [-fragments 64]
+//
+// Examples:
+//
+//	streammap -app FFT -n 256 -gpus 4 -emit report
+//	streammap -app DES -n 8 -gpus 2 -emit cuda > des.cu
+//	streammap -app DCT -n 14 -gpus 4 -emit run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"streammap/internal/apps"
+	"streammap/internal/codegen"
+	"streammap/internal/core"
+	"streammap/internal/gpu"
+	"streammap/internal/gpusim"
+	"streammap/internal/sdf"
+	"streammap/internal/topology"
+)
+
+func main() {
+	appName := flag.String("app", "DES", "benchmark application: "+strings.Join(apps.Names(), ", "))
+	n := flag.Int("n", 8, "application size parameter N")
+	gpus := flag.Int("gpus", 4, "number of GPUs (PCIe tree per Figure 3.3)")
+	partitioner := flag.String("partitioner", "alg1", "alg1 (paper), prev ([7], SM-only) or single (SPSG)")
+	mapper := flag.String("mapper", "ilp", "ilp (communication-aware) or prev (workload-only, via host)")
+	emit := flag.String("emit", "report", "report, cuda, dot or run")
+	fragments := flag.Int("fragments", 64, "fragments for -emit run")
+	device := flag.String("device", "m2090", "m2090 or c2070")
+	flag.Parse()
+
+	app, ok := apps.ByName(*appName)
+	if !ok {
+		fail("unknown app %q; available: %s", *appName, strings.Join(apps.Names(), ", "))
+	}
+	g, err := apps.BuildGraph(app, *n)
+	if err != nil {
+		fail("build: %v", err)
+	}
+
+	opts := core.Options{Topo: topology.PairedTree(*gpus)}
+	switch *device {
+	case "m2090":
+		opts.Device = gpu.M2090()
+	case "c2070":
+		opts.Device = gpu.C2070()
+	default:
+		fail("unknown device %q", *device)
+	}
+	switch *partitioner {
+	case "alg1":
+		opts.Partitioner = core.Alg1
+	case "prev":
+		opts.Partitioner = core.PrevWorkPart
+	case "single":
+		opts.Partitioner = core.SinglePart
+	default:
+		fail("unknown partitioner %q", *partitioner)
+	}
+	switch *mapper {
+	case "ilp":
+		opts.Mapper = core.ILPMapper
+	case "prev":
+		opts.Mapper = core.PrevWorkMap
+	default:
+		fail("unknown mapper %q", *mapper)
+	}
+
+	c, err := core.Compile(g, opts)
+	if err != nil {
+		fail("compile: %v", err)
+	}
+
+	switch *emit {
+	case "report":
+		fmt.Print(codegen.Report(c.Plan))
+		fmt.Printf("  mapping objective (Tmax/fragment): %.1f us via %s\n",
+			c.Assign.Objective, c.Assign.Method)
+	case "cuda":
+		src, err := codegen.CUDA(c.Plan)
+		if err != nil {
+			fail("codegen: %v", err)
+		}
+		fmt.Print(src)
+	case "dot":
+		fmt.Print(codegen.Dot(c.Plan))
+	case "run":
+		in := make([]sdf.Token, c.InputNeed(0, *fragments))
+		for i := range in {
+			in[i] = sdf.Token(i % 16)
+		}
+		res, err := gpusim.Run(c.Plan, [][]sdf.Token{in}, *fragments)
+		if err != nil {
+			fail("run: %v", err)
+		}
+		fmt.Print(codegen.Report(c.Plan))
+		fmt.Printf("  fragments: %d, makespan %.1f us, steady state %.2f us/fragment\n",
+			*fragments, res.MakespanUS, res.PerFragmentUS)
+		for gi, busy := range res.GPUBusyUS {
+			fmt.Printf("  gpu%d busy: %.1f us (%.0f%%)\n", gi+1, busy, 100*busy/res.MakespanUS)
+		}
+		fmt.Printf("  output tokens: %d\n", len(res.Outputs[0]))
+	default:
+		fail("unknown emit mode %q", *emit)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

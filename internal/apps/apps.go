@@ -1,0 +1,95 @@
+// Package apps provides the eight StreamIt benchmark applications the paper
+// evaluates (§4.0.1, the application set of [7]): DES, FMRadio, FFT, DCT,
+// MatMul2, MatMul3, BitonicRec and Bitonic, each parameterized by the size
+// parameter N used on the x-axes of Figures 4.2 and 4.3.
+//
+// Every filter has a real work function: the graphs compute actual values
+// (ciphertext bits, spectra, sorted keys, matrix products), so compiled
+// multi-GPU executions can be verified token-for-token against the host
+// interpreter and against straight-line Go reference implementations.
+//
+// The abstract op counts given to the profiler reflect each filter's
+// arithmetic so the compute-bound / memory-bound split of the original suite
+// is preserved: DES, FMRadio, FFT, DCT and MatMul2 are compute-heavy, while
+// MatMul3 (chained data movement), Bitonic and BitonicRec (compare-exchange
+// networks) are memory-bound.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"streammap/internal/sdf"
+)
+
+// App is one registered benchmark.
+type App struct {
+	Name  string
+	Build func(n int) (sdf.Stream, error)
+	// Sizes is the N sweep of Figure 4.2.
+	Sizes []int
+	// CompareSizes is the N sweep of the Figure 4.3 comparison (empty when
+	// the app is not part of the previous work's evaluation).
+	CompareSizes []int
+	// ComputeBound records the paper's classification of the app.
+	ComputeBound bool
+}
+
+// Registry lists all benchmarks in the paper's Figure 4.2 order (decreasing
+// kernel count ratio).
+var Registry = []App{
+	{Name: "DES", Build: DES, Sizes: []int{4, 8, 12, 16, 20, 24, 28, 32},
+		CompareSizes: []int{4, 8, 12, 16, 20, 24, 28, 32}, ComputeBound: true},
+	{Name: "FMRadio", Build: FMRadio, Sizes: []int{4, 8, 12, 16, 20, 24, 28, 32}, ComputeBound: true},
+	{Name: "FFT", Build: FFT, Sizes: []int{8, 16, 32, 64, 128, 256, 512, 1024},
+		CompareSizes: []int{8, 16, 32, 64, 128, 256, 512, 1024}, ComputeBound: true},
+	{Name: "DCT", Build: DCT, Sizes: []int{2, 6, 10, 14, 18, 22, 26, 30},
+		CompareSizes: []int{2, 6, 10, 14, 18, 22, 26, 30}, ComputeBound: true},
+	{Name: "MatMul2", Build: MatMul2, Sizes: []int{2, 3, 4, 5, 6, 7, 8, 9}, ComputeBound: true},
+	{Name: "MatMul3", Build: MatMul3, Sizes: []int{1, 2, 3, 4, 5, 6, 7},
+		CompareSizes: []int{1, 2, 3, 4, 5, 6, 7}},
+	{Name: "BitonicRec", Build: BitonicRec, Sizes: []int{2, 4, 8, 16, 32, 64}},
+	{Name: "Bitonic", Build: Bitonic, Sizes: []int{2, 4, 8, 16, 32, 64},
+		CompareSizes: []int{2, 4, 8, 16, 32, 64}},
+}
+
+// ByName looks up a registered app.
+func ByName(name string) (App, bool) {
+	for _, a := range Registry {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+// Names returns the registered app names, sorted.
+func Names() []string {
+	out := make([]string, len(Registry))
+	for i, a := range Registry {
+		out[i] = a.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildGraph flattens app n into a ready graph.
+func BuildGraph(a App, n int) (*sdf.Graph, error) {
+	s, err := a.Build(n)
+	if err != nil {
+		return nil, err
+	}
+	return sdf.Flatten(fmt.Sprintf("%s-N%d", a.Name, n), s)
+}
+
+// isPow2 reports whether v is a positive power of two.
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// log2 of a power of two.
+func log2(v int) int {
+	k := 0
+	for 1<<k < v {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,238 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"streammap/internal/sdf"
+)
+
+// pseudo returns deterministic pseudo-random tokens in [0, mod).
+func pseudo(n int64, mod int) []sdf.Token {
+	out := make([]sdf.Token, n)
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := range out {
+		state = state*6364136223846793005 + 1442695040888963407
+		out[i] = sdf.Token((state >> 33) % uint64(mod))
+	}
+	return out
+}
+
+// runApp flattens, interprets `iters` steady iterations and returns the
+// output of primary port 0.
+func runApp(t *testing.T, s sdf.Stream, input []sdf.Token, iters int) []sdf.Token {
+	t.Helper()
+	g, err := sdf.Flatten("app", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := sdf.NewInterp(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := it.Run(iters, [][]sdf.Token{input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out[0]
+}
+
+func approxEqual(t *testing.T, got, want []sdf.Token, tol float64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", label, len(got), len(want))
+	}
+	for i := range got {
+		diff := math.Abs(float64(got[i] - want[i]))
+		scale := 1 + math.Abs(float64(want[i]))
+		if diff > tol*scale {
+			t.Fatalf("%s: token %d: got %v want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestAllAppsBuildAtAllSizes(t *testing.T) {
+	for _, app := range Registry {
+		for _, n := range app.Sizes {
+			g, err := BuildGraph(app, n)
+			if err != nil {
+				t.Errorf("%s N=%d: %v", app.Name, n, err)
+				continue
+			}
+			if err := g.Validate(); err != nil {
+				t.Errorf("%s N=%d: %v", app.Name, n, err)
+			}
+			if len(g.InputPorts()) != 1 || len(g.OutputPorts()) != 1 {
+				t.Errorf("%s N=%d: expected single input and output port", app.Name, n)
+			}
+		}
+	}
+}
+
+func TestDESMatchesReference(t *testing.T) {
+	for _, rounds := range []int{1, 4, 8} {
+		s, err := DES(rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const iters = 3
+		in := pseudo(int64(iters*DESFrameTokens), 2)
+		got := runApp(t, s, in, iters)
+		want := DESReference(rounds, in)
+		approxEqual(t, got, want, 0, "DES")
+	}
+}
+
+func TestDESRoundChangesData(t *testing.T) {
+	s, err := DES(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := pseudo(int64(DESFrameTokens), 2)
+	got := runApp(t, s, in, 1)
+	same := true
+	for i := range got {
+		if got[i] != in[i] {
+			same = false
+		}
+		if got[i] != 0 && got[i] != 1 {
+			t.Fatalf("DES output token %d = %v not a bit", i, got[i])
+		}
+	}
+	if same {
+		t.Fatal("DES output identical to input")
+	}
+}
+
+func TestFMRadioMatchesReference(t *testing.T) {
+	for _, bands := range []int{2, 5} {
+		s, err := FMRadio(bands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const iters = 4
+		in := pseudo(int64(iters*FMFrameTokens), 100)
+		got := runApp(t, s, in, iters)
+		want := FMRadioReference(bands, in)
+		approxEqual(t, got, want, 1e-9, "FMRadio")
+	}
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	for _, n := range []int{8, 64} {
+		s, err := FFT(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const iters = 2
+		in := pseudo(int64(iters*FFTFrameTokens(n)), 32)
+		got := runApp(t, s, in, iters)
+		want := FFTReference(n, in)
+		approxEqual(t, got, want, 1e-6, "FFT")
+	}
+}
+
+func TestDCTMatchesReference(t *testing.T) {
+	for _, n := range []int{2, 6, 10} {
+		s, err := DCT(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const iters = 2
+		in := pseudo(int64(iters*DCTFrameTokens(n)), 64)
+		got := runApp(t, s, in, iters)
+		want := DCTReference(n, in)
+		approxEqual(t, got, want, 1e-9, "DCT")
+	}
+}
+
+func TestMatMul2MatchesReference(t *testing.T) {
+	for _, n := range []int{2, 5} {
+		s, err := MatMul2(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const iters = 3
+		in := pseudo(int64(iters*MatMul2FrameTokens(n)), 10)
+		got := runApp(t, s, in, iters)
+		want := MatMul2Reference(n, in)
+		approxEqual(t, got, want, 0, "MatMul2")
+	}
+}
+
+func TestMatMul3MatchesReference(t *testing.T) {
+	for _, n := range []int{2, 4} {
+		s, err := MatMul3(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const iters = 2
+		in := pseudo(int64(iters*MatMul3FrameTokens(n)), 8)
+		got := runApp(t, s, in, iters)
+		want := MatMul3Reference(n, in)
+		approxEqual(t, got, want, 0, "MatMul3")
+	}
+}
+
+func TestBitonicSorts(t *testing.T) {
+	for _, n := range []int{4, 16, 64} {
+		s, err := Bitonic(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const iters = 3
+		in := pseudo(int64(iters*n), 1000)
+		got := runApp(t, s, in, iters)
+		want := BitonicReference(n, in)
+		approxEqual(t, got, want, 0, "Bitonic")
+	}
+}
+
+func TestBitonicRecSorts(t *testing.T) {
+	for _, n := range []int{4, 16, 32} {
+		s, err := BitonicRec(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const iters = 2
+		in := pseudo(int64(iters*n), 1000)
+		got := runApp(t, s, in, iters)
+		want := BitonicReference(n, in)
+		approxEqual(t, got, want, 0, "BitonicRec")
+	}
+}
+
+func TestInvalidSizesRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+	}{}
+	_ = cases
+	if _, err := FFT(12); err == nil {
+		t.Error("FFT(12) should fail (not a power of two)")
+	}
+	if _, err := Bitonic(3); err == nil {
+		t.Error("Bitonic(3) should fail")
+	}
+	if _, err := DES(0); err == nil {
+		t.Error("DES(0) should fail")
+	}
+	if _, err := FMRadio(1); err == nil {
+		t.Error("FMRadio(1) should fail")
+	}
+	if _, err := MatMul2(0); err == nil {
+		t.Error("MatMul2(0) should fail")
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	if _, ok := ByName("DES"); !ok {
+		t.Error("DES not registered")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown app found")
+	}
+	if len(Names()) != 8 {
+		t.Errorf("registry has %d apps, want 8", len(Names()))
+	}
+}

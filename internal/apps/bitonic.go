@@ -1,0 +1,121 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"streammap/internal/sdf"
+)
+
+// Bitonic builds the iterative bitonic sorting network over frames of N
+// keys: log2(N)*(log2(N)+1)/2 compare-exchange stages, each one filter over
+// the whole frame. The network moves 2N tokens per stage while comparing
+// N/2 pairs — the memory-bound regime of the original benchmark.
+func Bitonic(n int) (sdf.Stream, error) {
+	if !isPow2(n) || n < 2 {
+		return nil, fmt.Errorf("apps: Bitonic size %d must be a power of two >= 2", n)
+	}
+	var stages []sdf.Stream
+	for k := 2; k <= n; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			stages = append(stages, sdf.F(bitonicStage(n, k, j)))
+		}
+	}
+	return sdf.Pipe("Bitonic", stages...), nil
+}
+
+// bitonicStage is the (k, j) compare-exchange wave of the standard
+// iterative network.
+func bitonicStage(n, k, j int) *sdf.Filter {
+	return sdf.NewFilter(fmt.Sprintf("CE_k%d_j%d", k, j), n, n, 0, int64(n),
+		func(w *sdf.Work) {
+			copy(w.Out[0], w.In[0][:n])
+			for i := 0; i < n; i++ {
+				l := i ^ j
+				if l <= i {
+					continue
+				}
+				up := i&k == 0
+				a, b := w.Out[0][i], w.Out[0][l]
+				if (up && a > b) || (!up && a < b) {
+					w.Out[0][i], w.Out[0][l] = b, a
+				}
+			}
+		})
+}
+
+// BitonicRec builds the recursive formulation: sort(n) = split-join of two
+// half sorts (ascending, descending) followed by the recursive bitonic
+// merger. The nesting depth scales with log2(N), producing the deeply
+// structured graph of the original benchmark.
+func BitonicRec(n int) (sdf.Stream, error) {
+	if !isPow2(n) || n < 2 {
+		return nil, fmt.Errorf("apps: BitonicRec size %d must be a power of two >= 2", n)
+	}
+	return recSort(n, true, "S"), nil
+}
+
+// recSort sorts n keys ascending or descending.
+func recSort(n int, up bool, path string) sdf.Stream {
+	if n == 2 {
+		return sdf.F(compareExchange2(path, up))
+	}
+	half := n / 2
+	halves := sdf.SplitRRRR(path+"_sj",
+		[]int{half, half}, []int{half, half},
+		recSort(half, true, path+"u"),
+		recSort(half, false, path+"d"))
+	return sdf.Pipe(path, halves, recMerge(n, up, path+"m"))
+}
+
+// recMerge merges a bitonic sequence of n keys into monotonic order.
+func recMerge(n int, up bool, path string) sdf.Stream {
+	ce := sdf.F(bitonicMergeStage(n, up, path))
+	if n == 2 {
+		return ce
+	}
+	half := n / 2
+	rest := sdf.SplitRRRR(path+"_sj",
+		[]int{half, half}, []int{half, half},
+		recMerge(half, up, path+"l"),
+		recMerge(half, up, path+"r"))
+	return sdf.Pipe(path, ce, rest)
+}
+
+// bitonicMergeStage compare-exchanges element i with i+n/2 over the frame.
+func bitonicMergeStage(n int, up bool, path string) *sdf.Filter {
+	return sdf.NewFilter(fmt.Sprintf("M%s_n%d", path, n), n, n, 0, int64(n),
+		func(w *sdf.Work) {
+			copy(w.Out[0], w.In[0][:n])
+			half := n / 2
+			for i := 0; i < half; i++ {
+				a, b := w.Out[0][i], w.Out[0][i+half]
+				if (up && a > b) || (!up && a < b) {
+					w.Out[0][i], w.Out[0][i+half] = b, a
+				}
+			}
+		})
+}
+
+// compareExchange2 sorts a pair.
+func compareExchange2(path string, up bool) *sdf.Filter {
+	return sdf.NewFilter("CE2_"+path, 2, 2, 0, 2, func(w *sdf.Work) {
+		a, b := w.In[0][0], w.In[0][1]
+		if (up && a > b) || (!up && a < b) {
+			a, b = b, a
+		}
+		w.Out[0][0], w.Out[0][1] = a, b
+	})
+}
+
+// BitonicReference sorts each N-key frame ascending.
+func BitonicReference(n int, input []sdf.Token) []sdf.Token {
+	frames := len(input) / n
+	out := make([]sdf.Token, 0, len(input))
+	for f := 0; f < frames; f++ {
+		frame := append([]sdf.Token(nil), input[f*n:(f+1)*n]...)
+		sort.Float64s(frame)
+		out = append(out, frame...)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"streammap/internal/sdf"
+)
+
+// DCT builds the 2D N×N discrete cosine transform: the frame (N*N tokens,
+// row-major) is scattered row-by-row to N parallel 1D-DCT filters, gathered,
+// transposed, and run through a second row pass — the classic
+// separable-transform structure, whose split-join width scales with N.
+func DCT(n int) (sdf.Stream, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("apps: DCT size %d must be >= 2", n)
+	}
+	rowPass := func(pass int) sdf.Stream {
+		branches := make([]sdf.Stream, n)
+		weights := make([]int, n)
+		for r := 0; r < n; r++ {
+			branches[r] = sdf.F(dct1D(fmt.Sprintf("Row%d_p%d", r, pass), n))
+			weights[r] = n
+		}
+		return sdf.SplitRRRR(fmt.Sprintf("Rows_p%d", pass), weights, weights, branches...)
+	}
+	transpose := sdf.NewFilter("Transpose", n*n, n*n, 0, int64(n*n), func(w *sdf.Work) {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				w.Out[0][j*n+i] = w.In[0][i*n+j]
+			}
+		}
+	})
+	return sdf.Pipe("DCT2D", rowPass(0), sdf.F(transpose), rowPass(1)), nil
+}
+
+// dct1D is a 1D DCT-II over n samples per firing.
+func dct1D(name string, n int) *sdf.Filter {
+	return sdf.NewFilter(name, n, n, 0, int64(4*n*n), func(w *sdf.Work) {
+		for k := 0; k < n; k++ {
+			var acc float64
+			for t := 0; t < n; t++ {
+				acc += float64(w.In[0][t]) * math.Cos(math.Pi*(float64(t)+0.5)*float64(k)/float64(n))
+			}
+			w.Out[0][k] = sdf.Token(acc)
+		}
+	})
+}
+
+// DCTReference computes the same separable 2D DCT in straight-line Go.
+func DCTReference(n int, input []sdf.Token) []sdf.Token {
+	frame := n * n
+	frames := len(input) / frame
+	out := make([]sdf.Token, 0, len(input))
+	dct1 := func(in []float64) []float64 {
+		o := make([]float64, n)
+		for k := 0; k < n; k++ {
+			var acc float64
+			for t := 0; t < n; t++ {
+				acc += in[t] * math.Cos(math.Pi*(float64(t)+0.5)*float64(k)/float64(n))
+			}
+			o[k] = acc
+		}
+		return o
+	}
+	for fr := 0; fr < frames; fr++ {
+		img := make([][]float64, n)
+		for i := range img {
+			img[i] = make([]float64, n)
+			for j := range img[i] {
+				img[i][j] = float64(input[fr*frame+i*n+j])
+			}
+		}
+		// Row pass.
+		for i := range img {
+			img[i] = dct1(img[i])
+		}
+		// Transpose.
+		tr := make([][]float64, n)
+		for i := range tr {
+			tr[i] = make([]float64, n)
+			for j := range tr[i] {
+				tr[i][j] = img[j][i]
+			}
+		}
+		// Second row pass (i.e., columns of the original).
+		for i := range tr {
+			tr[i] = dct1(tr[i])
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				out = append(out, sdf.Token(tr[i][j]))
+			}
+		}
+	}
+	return out
+}
+
+// DCTFrameTokens returns tokens per frame for size n.
+func DCTFrameTokens(n int) int { return n * n }

@@ -1,0 +1,174 @@
+package apps
+
+import (
+	"fmt"
+
+	"streammap/internal/sdf"
+)
+
+// DES parameters: a Feistel network over frames of desBlocks 64-bit blocks.
+// Each round splits the frame into left/right halves; the right half runs
+// through the f-function pipeline (expansion, key mixing, S-boxes,
+// permutation) whose inner filters fire at sub-block granularity, then is
+// xored with the left half and the halves swap. N is the number of rounds.
+const (
+	desBlocks = 8              // 64-bit blocks per frame
+	desHalf   = desBlocks * 32 // tokens per half-frame (bits)
+	desFrame  = 2 * desHalf    // tokens per frame
+	desGroups = desHalf / 4    // 6->4-bit S-box groups per half-frame
+)
+
+// desKeyBit is the (deterministic) round-key bit used by KeyMix.
+func desKeyBit(round, i int) sdf.Token {
+	return sdf.Token((round*2654435761 + i*40503) >> 7 & 1)
+}
+
+// desExpandIdx maps expansion output position to input position within a
+// half-frame (a DES-like E-box pattern).
+func desExpandIdx(i int) int {
+	return ((i/6)*4 + (i % 6) + desHalf - 1) % desHalf
+}
+
+// desSBox is a small nonlinear substitution: 6 bits in, 4 bits out.
+func desSBox(bits [6]int) [4]int {
+	v := bits[0] | bits[1]<<1 | bits[2]<<2 | bits[3]<<3 | bits[4]<<4 | bits[5]<<5
+	v = (v*v*17 + v*29 + 13) % 16
+	return [4]int{v & 1, v >> 1 & 1, v >> 2 & 1, v >> 3 & 1}
+}
+
+// desPermIdx is the P-box permutation within a half-frame.
+func desPermIdx(round, i int) int { return (i*37 + round*11 + 5) % desHalf }
+
+// DES builds the N-round cipher graph.
+func DES(n int) (sdf.Stream, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("apps: DES needs at least 1 round, got %d", n)
+	}
+	rounds := make([]sdf.Stream, 0, n)
+	for r := 0; r < n; r++ {
+		rounds = append(rounds, desRound(r))
+	}
+	return sdf.Pipe("DES", rounds...), nil
+}
+
+// desRound is one Feistel round: the frame enters as [L | R]; the output is
+// [R | L xor f(R)].
+func desRound(r int) sdf.Stream {
+	// Expansion: 32 bits -> 48 bits per block, whole half-frame per firing.
+	expandN := desGroups * 6
+	expand := sdf.NewFilter(fmt.Sprintf("Expand_r%d", r), desHalf, expandN, 0, int64(expandN),
+		func(w *sdf.Work) {
+			for i := 0; i < expandN; i++ {
+				w.Out[0][i] = w.In[0][desExpandIdx(i)]
+			}
+		})
+
+	// Key mixing: 6 bits per firing => fires desGroups times per half-frame.
+	keyMix := sdf.NewFilter(fmt.Sprintf("KeyMix_r%d", r), 6, 6, 0, 6*8, func(w *sdf.Work) {
+		g := int(w.State[0])
+		for i := 0; i < 6; i++ {
+			in := int(w.In[0][i])
+			k := int(desKeyBit(r, g*6+i))
+			w.Out[0][i] = sdf.Token(in ^ k)
+		}
+		w.State[0] = sdf.Token((g + 1) % desGroups)
+	})
+	keyMix.Init = []sdf.Token{0}
+
+	// S-box substitution: 6 -> 4 bits per firing.
+	sbox := sdf.NewFilter(fmt.Sprintf("SBox_r%d", r), 6, 4, 0, 90, func(w *sdf.Work) {
+		var bits [6]int
+		for i := range bits {
+			bits[i] = int(w.In[0][i])
+		}
+		out := desSBox(bits)
+		for i := range out {
+			w.Out[0][i] = sdf.Token(out[i])
+		}
+	})
+
+	// P-box permutation over the whole half-frame.
+	pbox := sdf.NewFilter(fmt.Sprintf("PBox_r%d", r), desHalf, desHalf, 0, int64(desHalf),
+		func(w *sdf.Work) {
+			for i := 0; i < desHalf; i++ {
+				w.Out[0][i] = w.In[0][desPermIdx(r, i)]
+			}
+		})
+
+	fpipe := sdf.Pipe(fmt.Sprintf("F_r%d", r), sdf.F(expand), sdf.F(keyMix), sdf.F(sbox), sdf.F(pbox))
+
+	// The round: duplicate the frame; branch 0 extracts [L|R] unchanged,
+	// branch 1 computes f(R); the mixer emits [R | L^f(R)].
+	keep := sdf.F(sdf.Identity(desFrame))
+	takeR := sdf.NewFilter(fmt.Sprintf("TakeR_r%d", r), desFrame, desHalf, 0, int64(desHalf),
+		func(w *sdf.Work) {
+			copy(w.Out[0], w.In[0][desHalf:desFrame])
+		})
+	fBranch := sdf.Pipe(fmt.Sprintf("FB_r%d", r), sdf.F(takeR), fpipe)
+
+	mix := sdf.NewFilter(fmt.Sprintf("Mix_r%d", r), desFrame+desHalf, desFrame, 0, int64(desFrame)*3,
+		func(w *sdf.Work) {
+			lr := w.In[0][:desFrame]
+			f := w.In[0][desFrame : desFrame+desHalf]
+			for i := 0; i < desHalf; i++ {
+				w.Out[0][i] = lr[desHalf+i] // new L = R
+			}
+			for i := 0; i < desHalf; i++ {
+				w.Out[0][desHalf+i] = sdf.Token(int(lr[i]) ^ int(f[i])) // new R = L ^ f(R)
+			}
+		})
+
+	sj := sdf.Split(fmt.Sprintf("Round_r%d", r),
+		sdf.DuplicateSplitter(2, desFrame),
+		sdf.RoundRobinJoiner([]int{desFrame, desHalf}),
+		keep, fBranch)
+	return sdf.Pipe(fmt.Sprintf("RoundP_r%d", r), sj, sdf.F(mix))
+}
+
+// DESReference computes the expected output of the N-round graph on a frame
+// stream, as straight-line Go (the double-entry check for the graph
+// construction).
+func DESReference(n int, input []sdf.Token) []sdf.Token {
+	frames := len(input) / desFrame
+	out := make([]sdf.Token, 0, frames*desFrame)
+	for fr := 0; fr < frames; fr++ {
+		frame := append([]sdf.Token(nil), input[fr*desFrame:(fr+1)*desFrame]...)
+		for r := 0; r < n; r++ {
+			l := frame[:desHalf]
+			rt := frame[desHalf:]
+			// f-function on R.
+			expandN := desGroups * 6
+			ex := make([]int, expandN)
+			for i := range ex {
+				ex[i] = int(rt[desExpandIdx(i)])
+			}
+			for i := range ex {
+				ex[i] ^= int(desKeyBit(r, i))
+			}
+			sub := make([]sdf.Token, 0, desHalf)
+			for g := 0; g < desGroups; g++ {
+				var bits [6]int
+				copy(bits[:], ex[g*6:g*6+6])
+				o := desSBox(bits)
+				for _, b := range o {
+					sub = append(sub, sdf.Token(b))
+				}
+			}
+			perm := make([]sdf.Token, desHalf)
+			for i := range perm {
+				perm[i] = sub[desPermIdx(r, i)]
+			}
+			next := make([]sdf.Token, desFrame)
+			copy(next[:desHalf], rt)
+			for i := 0; i < desHalf; i++ {
+				next[desHalf+i] = sdf.Token(int(l[i]) ^ int(perm[i]))
+			}
+			frame = next
+		}
+		out = append(out, frame...)
+	}
+	return out
+}
+
+// DESFrameTokens is the tokens per input frame (for building test inputs).
+const DESFrameTokens = desFrame

@@ -1,0 +1,96 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"streammap/internal/sdf"
+)
+
+// FFT builds the N-point radix-2 decimation-in-time FFT as a pipeline of a
+// bit-reversal reorder stage followed by log2(N) butterfly stages, each
+// operating on a whole frame of N complex samples (2N interleaved tokens:
+// re0, im0, re1, im1, ...). N must be a power of two.
+func FFT(n int) (sdf.Stream, error) {
+	if !isPow2(n) || n < 2 {
+		return nil, fmt.Errorf("apps: FFT size %d must be a power of two >= 2", n)
+	}
+	frame := 2 * n
+	stages := make([]sdf.Stream, 0, log2(n)+2)
+
+	// Input distribution split-join (the StreamIt FFT's single
+	// splitter/joiner pair, which Chapter V's elimination targets).
+	stages = append(stages, sdf.SplitRRRR("Distribute",
+		[]int{n, n}, []int{n, n},
+		sdf.F(sdf.Identity(n)), sdf.F(sdf.Identity(n))))
+
+	reorder := sdf.NewFilter("BitReverse", frame, frame, 0, int64(frame), func(w *sdf.Work) {
+		bits := log2(n)
+		for i := 0; i < n; i++ {
+			j := reverseBits(i, bits)
+			w.Out[0][2*j] = w.In[0][2*i]
+			w.Out[0][2*j+1] = w.In[0][2*i+1]
+		}
+	})
+	stages = append(stages, sdf.F(reorder))
+
+	for s := 1; s <= log2(n); s++ {
+		m := 1 << s // butterfly span at this stage
+		stage := s
+		f := sdf.NewFilter(fmt.Sprintf("Butterfly_s%d", stage), frame, frame, 0, int64(10*n),
+			func(w *sdf.Work) {
+				copy(w.Out[0], w.In[0][:frame])
+				half := m / 2
+				for base := 0; base < n; base += m {
+					for k := 0; k < half; k++ {
+						ang := -2 * math.Pi * float64(k) / float64(m)
+						wr, wi := math.Cos(ang), math.Sin(ang)
+						i0, i1 := base+k, base+k+half
+						ar, ai := float64(w.Out[0][2*i0]), float64(w.Out[0][2*i0+1])
+						br, bi := float64(w.Out[0][2*i1]), float64(w.Out[0][2*i1+1])
+						tr := wr*br - wi*bi
+						ti := wr*bi + wi*br
+						w.Out[0][2*i0] = sdf.Token(ar + tr)
+						w.Out[0][2*i0+1] = sdf.Token(ai + ti)
+						w.Out[0][2*i1] = sdf.Token(ar - tr)
+						w.Out[0][2*i1+1] = sdf.Token(ai - ti)
+					}
+				}
+			})
+		stages = append(stages, sdf.F(f))
+	}
+	return sdf.Pipe("FFT", stages...), nil
+}
+
+func reverseBits(v, bits int) int {
+	out := 0
+	for b := 0; b < bits; b++ {
+		out = out<<1 | (v >> b & 1)
+	}
+	return out
+}
+
+// FFTReference computes the DFT directly (O(N^2)) for verification.
+func FFTReference(n int, input []sdf.Token) []sdf.Token {
+	frame := 2 * n
+	frames := len(input) / frame
+	out := make([]sdf.Token, 0, len(input))
+	for fr := 0; fr < frames; fr++ {
+		in := input[fr*frame : (fr+1)*frame]
+		for k := 0; k < n; k++ {
+			var re, im float64
+			for t := 0; t < n; t++ {
+				ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+				xr, xi := float64(in[2*t]), float64(in[2*t+1])
+				c, s := math.Cos(ang), math.Sin(ang)
+				re += xr*c - xi*s
+				im += xr*s + xi*c
+			}
+			out = append(out, sdf.Token(re), sdf.Token(im))
+		}
+	}
+	return out
+}
+
+// FFTFrameTokens returns tokens per frame for size n.
+func FFTFrameTokens(n int) int { return 2 * n }

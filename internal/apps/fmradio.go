@@ -1,0 +1,169 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"streammap/internal/sdf"
+)
+
+// FMRadio parameters: a software FM receiver over frames of fmFrame
+// samples. The pipeline is low-pass filter -> FM demodulator -> N-band
+// equalizer (each band a pair of FIR filters and a subtractor, all bands fed
+// by a duplicate splitter) -> gain-weighted sum. N is the number of
+// equalizer bands.
+const (
+	fmFrame = 64 // samples per firing
+	fmTaps  = 32 // FIR length
+)
+
+// firState carries the trailing window across firings: state[k] is the k-th
+// most recent sample of the previous frame.
+func firFilter(name string, taps []float64) *sdf.Filter {
+	t := append([]float64(nil), taps...)
+	f := sdf.NewFilter(name, fmFrame, fmFrame, 0, int64(fmFrame*len(t)*2), func(w *sdf.Work) {
+		for i := 0; i < fmFrame; i++ {
+			var acc float64
+			for k := 0; k < len(t); k++ {
+				j := i - k
+				var s sdf.Token
+				if j >= 0 {
+					s = w.In[0][j]
+				} else {
+					s = w.State[-j-1]
+				}
+				acc += t[k] * float64(s)
+			}
+			w.Out[0][i] = sdf.Token(acc)
+		}
+		// Slide the window: remember the last taps-1 samples.
+		for k := 0; k < len(t)-1; k++ {
+			w.State[k] = w.In[0][fmFrame-1-k]
+		}
+	})
+	f.Init = make([]sdf.Token, len(t)-1)
+	return f
+}
+
+func lowPassTaps(cut float64, n int) []float64 {
+	t := make([]float64, n)
+	for i := range t {
+		x := float64(i) - float64(n-1)/2
+		if x == 0 {
+			t[i] = cut
+		} else {
+			t[i] = math.Sin(cut*x) / (math.Pi * x)
+		}
+		// Hamming window.
+		t[i] *= 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return t
+}
+
+// FMRadio builds the N-band receiver.
+func FMRadio(n int) (sdf.Stream, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("apps: FMRadio needs at least 2 bands, got %d", n)
+	}
+	lpf := firFilter("AntennaLPF", lowPassTaps(0.5, fmTaps))
+
+	demod := sdf.NewFilter("FMDemod", fmFrame, fmFrame, 0, int64(fmFrame*6), func(w *sdf.Work) {
+		prev := float64(w.State[0])
+		for i := 0; i < fmFrame; i++ {
+			cur := float64(w.In[0][i])
+			w.Out[0][i] = sdf.Token(cur*prev*0.5 + (cur - prev))
+			prev = cur
+		}
+		w.State[0] = sdf.Token(prev)
+	})
+	demod.Init = []sdf.Token{0}
+
+	branches := make([]sdf.Stream, n)
+	joinW := make([]int, n)
+	for b := 0; b < n; b++ {
+		lo := firFilter(fmt.Sprintf("BPF_lo_%d", b), lowPassTaps(0.1+0.8*float64(b)/float64(n), fmTaps))
+		hi := firFilter(fmt.Sprintf("BPF_hi_%d", b), lowPassTaps(0.1+0.8*float64(b+1)/float64(n), fmTaps))
+		// Band = hi-cut minus lo-cut of the same signal: duplicate, filter
+		// both, subtract.
+		sub := sdf.NewFilter(fmt.Sprintf("BandSub_%d", b), 2*fmFrame, fmFrame, 0, int64(fmFrame),
+			func(w *sdf.Work) {
+				for i := 0; i < fmFrame; i++ {
+					w.Out[0][i] = w.In[0][fmFrame+i] - w.In[0][i]
+				}
+			})
+		branch := sdf.Pipe(fmt.Sprintf("Band_%d", b),
+			sdf.SplitDupRR(fmt.Sprintf("BandSJ_%d", b), fmFrame, []int{fmFrame, fmFrame},
+				sdf.F(lo), sdf.F(hi)),
+			sdf.F(sub))
+		branches[b] = branch
+		joinW[b] = fmFrame
+	}
+
+	gains := make([]float64, n)
+	for b := range gains {
+		gains[b] = 0.5 + float64(b%3)*0.25
+	}
+	sum := sdf.NewFilter("EqSum", n*fmFrame, fmFrame, 0, int64(n*fmFrame*2), func(w *sdf.Work) {
+		for i := 0; i < fmFrame; i++ {
+			var acc float64
+			for b := 0; b < n; b++ {
+				acc += gains[b] * float64(w.In[0][b*fmFrame+i])
+			}
+			w.Out[0][i] = sdf.Token(acc)
+		}
+	})
+
+	eq := sdf.Pipe("Equalizer",
+		sdf.SplitDupRR("EqSJ", fmFrame, joinW, branches...),
+		sdf.F(sum))
+
+	return sdf.Pipe("FMRadio", sdf.F(lpf), sdf.F(demod), eq), nil
+}
+
+// FMRadioReference mirrors the graph in straight-line Go.
+func FMRadioReference(n int, input []sdf.Token) []sdf.Token {
+	fir := func(taps []float64, in []float64) []float64 {
+		out := make([]float64, len(in))
+		for i := range in {
+			var acc float64
+			for k := 0; k < len(taps); k++ {
+				if j := i - k; j >= 0 {
+					acc += taps[k] * in[j]
+				}
+			}
+			out[i] = acc
+		}
+		return out
+	}
+	sig := make([]float64, len(input))
+	for i, v := range input {
+		sig[i] = float64(v)
+	}
+	sig = fir(lowPassTaps(0.5, fmTaps), sig)
+	dem := make([]float64, len(sig))
+	prev := 0.0
+	for i, cur := range sig {
+		dem[i] = cur*prev*0.5 + (cur - prev)
+		prev = cur
+	}
+	gains := make([]float64, n)
+	for b := range gains {
+		gains[b] = 0.5 + float64(b%3)*0.25
+	}
+	out := make([]sdf.Token, len(dem))
+	acc := make([]float64, len(dem))
+	for b := 0; b < n; b++ {
+		lo := fir(lowPassTaps(0.1+0.8*float64(b)/float64(n), fmTaps), dem)
+		hi := fir(lowPassTaps(0.1+0.8*float64(b+1)/float64(n), fmTaps), dem)
+		for i := range acc {
+			acc[i] += gains[b] * (hi[i] - lo[i])
+		}
+	}
+	for i := range acc {
+		out[i] = sdf.Token(acc[i])
+	}
+	return out
+}
+
+// FMFrameTokens is the tokens per input frame.
+const FMFrameTokens = fmFrame

@@ -1,0 +1,167 @@
+package apps
+
+import (
+	"fmt"
+
+	"streammap/internal/sdf"
+)
+
+// MatMul2 builds the two-matrix product benchmark as a rank-1-update
+// pipeline: each of the N stages carries the pair (A, B) and the running
+// partial product C, adding the outer product of A's k-th column with B's
+// k-th row. The pipeline depth scales with N, as in the original StreamIt
+// MatMult decomposition.
+func MatMul2(n int) (sdf.Stream, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("apps: MatMul2 size %d must be >= 1", n)
+	}
+	sz := n * n
+	stages := make([]sdf.Stream, 0, n+2)
+
+	// Head: append a zeroed C to each pair.
+	head := sdf.NewFilter("MM2_Init", matBatch*2*sz, matBatch*3*sz, 0, int64(matBatch*sz),
+		func(w *sdf.Work) {
+			for b := 0; b < matBatch; b++ {
+				in := w.In[0][b*2*sz : (b+1)*2*sz]
+				out := w.Out[0][b*3*sz : (b+1)*3*sz]
+				copy(out[:2*sz], in)
+				for i := 0; i < sz; i++ {
+					out[2*sz+i] = 0
+				}
+			}
+		})
+	stages = append(stages, sdf.F(head))
+
+	for k := 0; k < n; k++ {
+		kk := k
+		f := sdf.NewFilter(fmt.Sprintf("MM2_Rank1_%d", kk), 3*sz, 3*sz, 0, int64(2*sz),
+			func(w *sdf.Work) {
+				copy(w.Out[0], w.In[0][:3*sz])
+				a := w.Out[0][:sz]
+				b := w.Out[0][sz : 2*sz]
+				c := w.Out[0][2*sz : 3*sz]
+				for i := 0; i < n; i++ {
+					aik := float64(a[i*n+kk])
+					for j := 0; j < n; j++ {
+						c[i*n+j] = sdf.Token(float64(c[i*n+j]) + aik*float64(b[kk*n+j]))
+					}
+				}
+			})
+		stages = append(stages, sdf.F(f))
+	}
+
+	// Tail: drop A and B, emit C.
+	tail := sdf.NewFilter("MM2_Emit", matBatch*3*sz, matBatch*sz, 0, int64(matBatch*sz),
+		func(w *sdf.Work) {
+			for b := 0; b < matBatch; b++ {
+				copy(w.Out[0][b*sz:(b+1)*sz], w.In[0][b*3*sz+2*sz:(b+1)*3*sz])
+			}
+		})
+	stages = append(stages, sdf.F(tail))
+	return sdf.Pipe("MatMul2", stages...), nil
+}
+
+// MatMul3 builds the three-matrix product (A·B)·C as two chained product
+// stages with a pairing filter in between; it moves three matrices of data
+// per product, making it memory-bound relative to its arithmetic.
+func MatMul3(n int) (sdf.Stream, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("apps: MatMul3 size %d must be >= 1", n)
+	}
+	sz := n * n
+	// Input frames carry triples (A, B, C). Stage 1 consumes (A,B) and must
+	// forward C: split the triple, multiply (A,B), rejoin with C, multiply.
+	splitABC := sdf.RoundRobinSplitter([]int{2 * sz, sz})
+	joinABC := sdf.RoundRobinJoiner([]int{sz, sz})
+	first := matProduct("MM3a", n, 1)
+	carry := sdf.F(sdf.Identity(sz))
+	stage1 := sdf.Split("MM3Split", splitABC, joinABC, first, carry)
+	second := matProduct("MM3b", n, 2)
+	return sdf.Pipe("MatMul3", stage1, second), nil
+}
+
+// matBatch is the number of matrix pairs one kernel execution carries; it
+// sets the buffer footprint per steady-state iteration (and with it the
+// shared-memory pressure that drives partitioning), while the row filters
+// fire once per pair.
+const matBatch = 3
+
+// matProduct consumes matBatch*2*N*N tokens (pairs of A row-major, then B
+// row-major) and produces matBatch*N*N tokens of A·B. The N branches each
+// see a copy of the batch, fire once per pair and emit one result row.
+func matProduct(name string, n, tag int) sdf.Stream {
+	sz := n * n
+	pair := 2 * sz
+	branches := make([]sdf.Stream, n)
+	weights := make([]int, n)
+	for r := 0; r < n; r++ {
+		row := r
+		f := sdf.NewFilter(fmt.Sprintf("%s_Row%d_t%d", name, row, tag), pair, n, 0, int64(2*n*n),
+			func(w *sdf.Work) {
+				a := w.In[0][:sz]
+				b := w.In[0][sz:pair]
+				for j := 0; j < n; j++ {
+					var acc float64
+					for k := 0; k < n; k++ {
+						acc += float64(a[row*n+k]) * float64(b[k*n+j])
+					}
+					w.Out[0][j] = sdf.Token(acc)
+				}
+			})
+		branches[r] = sdf.F(f)
+		weights[r] = n
+	}
+	return sdf.SplitDupRR(name+"_SJ", matBatch*pair, weights, branches...)
+}
+
+// MatMul2Reference multiplies each (A,B) pair per frame directly.
+func MatMul2Reference(n int, input []sdf.Token) []sdf.Token {
+	sz := n * n
+	pair := 2 * sz
+	pairs := len(input) / pair
+	out := make([]sdf.Token, 0, pairs*sz)
+	for p := 0; p < pairs; p++ {
+		a := input[p*pair : p*pair+sz]
+		b := input[p*pair+sz : (p+1)*pair]
+		out = append(out, mulRef(n, a, b)...)
+	}
+	return out
+}
+
+// MatMul3Reference computes (A·B)·C per triple.
+func MatMul3Reference(n int, input []sdf.Token) []sdf.Token {
+	sz := n * n
+	triple := 3 * sz
+	triples := len(input) / triple
+	out := make([]sdf.Token, 0, triples*sz)
+	for p := 0; p < triples; p++ {
+		a := input[p*triple : p*triple+sz]
+		b := input[p*triple+sz : p*triple+2*sz]
+		c := input[p*triple+2*sz : (p+1)*triple]
+		ab := mulRef(n, a, b)
+		out = append(out, mulRef(n, ab, c)...)
+	}
+	return out
+}
+
+func mulRef(n int, a, b []sdf.Token) []sdf.Token {
+	out := make([]sdf.Token, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for k := 0; k < n; k++ {
+				acc += float64(a[i*n+k]) * float64(b[k*n+j])
+			}
+			out[i*n+j] = sdf.Token(acc)
+		}
+	}
+	return out
+}
+
+// MatMul2FrameTokens returns input tokens per steady-state iteration
+// (matBatch pairs of A,B).
+func MatMul2FrameTokens(n int) int { return matBatch * 2 * n * n }
+
+// MatMul3FrameTokens returns input tokens per steady-state iteration
+// (matBatch triples of A,B,C).
+func MatMul3FrameTokens(n int) int { return matBatch * 3 * n * n }

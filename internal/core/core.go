@@ -1,0 +1,197 @@
+// Package core orchestrates the paper's mapping flow (Figure 3.1):
+//
+//	annotated stream graph -> partitioning -> multi-GPU mapping -> plan
+//
+// profiling the graph for the target device, running the chosen partitioner
+// (Algorithm 1, the previous work's SM-only heuristic, or single-partition),
+// building the partition dependence graph, solving the communication-aware
+// mapping, and assembling the executable plan for the simulator and the
+// code generator.
+package core
+
+import (
+	"fmt"
+
+	"streammap/internal/gpu"
+	"streammap/internal/gpusim"
+	"streammap/internal/mapping"
+	"streammap/internal/partition"
+	"streammap/internal/pdg"
+	"streammap/internal/pee"
+	"streammap/internal/sdf"
+	"streammap/internal/topology"
+)
+
+// PartitionerKind selects the partitioning algorithm.
+type PartitionerKind int
+
+// Partitioners.
+const (
+	// Alg1 is the paper's four-phase heuristic.
+	Alg1 PartitionerKind = iota
+	// PrevWorkPart merges until the SM requirement is violated ([7]).
+	PrevWorkPart
+	// SinglePart maps the whole graph as one kernel ([10], the SOSP
+	// baseline).
+	SinglePart
+)
+
+// MapperKind selects the partition-to-GPU mapper.
+type MapperKind int
+
+// Mappers.
+const (
+	// ILPMapper is the communication-aware ILP of §3.2.2 (with local-search
+	// seeding/fallback).
+	ILPMapper MapperKind = iota
+	// PrevWorkMap is workload-only balancing with host-staged transfers.
+	PrevWorkMap
+)
+
+// Options configures a compilation.
+type Options struct {
+	Device        gpu.Device
+	Topo          *topology.Tree
+	FragmentIters int // B: parent iterations per fragment (default 512)
+	Partitioner   PartitionerKind
+	Mapper        MapperKind
+	MapOptions    mapping.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Device.Name == "" {
+		o.Device = gpu.M2090()
+	}
+	if o.Topo == nil {
+		o.Topo = topology.PairedTree(1)
+	}
+	if o.FragmentIters == 0 {
+		o.FragmentIters = 512
+	}
+	return o
+}
+
+// Compiled is the full result of the mapping flow.
+type Compiled struct {
+	Graph   *sdf.Graph
+	Options Options
+	Prof    *pee.Profile
+	Engine  *pee.Engine
+	Parts   *partition.Result
+	PDG     *pdg.PDG
+	Problem *mapping.Problem
+	Assign  *mapping.Assignment
+	Plan    *gpusim.Plan
+}
+
+// Compile runs the whole flow on a stream graph.
+func Compile(g *sdf.Graph, opts Options) (*Compiled, error) {
+	opts = opts.withDefaults()
+	if err := opts.Device.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.HasSteady() {
+		if err := g.Steady(); err != nil {
+			return nil, err
+		}
+	}
+	prof := pee.ProfileGraph(g, opts.Device)
+	eng := pee.NewEngine(g, prof)
+
+	var parts *partition.Result
+	var err error
+	switch opts.Partitioner {
+	case Alg1:
+		parts, err = partition.Run(g, eng)
+	case PrevWorkPart:
+		parts, err = partition.PrevWork(g, eng, opts.Device)
+	case SinglePart:
+		parts, err = partition.SinglePartition(g, eng)
+	default:
+		err = fmt.Errorf("core: unknown partitioner %d", opts.Partitioner)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	dg, err := pdg.Build(g, parts.Parts)
+	if err != nil {
+		return nil, err
+	}
+
+	prob := &mapping.Problem{
+		PDG:           dg,
+		Topo:          opts.Topo,
+		FragmentIters: opts.FragmentIters,
+		NumSMs:        opts.Device.NumSMs,
+		LaunchUS:      opts.Device.KernelLaunchUS,
+		ViaHost:       opts.Mapper == PrevWorkMap,
+		TimesUS:       fragmentTimes(parts.Parts, opts),
+	}
+	var assign *mapping.Assignment
+	switch opts.Mapper {
+	case ILPMapper:
+		assign, err = mapping.Solve(prob, opts.MapOptions)
+	case PrevWorkMap:
+		assign = mapping.PrevWork(prob)
+	default:
+		err = fmt.Errorf("core: unknown mapper %d", opts.Mapper)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	plan := &gpusim.Plan{
+		Graph:         g,
+		Machine:       gpusim.Machine{Device: opts.Device, Topo: opts.Topo},
+		Prof:          prof,
+		PDG:           dg,
+		Parts:         parts.Parts,
+		GPUOf:         assign.GPUOf,
+		FragmentIters: opts.FragmentIters,
+		ViaHost:       opts.Mapper == PrevWorkMap,
+	}
+	return &Compiled{
+		Graph:   g,
+		Options: opts,
+		Prof:    prof,
+		Engine:  eng,
+		Parts:   parts,
+		PDG:     dg,
+		Problem: prob,
+		Assign:  assign,
+		Plan:    plan,
+	}, nil
+}
+
+// fragmentTimes derives each partition's per-fragment busy-time estimate
+// with the same wave-quantized law the execution engine charges: blocks of W
+// executions spread over the SMs, each wave costing the estimated Texec.
+// Feeding the mapper the law the hardware follows is the "minimal static
+// discrepancy" principle of §3.3 applied to the mapping step.
+func fragmentTimes(parts []*partition.Partition, opts Options) []float64 {
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		execs := int64(opts.FragmentIters) * p.Sub.Scale
+		w := int64(p.Est.Params.W)
+		blocks := (execs + w - 1) / w
+		waves := (blocks + int64(opts.Device.NumSMs) - 1) / int64(opts.Device.NumSMs)
+		out[i] = opts.Device.KernelLaunchUS + float64(waves)*p.Est.TexecUS
+	}
+	return out
+}
+
+// Execute runs the compiled plan on the simulator.
+func (c *Compiled) Execute(inputs [][]sdf.Token, fragments int) (*gpusim.Result, error) {
+	return gpusim.Run(c.Plan, inputs, fragments)
+}
+
+// InputNeed returns the number of tokens required on primary input port idx
+// for the given fragment count.
+func (c *Compiled) InputNeed(idx, fragments int) int64 {
+	ports := c.Graph.InputPorts()
+	return c.Graph.PortTokens(ports[idx], true) * int64(c.Options.FragmentIters) * int64(fragments)
+}

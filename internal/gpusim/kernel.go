@@ -1,0 +1,115 @@
+// Package gpusim is the discrete-event multi-GPU simulator that stands in
+// for the paper's 4×M2090 workstation. It plays two roles:
+//
+//   - Kernel-level timing (this file): "measures" the execution time of a
+//     generated kernel, charging the same micro-architectural effects the
+//     paper's performance model abstracts away — warp quantization of the
+//     compute threads, scheduling jitter, and occasional shared-memory bank
+//     conflicts between compute and data-transfer warps. The deviations are
+//     deterministic (hashed from the kernel identity) so experiments are
+//     reproducible, and they reproduce the Figure 4.1 situation: predictions
+//     correlate strongly with measurements, with rare upward outliers.
+//
+//   - Pipelined multi-GPU execution (exec.go): fragments flow through the
+//     mapped partitions with per-link PCIe contention, overlapping kernel
+//     execution and transfers exactly as in Figure 3.5, while the filters'
+//     real work functions produce real output data for end-to-end
+//     verification.
+package gpusim
+
+import (
+	"hash/fnv"
+	"math"
+
+	"streammap/internal/partition"
+	"streammap/internal/pee"
+)
+
+// KernelTiming is the simulated "profiler report" for one kernel.
+type KernelTiming struct {
+	TcompUS      float64 // compute-warp time per wave
+	TdtUS        float64 // data-transfer-warp time per wave
+	TdbUS        float64 // buffer-swap time per wave
+	TexecUS      float64 // max(Tcomp,Tdt)+Tdb: one wave of W executions
+	PerExecUS    float64 // TexecUS / W: comparable to pee.Estimate.TUS
+	BankConflict bool
+}
+
+// hashUnit returns deterministic pseudo-uniform values in [0,1) derived from
+// the kernel identity; stream distinguishes independent draws.
+func hashUnit(name string, stream uint64) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(stream >> (8 * i))
+	}
+	_, _ = h.Write(b[:])
+	return float64(h.Sum64()%1_000_000) / 1_000_000
+}
+
+// MeasureKernel simulates one wave of the kernel built from the partition
+// with its selected parameters on the device: the ground truth against which
+// the estimation engine is validated (Figure 4.1).
+func MeasureKernel(part *partition.Partition, prof *pee.Profile) KernelTiming {
+	d := prof.Device
+	p := part.Est.Params
+	name := part.Sub.Sub.Name
+
+	// Compute side: firings of each filter spread over min(f_i, S) threads,
+	// whole warps executing in SIMT lockstep => ceil instead of the model's
+	// smooth division, plus a small scheduling jitter.
+	var tcomp float64
+	for _, n := range part.Sub.Sub.Nodes {
+		f := part.Sub.Sub.Rep(n.ID)
+		sUsed := int64(p.S)
+		if f < sUsed {
+			sUsed = f
+		}
+		rounds := (f + sUsed - 1) / sUsed
+		perFiring := prof.PerFiringCycles[part.Sub.NodeOf[n.ID]]
+		tcomp += float64(rounds) * perFiring
+	}
+	tcomp *= 1 + 0.04*hashUnit(name, 1)
+
+	// Data-transfer side: W executions' worth of I/O moved by F threads.
+	D := float64(part.Est.DBytes) * float64(p.W)
+	tokens := D / 4
+	tdt := d.GMCyclesPerTokenPerF * tokens / float64(p.F)
+	tdt *= 1 + 0.06*hashUnit(name, 2)
+
+	// Shared-memory bank conflicts between compute and DT warps hit a small
+	// fraction of kernels hard — the paper's explanation for its outliers.
+	conflict := false
+	if tcomp > 0 && tdt > 0 && hashUnit(name, 3) < 0.08 {
+		conflict = true
+		tdt *= 1.3 + 0.5*hashUnit(name, 4)
+	}
+
+	tdb := d.SwapCyclesPerToken * tokens / float64(p.F+p.W*p.S)
+	texec := math.Max(tcomp, tdt) + tdb
+
+	return KernelTiming{
+		TcompUS:      d.CyclesToUS(tcomp),
+		TdtUS:        d.CyclesToUS(tdt),
+		TdbUS:        d.CyclesToUS(tdb),
+		TexecUS:      d.CyclesToUS(texec),
+		PerExecUS:    d.CyclesToUS(texec) / float64(p.W),
+		BankConflict: conflict,
+	}
+}
+
+// KernelFragmentUS returns the simulated wall time for one kernel invocation
+// covering `execs` subgraph executions: blocks of W executions spread over
+// the device's SMs in waves.
+func KernelFragmentUS(part *partition.Partition, prof *pee.Profile, execs int64) float64 {
+	if execs <= 0 {
+		return 0
+	}
+	d := prof.Device
+	t := MeasureKernel(part, prof)
+	w := int64(part.Est.Params.W)
+	blocks := (execs + w - 1) / w
+	waves := (blocks + int64(d.NumSMs) - 1) / int64(d.NumSMs)
+	return d.KernelLaunchUS + float64(waves)*t.TexecUS
+}

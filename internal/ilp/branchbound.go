@@ -1,0 +1,153 @@
+package ilp
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Solve minimizes the model. Continuous models are solved with one simplex
+// run; integer models enter best-first branch-and-bound on the LP
+// relaxation. With a time budget, the best incumbent found is returned with
+// Status == TimeLimit when optimality was not proven.
+func (m *Model) Solve(opts Options) *Solution {
+	lo := make([]float64, len(m.vars))
+	hi := make([]float64, len(m.vars))
+	for i, v := range m.vars {
+		lo[i], hi[i] = v.lo, v.hi
+	}
+
+	hasInt := false
+	for _, v := range m.vars {
+		if v.integer {
+			hasInt = true
+			break
+		}
+	}
+	if !hasInt {
+		r := m.solveLP(lo, hi)
+		return &Solution{Status: r.status, X: r.x, Obj: r.obj, Nodes: 1}
+	}
+
+	var deadline time.Time
+	if opts.TimeBudget > 0 {
+		deadline = time.Now().Add(opts.TimeBudget)
+	}
+
+	type node struct {
+		lo, hi []float64
+		bound  float64
+	}
+	best := &Solution{Status: NoSolution, Obj: math.Inf(1)}
+	if opts.Incumbent != nil && m.Feasible(opts.Incumbent) {
+		best = &Solution{Status: TimeLimit, X: append([]float64(nil), opts.Incumbent...), Obj: m.Value(opts.Incumbent)}
+	}
+
+	tryIncumbent := func(x []float64) {
+		if x == nil || !m.Feasible(x) {
+			return
+		}
+		if v := m.Value(x); v < best.Obj-1e-9 {
+			best = &Solution{Status: TimeLimit, X: append([]float64(nil), x...), Obj: v}
+		}
+	}
+
+	frontier := []*node{{lo: lo, hi: hi, bound: math.Inf(-1)}}
+	nodes := 0
+	rootInfeasible := false
+	exhausted := true
+
+	for len(frontier) > 0 {
+		if (!deadline.IsZero() && time.Now().After(deadline)) ||
+			(opts.MaxNodes > 0 && nodes >= opts.MaxNodes) {
+			exhausted = false
+			break
+		}
+		// Best-first: pop the node with the smallest bound.
+		sort.Slice(frontier, func(a, b int) bool { return frontier[a].bound > frontier[b].bound })
+		nd := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		if nd.bound >= best.Obj-1e-9 {
+			continue // pruned
+		}
+		nodes++
+
+		r := m.solveLP(nd.lo, nd.hi)
+		switch r.status {
+		case Infeasible:
+			if nodes == 1 {
+				rootInfeasible = true
+			}
+			continue
+		case Unbounded:
+			if nodes == 1 {
+				return &Solution{Status: Unbounded, Nodes: nodes}
+			}
+			continue
+		case Optimal:
+		default:
+			continue // numerical trouble; abandon this node
+		}
+		if r.obj >= best.Obj-1e-9 {
+			continue
+		}
+		if opts.Heuristic != nil {
+			if hx, ok := opts.Heuristic(r.x); ok {
+				tryIncumbent(hx)
+			}
+		}
+		// Find the most fractional integer variable.
+		branch := -1
+		worst := intTol
+		for i, v := range m.vars {
+			if !v.integer {
+				continue
+			}
+			f := math.Abs(r.x[i] - math.Round(r.x[i]))
+			if f > worst {
+				worst = f
+				branch = i
+			}
+		}
+		if branch < 0 {
+			// Integral solution.
+			tryIncumbent(roundInts(m, r.x))
+			continue
+		}
+		floorV := math.Floor(r.x[branch])
+		down := &node{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...), bound: r.obj}
+		down.hi[branch] = floorV
+		up := &node{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...), bound: r.obj}
+		up.lo[branch] = floorV + 1
+		if down.hi[branch] >= down.lo[branch]-1e-12 {
+			frontier = append(frontier, down)
+		}
+		if up.lo[branch] <= up.hi[branch]+1e-12 {
+			frontier = append(frontier, up)
+		}
+	}
+
+	if best.Status == NoSolution {
+		if rootInfeasible && exhausted {
+			return &Solution{Status: Infeasible, Nodes: nodes}
+		}
+		return &Solution{Status: NoSolution, Nodes: nodes}
+	}
+	if exhausted {
+		best.Status = Optimal
+	}
+	best.Nodes = nodes
+	return best
+}
+
+// roundInts snaps near-integer values exactly, leaving continuous variables
+// untouched.
+func roundInts(m *Model, x []float64) []float64 {
+	out := append([]float64(nil), x...)
+	for i, v := range m.vars {
+		if v.integer {
+			out[i] = math.Round(out[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLPSimple2D(t *testing.T) {
+	// min -x - 2y  s.t. x + y <= 4, x <= 2, y <= 3, x,y >= 0.
+	// Optimum at (1,3): obj -7.
+	m := NewModel("lp")
+	x := m.AddVar(0, math.Inf(1), -1, "x")
+	y := m.AddVar(0, math.Inf(1), -2, "y")
+	m.AddConstr([]Term{{x, 1}, {y, 1}}, LE, 4, "cap")
+	m.AddConstr([]Term{{x, 1}}, LE, 2, "xcap")
+	m.AddConstr([]Term{{y, 1}}, LE, 3, "ycap")
+	s := m.Solve(Options{})
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Obj-(-7)) > 1e-6 {
+		t.Errorf("obj = %v, want -7", s.Obj)
+	}
+	if math.Abs(s.X[x]-1) > 1e-6 || math.Abs(s.X[y]-3) > 1e-6 {
+		t.Errorf("x,y = %v,%v want 1,3", s.X[x], s.X[y])
+	}
+}
+
+func TestLPWithGEAndEQ(t *testing.T) {
+	// min x + y  s.t. x + 2y >= 6, x == 2. Optimum (2,2): obj 4.
+	m := NewModel("lp")
+	x := m.AddVar(0, math.Inf(1), 1, "x")
+	y := m.AddVar(0, math.Inf(1), 1, "y")
+	m.AddConstr([]Term{{x, 1}, {y, 2}}, GE, 6, "need")
+	m.AddConstr([]Term{{x, 1}}, EQ, 2, "fix")
+	s := m.Solve(Options{})
+	if s.Status != Optimal || math.Abs(s.Obj-4) > 1e-6 {
+		t.Fatalf("status=%v obj=%v, want optimal 4", s.Status, s.Obj)
+	}
+}
+
+func TestLPInfeasible(t *testing.T) {
+	m := NewModel("inf")
+	x := m.AddVar(0, math.Inf(1), 1, "x")
+	m.AddConstr([]Term{{x, 1}}, GE, 5, "hi")
+	m.AddConstr([]Term{{x, 1}}, LE, 2, "lo")
+	s := m.Solve(Options{})
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestLPUnbounded(t *testing.T) {
+	m := NewModel("unb")
+	x := m.AddVar(0, math.Inf(1), -1, "x")
+	y := m.AddVar(0, math.Inf(1), 0, "y")
+	m.AddConstr([]Term{{x, 1}, {y, -1}}, LE, 1, "c")
+	s := m.Solve(Options{})
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestLPVariableLowerBounds(t *testing.T) {
+	// min x with x in [3, 10]: answer 3 via bound shifting.
+	m := NewModel("lb")
+	x := m.AddVar(3, 10, 1, "x")
+	s := m.Solve(Options{})
+	if s.Status != Optimal || math.Abs(s.X[x]-3) > 1e-6 {
+		t.Fatalf("status=%v x=%v, want optimal 3", s.Status, s.X[x])
+	}
+}
+
+func TestMILPKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c, w = 3a+4b+2c <= 6  => min negated.
+	// Best: a+c (w=5, v=17)? b+c (w=6, v=20) wins.
+	m := NewModel("knap")
+	a := m.AddBinary(-10, "a")
+	b := m.AddBinary(-13, "b")
+	c := m.AddBinary(-7, "c")
+	m.AddConstr([]Term{{a, 3}, {b, 4}, {c, 2}}, LE, 6, "w")
+	s := m.Solve(Options{})
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Obj-(-20)) > 1e-6 {
+		t.Errorf("obj = %v, want -20", s.Obj)
+	}
+	if math.Round(s.X[b]) != 1 || math.Round(s.X[c]) != 1 || math.Round(s.X[a]) != 0 {
+		t.Errorf("solution = %v", s.X)
+	}
+}
+
+func TestMILPIntegerRounding(t *testing.T) {
+	// min -x, x integer, 2x <= 7 => x = 3 (LP gives 3.5).
+	m := NewModel("int")
+	x := m.AddInt(0, 100, -1, "x")
+	m.AddConstr([]Term{{x, 2}}, LE, 7, "c")
+	s := m.Solve(Options{})
+	if s.Status != Optimal || math.Round(s.X[x]) != 3 {
+		t.Fatalf("status=%v x=%v, want optimal 3", s.Status, s.X[x])
+	}
+}
+
+func TestMILPInfeasibleIntegrality(t *testing.T) {
+	// 2x == 3 with x integer: LP feasible, MILP infeasible.
+	m := NewModel("intinf")
+	x := m.AddInt(0, 10, 1, "x")
+	m.AddConstr([]Term{{x, 2}}, EQ, 3, "c")
+	s := m.Solve(Options{})
+	if s.Status == Optimal {
+		t.Fatalf("got optimal %v for infeasible MILP", s.X)
+	}
+}
+
+func TestMILPIncumbentSeed(t *testing.T) {
+	m := NewModel("seed")
+	a := m.AddBinary(-1, "a")
+	b := m.AddBinary(-1, "b")
+	m.AddConstr([]Term{{a, 1}, {b, 1}}, LE, 1, "c")
+	s := m.Solve(Options{Incumbent: []float64{1, 0}})
+	if s.Status != Optimal || math.Abs(s.Obj-(-1)) > 1e-6 {
+		t.Fatalf("status=%v obj=%v", s.Status, s.Obj)
+	}
+}
+
+func TestMILPTimeBudgetReturnsIncumbent(t *testing.T) {
+	// A deliberately fiddly assignment-ish instance with a 1ns budget: the
+	// seeded incumbent must come back with TimeLimit status.
+	m := NewModel("budget")
+	n := 6
+	vars := make([][]VarID, n)
+	seed := make([]float64, 0, n*n)
+	for i := 0; i < n; i++ {
+		vars[i] = make([]VarID, n)
+		for j := 0; j < n; j++ {
+			vars[i][j] = m.AddBinary(float64((i*7+j*13)%11), "x")
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := make([]Term, n)
+		colT := make([]Term, n)
+		for j := 0; j < n; j++ {
+			row[j] = Term{vars[i][j], 1}
+			colT[j] = Term{vars[j][i], 1}
+		}
+		m.AddConstr(row, EQ, 1, "r")
+		m.AddConstr(colT, EQ, 1, "c")
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				seed = append(seed, 1)
+			} else {
+				seed = append(seed, 0)
+			}
+		}
+	}
+	s := m.Solve(Options{TimeBudget: time.Nanosecond, Incumbent: seed})
+	if s.Status != TimeLimit {
+		t.Fatalf("status = %v, want time-limit", s.Status)
+	}
+	if !m.Feasible(s.X) {
+		t.Fatalf("returned incumbent infeasible")
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	m := NewModel("f")
+	x := m.AddBinary(0, "x")
+	y := m.AddVar(0, 5, 0, "y")
+	m.AddConstr([]Term{{x, 1}, {y, 1}}, LE, 3, "c")
+	if !m.Feasible([]float64{1, 2}) {
+		t.Errorf("1,2 should be feasible")
+	}
+	if m.Feasible([]float64{0.5, 2}) {
+		t.Errorf("fractional binary should be infeasible")
+	}
+	if m.Feasible([]float64{1, 2.5}) {
+		t.Errorf("constraint violation should be infeasible")
+	}
+}
+
+// bruteForceBinary enumerates all 0/1 assignments of a small model.
+func bruteForceBinary(m *Model, nBin int) (float64, bool) {
+	best := math.Inf(1)
+	found := false
+	x := make([]float64, m.NumVars())
+	var rec func(i int)
+	rec = func(i int) {
+		if i == nBin {
+			if m.Feasible(x) {
+				if v := m.Value(x); v < best {
+					best = v
+					found = true
+				}
+			}
+			return
+		}
+		x[i] = 0
+		rec(i + 1)
+		x[i] = 1
+		rec(i + 1)
+	}
+	rec(0)
+	return best, found
+}
+
+// Property: on random small pure-binary models, branch-and-bound matches
+// brute force exactly.
+func TestMILPMatchesBruteForceQuick(t *testing.T) {
+	f := func(costs [5]int8, w [5]uint8, cap uint8) bool {
+		m := NewModel("q")
+		vars := make([]VarID, 5)
+		for i := 0; i < 5; i++ {
+			vars[i] = m.AddBinary(float64(costs[i]), "x")
+		}
+		terms := make([]Term, 5)
+		for i := range terms {
+			terms[i] = Term{vars[i], float64(w[i]%16) + 1}
+		}
+		m.AddConstr(terms, LE, float64(cap%40), "cap")
+		s := m.Solve(Options{})
+		want, feasible := bruteForceBinary(m, 5)
+		if !feasible {
+			return s.Status != Optimal
+		}
+		return s.Status == Optimal && math.Abs(s.Obj-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LP relaxation value is a valid lower bound for the MILP optimum.
+func TestLPBoundsMILPQuick(t *testing.T) {
+	f := func(costs [4]int8, w [4]uint8, cap uint8) bool {
+		build := func(integer bool) *Model {
+			m := NewModel("q")
+			for i := 0; i < 4; i++ {
+				if integer {
+					m.AddBinary(float64(costs[i]), "x")
+				} else {
+					m.AddVar(0, 1, float64(costs[i]), "x")
+				}
+			}
+			terms := make([]Term, 4)
+			for i := range terms {
+				terms[i] = Term{VarID(i), float64(w[i]%8) + 1}
+			}
+			m.AddConstr(terms, GE, float64(cap%10), "need")
+			return m
+		}
+		milp := build(true).Solve(Options{})
+		lp := build(false).Solve(Options{})
+		if milp.Status != Optimal || lp.Status != Optimal {
+			return milp.Status == lp.Status || milp.Status == Infeasible
+		}
+		return lp.Obj <= milp.Obj+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeuristicCallbackProvidesIncumbent(t *testing.T) {
+	m := NewModel("h")
+	a := m.AddBinary(-2, "a")
+	b := m.AddBinary(-3, "b")
+	m.AddConstr([]Term{{a, 1}, {b, 1}}, LE, 1, "c")
+	called := false
+	s := m.Solve(Options{
+		Heuristic: func(x []float64) ([]float64, bool) {
+			called = true
+			return []float64{0, 1}, true
+		},
+	})
+	if !called {
+		t.Errorf("heuristic never called")
+	}
+	if s.Status != Optimal || math.Abs(s.Obj-(-3)) > 1e-6 {
+		t.Errorf("status=%v obj=%v", s.Status, s.Obj)
+	}
+}

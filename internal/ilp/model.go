@@ -1,0 +1,210 @@
+// Package ilp is a self-contained (M)ILP solver: a modeling layer, a dense
+// two-phase primal simplex for linear relaxations, and a branch-and-bound
+// search for integer variables with a configurable time budget.
+//
+// It stands in for the commercial ILP solver the paper uses (Gurobi) to
+// solve the communication-aware mapping formulation of §3.2.2. The solver is
+// exact on the small and medium instances the mapping layer feeds it
+// (property-tested against brute-force enumeration); on larger instances it
+// returns the best incumbent found within the budget, which is how any
+// budgeted MILP run behaves in practice.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// VarID names a variable in a Model.
+type VarID int
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota // <=
+	GE           // >=
+	EQ           // ==
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "=="
+	}
+}
+
+// Term is one coefficient-variable product.
+type Term struct {
+	Var  VarID
+	Coef float64
+}
+
+// variable is the model-internal variable record.
+type variable struct {
+	name    string
+	lo, hi  float64 // hi may be +Inf
+	obj     float64
+	integer bool
+}
+
+// constr is one linear constraint sum(terms) op rhs.
+type constr struct {
+	name  string
+	terms []Term
+	op    Op
+	rhs   float64
+}
+
+// Model is a minimization MILP under construction.
+type Model struct {
+	name    string
+	vars    []variable
+	constrs []constr
+}
+
+// NewModel returns an empty minimization model.
+func NewModel(name string) *Model { return &Model{name: name} }
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return len(m.vars) }
+
+// NumConstrs returns the number of constraints.
+func (m *Model) NumConstrs() int { return len(m.constrs) }
+
+// AddVar adds a continuous variable with bounds [lo, hi] (hi may be
+// math.Inf(1)) and objective coefficient obj.
+func (m *Model) AddVar(lo, hi, obj float64, name string) VarID {
+	m.vars = append(m.vars, variable{name: name, lo: lo, hi: hi, obj: obj})
+	return VarID(len(m.vars) - 1)
+}
+
+// AddBinary adds a 0/1 integer variable.
+func (m *Model) AddBinary(obj float64, name string) VarID {
+	m.vars = append(m.vars, variable{name: name, lo: 0, hi: 1, obj: obj, integer: true})
+	return VarID(len(m.vars) - 1)
+}
+
+// AddInt adds a bounded integer variable.
+func (m *Model) AddInt(lo, hi, obj float64, name string) VarID {
+	m.vars = append(m.vars, variable{name: name, lo: lo, hi: hi, obj: obj, integer: true})
+	return VarID(len(m.vars) - 1)
+}
+
+// AddConstr adds sum(terms) op rhs.
+func (m *Model) AddConstr(terms []Term, op Op, rhs float64, name string) {
+	m.constrs = append(m.constrs, constr{name: name, terms: append([]Term(nil), terms...), op: op, rhs: rhs})
+}
+
+// Status reports how a solve ended.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	TimeLimit // best incumbent returned, optimality not proven
+	NoSolution
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case TimeLimit:
+		return "time-limit"
+	case NoSolution:
+		return "no-solution"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of Model.Solve.
+type Solution struct {
+	Status Status
+	X      []float64
+	Obj    float64
+	Nodes  int // branch-and-bound nodes explored
+}
+
+// Options tunes Solve.
+type Options struct {
+	TimeBudget time.Duration // 0 means no limit
+	MaxNodes   int           // 0 means no limit
+	// Heuristic, if set, is called with each LP-relaxation solution and may
+	// return a feasible integer assignment derived from it; feasible
+	// proposals become incumbents and tighten pruning.
+	Heuristic func(x []float64) ([]float64, bool)
+	// Incumbent, if set, seeds the search with a known feasible solution.
+	Incumbent []float64
+}
+
+// errors
+var (
+	errIterLimit = errors.New("ilp: simplex iteration limit")
+)
+
+const (
+	eps     = 1e-7
+	intTol  = 1e-6
+	bigIter = 200000
+)
+
+// Value evaluates the model objective at x.
+func (m *Model) Value(x []float64) float64 {
+	var v float64
+	for i, vr := range m.vars {
+		v += vr.obj * x[i]
+	}
+	return v
+}
+
+// Feasible checks x against all bounds, constraints and integrality.
+func (m *Model) Feasible(x []float64) bool {
+	if len(x) != len(m.vars) {
+		return false
+	}
+	const ftol = 1e-5
+	for i, v := range m.vars {
+		if x[i] < v.lo-ftol || x[i] > v.hi+ftol {
+			return false
+		}
+		if v.integer && math.Abs(x[i]-math.Round(x[i])) > intTol {
+			return false
+		}
+	}
+	for _, c := range m.constrs {
+		var lhs float64
+		for _, t := range c.terms {
+			lhs += t.Coef * x[t.Var]
+		}
+		scale := 1 + math.Abs(c.rhs)
+		switch c.op {
+		case LE:
+			if lhs > c.rhs+ftol*scale {
+				return false
+			}
+		case GE:
+			if lhs < c.rhs-ftol*scale {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-c.rhs) > ftol*scale {
+				return false
+			}
+		}
+	}
+	return true
+}

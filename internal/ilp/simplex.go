@@ -1,0 +1,316 @@
+package ilp
+
+import "math"
+
+// lpResult is the outcome of one LP relaxation solve.
+type lpResult struct {
+	status Status
+	x      []float64 // structural variable values (model indexing)
+	obj    float64
+}
+
+// solveLP solves the LP relaxation of the model with variable bounds
+// overridden by lo/hi (branch-and-bound fixings). It uses a dense two-phase
+// primal simplex over the standard form obtained by shifting variables to
+// x' = x - lo >= 0, adding upper-bound rows for finite-width variables, and
+// slack/artificial columns as needed.
+func (m *Model) solveLP(lo, hi []float64) lpResult {
+	n := len(m.vars)
+
+	// Substitute fixed variables (lo == hi) out of the problem entirely:
+	// branch-and-bound fixes many binaries, shrinking the tableau as the
+	// search descends.
+	col := make([]int, n) // model var -> structural column or -1 if fixed
+	var nCols int
+	for i := range m.vars {
+		if hi[i]-lo[i] < eps {
+			col[i] = -1
+		} else {
+			col[i] = nCols
+			nCols++
+		}
+	}
+
+	type row struct {
+		a   []float64
+		op  Op
+		rhs float64
+	}
+	var rows []row
+
+	addRow := func(terms []Term, op Op, rhs float64) {
+		a := make([]float64, nCols)
+		for _, t := range terms {
+			if c := col[t.Var]; c >= 0 {
+				a[c] += t.Coef
+			} else {
+				rhs -= t.Coef * lo[t.Var] // fixed value
+			}
+		}
+		// Shift unfixed variables by their lower bounds: x = x' + lo.
+		for _, t := range terms {
+			if c := col[t.Var]; c >= 0 {
+				_ = c
+				rhs -= t.Coef * lo[t.Var]
+				// a already has the coefficient for x'; subtracting the lo
+				// contribution once per term is done here, so guard against
+				// double-counting duplicated vars by folding in addRow only.
+			}
+		}
+		rows = append(rows, row{a: a, op: op, rhs: rhs})
+	}
+	// NOTE: addRow subtracts t.Coef*lo for unfixed vars once per term; terms
+	// with duplicated vars must be pre-folded by the caller (Model.AddConstr
+	// stores terms as given; fold here).
+	fold := func(terms []Term) []Term {
+		acc := map[VarID]float64{}
+		order := make([]VarID, 0, len(terms))
+		for _, t := range terms {
+			if _, ok := acc[t.Var]; !ok {
+				order = append(order, t.Var)
+			}
+			acc[t.Var] += t.Coef
+		}
+		out := make([]Term, 0, len(order))
+		for _, v := range order {
+			out = append(out, Term{Var: v, Coef: acc[v]})
+		}
+		return out
+	}
+
+	for _, c := range m.constrs {
+		addRow(fold(c.terms), c.op, c.rhs)
+	}
+	// Upper-bound rows for finite-width unfixed variables.
+	for i, v := range m.vars {
+		_ = v
+		if col[i] >= 0 && !math.IsInf(hi[i], 1) {
+			addRow([]Term{{Var: VarID(i), Coef: 1}}, LE, hi[i])
+		}
+	}
+
+	// Objective over structural columns (constant part from fixed/shifted).
+	cvec := make([]float64, nCols)
+	objConst := 0.0
+	for i, v := range m.vars {
+		if c := col[i]; c >= 0 {
+			cvec[c] = v.obj
+			objConst += v.obj * lo[i]
+		} else {
+			objConst += v.obj * lo[i]
+		}
+	}
+
+	// Standard form: normalize rhs >= 0.
+	mRows := len(rows)
+	slackCount := 0
+	artCount := 0
+	type rowKind struct{ slack, art int } // column indices, -1 if absent
+	kinds := make([]rowKind, mRows)
+	for r := range rows {
+		if rows[r].rhs < 0 {
+			for j := range rows[r].a {
+				rows[r].a[j] = -rows[r].a[j]
+			}
+			rows[r].rhs = -rows[r].rhs
+			switch rows[r].op {
+			case LE:
+				rows[r].op = GE
+			case GE:
+				rows[r].op = LE
+			}
+		}
+		switch rows[r].op {
+		case LE:
+			kinds[r] = rowKind{slack: slackCount, art: -1}
+			slackCount++
+		case GE:
+			kinds[r] = rowKind{slack: slackCount, art: artCount}
+			slackCount++
+			artCount++
+		case EQ:
+			kinds[r] = rowKind{slack: -1, art: artCount}
+			artCount++
+		}
+	}
+
+	total := nCols + slackCount + artCount
+	// tableau: mRows x (total+1), plus objective rows handled separately.
+	t := make([][]float64, mRows)
+	basis := make([]int, mRows)
+	for r := range rows {
+		t[r] = make([]float64, total+1)
+		copy(t[r], rows[r].a)
+		if k := kinds[r]; k.slack >= 0 {
+			sign := 1.0
+			if rows[r].op == GE {
+				sign = -1.0
+			}
+			t[r][nCols+k.slack] = sign
+			if k.art < 0 {
+				basis[r] = nCols + k.slack
+			}
+		}
+		if k := kinds[r]; k.art >= 0 {
+			t[r][nCols+slackCount+k.art] = 1
+			basis[r] = nCols + slackCount + k.art
+		}
+		t[r][total] = rows[r].rhs
+	}
+
+	pivot := func(obj []float64, r, c int) {
+		pr := t[r]
+		pv := pr[c]
+		for j := range pr {
+			pr[j] /= pv
+		}
+		for i := range t {
+			if i == r {
+				continue
+			}
+			f := t[i][c]
+			if f == 0 {
+				continue
+			}
+			ri := t[i]
+			for j := range ri {
+				ri[j] -= f * pr[j]
+			}
+		}
+		if f := obj[c]; f != 0 {
+			for j := range obj {
+				obj[j] -= f * pr[j]
+			}
+		}
+		basis[r] = c
+	}
+
+	// run executes simplex iterations on the given reduced-cost row,
+	// optionally excluding columns (artificials in phase 2).
+	run := func(obj []float64, excludeFrom int) error {
+		for iter := 0; iter < bigIter; iter++ {
+			// Entering column: Dantzig, Bland after a while.
+			c := -1
+			if iter < bigIter/2 {
+				best := -eps
+				for j := 0; j < total; j++ {
+					if excludeFrom >= 0 && j >= excludeFrom {
+						break
+					}
+					if obj[j] < best {
+						best = obj[j]
+						c = j
+					}
+				}
+			} else {
+				for j := 0; j < total; j++ {
+					if excludeFrom >= 0 && j >= excludeFrom {
+						break
+					}
+					if obj[j] < -eps {
+						c = j
+						break
+					}
+				}
+			}
+			if c < 0 {
+				return nil // optimal
+			}
+			// Ratio test (Bland tie-break on basis index).
+			r := -1
+			var bestRatio float64
+			for i := 0; i < mRows; i++ {
+				if t[i][c] > eps {
+					ratio := t[i][total] / t[i][c]
+					if r < 0 || ratio < bestRatio-eps || (math.Abs(ratio-bestRatio) <= eps && basis[i] < basis[r]) {
+						r = i
+						bestRatio = ratio
+					}
+				}
+			}
+			if r < 0 {
+				return errUnboundedLP
+			}
+			pivot(obj, r, c)
+		}
+		return errIterLimit
+	}
+
+	// Phase 1.
+	if artCount > 0 {
+		obj1 := make([]float64, total+1)
+		for j := nCols + slackCount; j < total; j++ {
+			obj1[j] = 1
+		}
+		// Express in terms of nonbasic: subtract artificial rows.
+		for r := 0; r < mRows; r++ {
+			if basis[r] >= nCols+slackCount {
+				for j := range obj1 {
+					obj1[j] -= t[r][j]
+				}
+			}
+		}
+		if err := run(obj1, -1); err != nil {
+			if err == errUnboundedLP {
+				return lpResult{status: Infeasible}
+			}
+			return lpResult{status: NoSolution}
+		}
+		if -obj1[total] > 1e-6 {
+			return lpResult{status: Infeasible}
+		}
+		// Drive remaining artificials out of the basis when possible.
+		for r := 0; r < mRows; r++ {
+			if basis[r] >= nCols+slackCount && t[r][total] < eps {
+				for j := 0; j < nCols+slackCount; j++ {
+					if math.Abs(t[r][j]) > eps {
+						pivot(obj1, r, j)
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 2.
+	obj2 := make([]float64, total+1)
+	copy(obj2, cvec)
+	for r := 0; r < mRows; r++ {
+		if b := basis[r]; b < len(cvec) && cvec[b] != 0 {
+			f := cvec[b]
+			for j := range obj2 {
+				obj2[j] -= f * t[r][j]
+			}
+			// restore: the loop above also subtracted from obj2[b] making it 0; fine.
+		}
+	}
+	if err := run(obj2, nCols+slackCount); err != nil {
+		if err == errUnboundedLP {
+			return lpResult{status: Unbounded}
+		}
+		return lpResult{status: NoSolution}
+	}
+
+	// Extract solution.
+	xPrime := make([]float64, total)
+	for r := 0; r < mRows; r++ {
+		if basis[r] < total {
+			xPrime[basis[r]] = t[r][total]
+		}
+	}
+	x := make([]float64, n)
+	for i := range m.vars {
+		if c := col[i]; c >= 0 {
+			x[i] = xPrime[c] + lo[i]
+		} else {
+			x[i] = lo[i]
+		}
+	}
+	return lpResult{status: Optimal, x: x, obj: m.Value(x)}
+}
+
+var errUnboundedLP = &lpError{"unbounded"}
+
+type lpError struct{ s string }
+
+func (e *lpError) Error() string { return "ilp: " + e.s }

@@ -1,0 +1,352 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+
+	"streammap/internal/sdf"
+)
+
+// parseFilter parses
+//
+//	filter Name pop P push Q [peek K] [ops N] { stmts }
+//
+// and compiles the body into an sdf.WorkFunc.
+func (p *parser) parseFilter() (*sdf.Filter, error) {
+	p.pos++ // "filter"
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("pop"); err != nil {
+		return nil, err
+	}
+	pop, err := p.intLit()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("push"); err != nil {
+		return nil, err
+	}
+	push, err := p.intLit()
+	if err != nil {
+		return nil, err
+	}
+	peek := 0
+	if p.accept("peek") {
+		if peek, err = p.intLit(); err != nil {
+			return nil, err
+		}
+	}
+	ops := int64(0)
+	opsExplicit := false
+	if p.accept("ops") {
+		v, err := p.intLit()
+		if err != nil {
+			return nil, err
+		}
+		ops = int64(v)
+		opsExplicit = true
+	}
+	body, cost, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	if !opsExplicit {
+		ops = cost // static estimate: arithmetic operations per firing
+	}
+	work := func(w *sdf.Work) {
+		env := &env{w: w, vars: map[string]float64{}}
+		for _, st := range body {
+			st.exec(env)
+		}
+		if env.pushed != push {
+			panic(fmt.Sprintf("lang: filter %s pushed %d tokens, declared %d", name, env.pushed, push))
+		}
+	}
+	return sdf.NewFilter(name, pop, push, peek, ops, work), nil
+}
+
+// ---- statement and expression trees ----
+
+type env struct {
+	w      *sdf.Work
+	vars   map[string]float64
+	pushed int
+}
+
+type stmt interface {
+	exec(*env)
+}
+
+type expr interface {
+	eval(*env) float64
+}
+
+type letStmt struct {
+	name string
+	e    expr
+}
+
+func (s *letStmt) exec(v *env) { v.vars[s.name] = s.e.eval(v) }
+
+type pushStmt struct{ e expr }
+
+func (s *pushStmt) exec(v *env) {
+	v.w.Out[0][v.pushed] = sdf.Token(s.e.eval(v))
+	v.pushed++
+}
+
+type forStmt struct {
+	name     string
+	from, to expr
+	body     []stmt
+}
+
+func (s *forStmt) exec(v *env) {
+	from := int(s.from.eval(v))
+	to := int(s.to.eval(v))
+	saved, had := v.vars[s.name], false
+	if _, ok := v.vars[s.name]; ok {
+		had = true
+	}
+	for i := from; i < to; i++ {
+		v.vars[s.name] = float64(i)
+		for _, st := range s.body {
+			st.exec(v)
+		}
+	}
+	if had {
+		v.vars[s.name] = saved
+	} else {
+		delete(v.vars, s.name)
+	}
+}
+
+type numExpr struct{ v float64 }
+
+func (e *numExpr) eval(*env) float64 { return e.v }
+
+type varExpr struct{ name string }
+
+func (e *varExpr) eval(v *env) float64 {
+	val, ok := v.vars[e.name]
+	if !ok {
+		panic("lang: undefined variable " + e.name)
+	}
+	return val
+}
+
+type peekExpr struct{ idx expr }
+
+func (e *peekExpr) eval(v *env) float64 { return float64(v.w.In[0][int(e.idx.eval(v))]) }
+
+type binExpr struct {
+	op   byte
+	l, r expr
+}
+
+func (e *binExpr) eval(v *env) float64 {
+	l, r := e.l.eval(v), e.r.eval(v)
+	switch e.op {
+	case '+':
+		return l + r
+	case '-':
+		return l - r
+	case '*':
+		return l * r
+	default:
+		return l / r
+	}
+}
+
+type negExpr struct{ e expr }
+
+func (e *negExpr) eval(v *env) float64 { return -e.e.eval(v) }
+
+// ---- body parsing (returns statements and a static op-count estimate) ----
+
+func (p *parser) parseBlock() ([]stmt, int64, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, 0, err
+	}
+	var out []stmt
+	var cost int64
+	for !p.accept("}") {
+		s, c, err := p.parseStmt()
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, s)
+		cost += c
+	}
+	return out, cost, nil
+}
+
+func (p *parser) parseStmt() (stmt, int64, error) {
+	switch {
+	case p.accept("let"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, 0, err
+		}
+		e, c, err := p.parseExpr()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, 0, err
+		}
+		return &letStmt{name, e}, c + 1, nil
+	case p.accept("push"):
+		if err := p.expect("("); err != nil {
+			return nil, 0, err
+		}
+		e, c, err := p.parseExpr()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, 0, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, 0, err
+		}
+		return &pushStmt{e}, c + 1, nil
+	case p.accept("for"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, 0, err
+		}
+		from, c1, err := p.parseExpr()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := p.expect(".."); err != nil {
+			return nil, 0, err
+		}
+		to, c2, err := p.parseExpr()
+		if err != nil {
+			return nil, 0, err
+		}
+		body, bc, err := p.parseBlock()
+		if err != nil {
+			return nil, 0, err
+		}
+		// Static cost: body cost times trip count when bounds are literals.
+		trips := int64(8)
+		if f, ok := from.(*numExpr); ok {
+			if t, ok2 := to.(*numExpr); ok2 && t.v > f.v {
+				trips = int64(t.v - f.v)
+			}
+		}
+		return &forStmt{name, from, to, body}, c1 + c2 + bc*trips, nil
+	}
+	return nil, 0, p.errf("expected let, push or for, found %q", p.cur().text)
+}
+
+// parseExpr handles + and - over terms.
+func (p *parser) parseExpr() (expr, int64, error) {
+	l, c, err := p.parseTerm()
+	if err != nil {
+		return nil, 0, err
+	}
+	for {
+		switch {
+		case p.accept("+"):
+			r, c2, err := p.parseTerm()
+			if err != nil {
+				return nil, 0, err
+			}
+			l, c = &binExpr{'+', l, r}, c+c2+1
+		case p.accept("-"):
+			r, c2, err := p.parseTerm()
+			if err != nil {
+				return nil, 0, err
+			}
+			l, c = &binExpr{'-', l, r}, c+c2+1
+		default:
+			return l, c, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (expr, int64, error) {
+	l, c, err := p.parseAtom()
+	if err != nil {
+		return nil, 0, err
+	}
+	for {
+		switch {
+		case p.accept("*"):
+			r, c2, err := p.parseAtom()
+			if err != nil {
+				return nil, 0, err
+			}
+			l, c = &binExpr{'*', l, r}, c+c2+1
+		case p.accept("/"):
+			r, c2, err := p.parseAtom()
+			if err != nil {
+				return nil, 0, err
+			}
+			l, c = &binExpr{'/', l, r}, c+c2+1
+		default:
+			return l, c, nil
+		}
+	}
+}
+
+func (p *parser) parseAtom() (expr, int64, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tNumber:
+		p.pos++
+		v, err := parseFloat(t.text)
+		if err != nil {
+			return nil, 0, p.errf("bad number %q", t.text)
+		}
+		return &numExpr{v}, 0, nil
+	case p.accept("-"):
+		e, c, err := p.parseAtom()
+		if err != nil {
+			return nil, 0, err
+		}
+		return &negExpr{e}, c + 1, nil
+	case p.accept("("):
+		e, c, err := p.parseExpr()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, 0, err
+		}
+		return e, c, nil
+	case t.kind == tIdent && t.text == "peek":
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, 0, err
+		}
+		idx, c, err := p.parseExpr()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, 0, err
+		}
+		return &peekExpr{idx}, c + 2, nil
+	case t.kind == tIdent:
+		p.pos++
+		return &varExpr{t.text}, 0, nil
+	}
+	return nil, 0, p.errf("expected expression, found %q", t.text)
+}
+
+func parseFloat(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}

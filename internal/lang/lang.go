@@ -1,0 +1,291 @@
+// Package lang is a small StreamIt-like textual front end: a lexer,
+// recursive-descent parser and elaborator that turn stream programs written
+// as
+//
+//	pipeline Main {
+//	  filter Scale pop 4 push 4 {
+//	    for i = 0 .. 4 { push(peek(i) * 0.5); }
+//	  }
+//	  splitjoin Bands duplicate 4 join 4 4 {
+//	    filter Low  pop 4 push 4 { for i = 0 .. 4 { push(peek(i) + peek(i)); } }
+//	    filter High pop 4 push 4 { for i = 0 .. 4 { push(peek(i) - 1.0); } }
+//	  }
+//	  filter Mix pop 8 push 4 {
+//	    for i = 0 .. 4 { push(peek(i) + peek(i + 4)); }
+//	  }
+//	}
+//
+// into sdf streams. Filter bodies are pure per-firing functions over the
+// input window: peek(i) reads the i-th visible input token, push(e) appends
+// an output token, and the declared pop rate is consumed after the firing —
+// exactly the execution contract of sdf.WorkFunc. Statements are
+// `let x = e;`, `push(e);` and `for i = a .. b { ... }` (half-open range);
+// expressions have numbers, variables, peek, unary minus and + - * /.
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"streammap/internal/sdf"
+)
+
+// Parse compiles a program's single top-level stream into an sdf.Stream.
+func Parse(src string) (sdf.Stream, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	s, err := p.parseStream()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing input after top-level stream")
+	}
+	return s, nil
+}
+
+// ParseGraph parses and flattens in one step.
+func ParseGraph(name, src string) (*sdf.Graph, error) {
+	s, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return sdf.Flatten(name, s)
+}
+
+// ---- lexer ----
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tPunct // single-rune punctuation and ".."
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tIdent, src[i:j], line})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			dots := 0
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				if src[j] == '.' {
+					// ".." terminates the number (range operator).
+					if j+1 < len(src) && src[j+1] == '.' {
+						break
+					}
+					dots++
+					if dots > 1 {
+						return nil, fmt.Errorf("lang: line %d: malformed number", line)
+					}
+				}
+				j++
+			}
+			toks = append(toks, token{tNumber, src[i:j], line})
+			i = j
+		case c == '.' && i+1 < len(src) && src[i+1] == '.':
+			toks = append(toks, token{tPunct, "..", line})
+			i += 2
+		case strings.ContainsRune("{}();=+-*/,", rune(c)):
+			toks = append(toks, token{tPunct, string(c), line})
+			i++
+		default:
+			return nil, fmt.Errorf("lang: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{tEOF, "", line})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+// ---- parser ----
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tEOF }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("lang: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) accept(text string) bool {
+	if p.cur().text == text && p.cur().kind != tEOF {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %q", text, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if p.cur().kind != tIdent {
+		return "", p.errf("expected identifier, found %q", p.cur().text)
+	}
+	t := p.cur().text
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) intLit() (int, error) {
+	if p.cur().kind != tNumber {
+		return 0, p.errf("expected integer, found %q", p.cur().text)
+	}
+	v, err := strconv.Atoi(p.cur().text)
+	if err != nil {
+		return 0, p.errf("expected integer, found %q", p.cur().text)
+	}
+	p.pos++
+	return v, nil
+}
+
+// parseStream dispatches on the leading keyword.
+func (p *parser) parseStream() (sdf.Stream, error) {
+	switch p.cur().text {
+	case "pipeline":
+		return p.parsePipeline()
+	case "splitjoin":
+		return p.parseSplitJoin()
+	case "filter":
+		f, err := p.parseFilter()
+		if err != nil {
+			return nil, err
+		}
+		return sdf.F(f), nil
+	}
+	return nil, p.errf("expected pipeline, splitjoin or filter, found %q", p.cur().text)
+}
+
+func (p *parser) parsePipeline() (sdf.Stream, error) {
+	p.pos++ // "pipeline"
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var children []sdf.Stream
+	for !p.accept("}") {
+		c, err := p.parseStream()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, c)
+	}
+	if len(children) == 0 {
+		return nil, p.errf("pipeline %s is empty", name)
+	}
+	return sdf.Pipe(name, children...), nil
+}
+
+func (p *parser) parseSplitJoin() (sdf.Stream, error) {
+	p.pos++ // "splitjoin"
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	var dupWidth int
+	var splitW []int
+	switch {
+	case p.accept("duplicate"):
+		if dupWidth, err = p.intLit(); err != nil {
+			return nil, err
+		}
+	case p.accept("roundrobin"):
+		if splitW, err = p.intList(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errf("expected duplicate or roundrobin, found %q", p.cur().text)
+	}
+	if err := p.expect("join"); err != nil {
+		return nil, err
+	}
+	joinW, err := p.intList()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var branches []sdf.Stream
+	for !p.accept("}") {
+		b, err := p.parseStream()
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, b)
+	}
+	if len(branches) != len(joinW) {
+		return nil, p.errf("splitjoin %s: %d branches but %d join weights", name, len(branches), len(joinW))
+	}
+	if splitW != nil {
+		if len(splitW) != len(branches) {
+			return nil, p.errf("splitjoin %s: %d branches but %d split weights", name, len(branches), len(splitW))
+		}
+		return sdf.SplitRRRR(name, splitW, joinW, branches...), nil
+	}
+	return sdf.SplitDupRR(name, dupWidth, joinW, branches...), nil
+}
+
+// intList parses one or more integers.
+func (p *parser) intList() ([]int, error) {
+	var out []int
+	for p.cur().kind == tNumber {
+		v, err := p.intLit()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, p.errf("expected at least one integer weight")
+	}
+	return out, nil
+}

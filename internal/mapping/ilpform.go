@@ -1,0 +1,221 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+
+	"streammap/internal/ilp"
+	"streammap/internal/topology"
+)
+
+// ilpLayout records the variable indexing of the formulation so solutions
+// can be decoded and incumbents encoded.
+type ilpLayout struct {
+	P, G  int
+	nVar  func(i, k int) ilp.VarID // binary n_ik
+	tmax  ilp.VarID
+	yVar  map[[2]int]ilp.VarID // (edgeIdx, linkID) -> crossing indicator
+	links []topology.Link
+	under [][]bool // linkID -> per-GPU membership of C(l)
+}
+
+// buildILP encodes Eq. III.1–III.7 with the compact per-link linearization:
+// instead of the paper's P·G² product variables e_ijkh, each PDG edge gets
+// one continuous y_el per directed link with
+//
+//	uplink l:   y_el >= Σ_{k∈C(l)} n_ik − Σ_{k∈C(l)} n_jk
+//	downlink l: y_el >= Σ_{k∈C(l)} n_jk − Σ_{k∈C(l)} n_ik
+//
+// where C(l) is the set of GPUs below the link. y_el relaxes to exactly the
+// 0/1 "edge e crosses link l" indicator at integral n (the standard
+// linearization of the product terms in Eq. III.6/III.7, grouped per link),
+// and minimization drives it to its lower bound. Host I/O loads are linear
+// in n directly and need no products.
+func buildILP(p *Problem) (*ilp.Model, *ilpLayout) {
+	P := p.PDG.NumParts()
+	G := p.Topo.NumGPUs()
+	t := p.Topo
+	m := ilp.NewModel("gpu-mapping")
+
+	lay := &ilpLayout{P: P, G: G, yVar: map[[2]int]ilp.VarID{}, links: t.Links()}
+	base := make([]ilp.VarID, P*G)
+	for i := 0; i < P; i++ {
+		for k := 0; k < G; k++ {
+			base[i*G+k] = m.AddBinary(0, fmt.Sprintf("n_%d_%d", i, k))
+		}
+	}
+	lay.nVar = func(i, k int) ilp.VarID { return base[i*G+k] }
+	lay.tmax = m.AddVar(0, math.Inf(1), 1, "Tmax")
+
+	// GPU membership below each link.
+	lay.under = make([][]bool, t.NumLinks())
+	for _, l := range t.Links() {
+		row := make([]bool, G)
+		for k := 0; k < G; k++ {
+			// A GPU is "under" the link iff transfers from it to the host
+			// cross the uplink / from the host to it cross the downlink.
+			if l.Dir == topology.Up {
+				row[k] = t.Carries(l, k, topology.Host)
+			} else {
+				row[k] = t.Carries(l, topology.Host, k)
+			}
+		}
+		lay.under[l.ID] = row
+	}
+
+	// (III.5) each partition on exactly one GPU.
+	for i := 0; i < P; i++ {
+		terms := make([]ilp.Term, G)
+		for k := 0; k < G; k++ {
+			terms[k] = ilp.Term{Var: lay.nVar(i, k), Coef: 1}
+		}
+		m.AddConstr(terms, ilp.EQ, 1, fmt.Sprintf("assign_%d", i))
+	}
+
+	// (III.4)+(III.1) GPU busy time under Tmax.
+	for k := 0; k < G; k++ {
+		terms := make([]ilp.Term, 0, P+1)
+		for i := 0; i < P; i++ {
+			terms = append(terms, ilp.Term{Var: lay.nVar(i, k), Coef: p.PartTimeUS(i)})
+		}
+		terms = append(terms, ilp.Term{Var: lay.tmax, Coef: -1})
+		m.AddConstr(terms, ilp.LE, 0, fmt.Sprintf("gputime_%d", k))
+	}
+
+	// Crossing indicators per (edge, link).
+	for ei, e := range p.PDG.Edges {
+		for _, l := range t.Links() {
+			src, dst := e.From, e.To
+			// For uplinks the source side must be under l; downlinks mirror.
+			var pos, neg int
+			if l.Dir == topology.Up {
+				pos, neg = src, dst
+			} else {
+				pos, neg = dst, src
+			}
+			y := m.AddVar(0, 1, 0, fmt.Sprintf("y_%d_%d", ei, l.ID))
+			lay.yVar[[2]int{ei, l.ID}] = y
+			var terms []ilp.Term
+			for k := 0; k < G; k++ {
+				if lay.under[l.ID][k] {
+					terms = append(terms, ilp.Term{Var: lay.nVar(pos, k), Coef: 1})
+					terms = append(terms, ilp.Term{Var: lay.nVar(neg, k), Coef: -1})
+				}
+			}
+			terms = append(terms, ilp.Term{Var: y, Coef: -1})
+			m.AddConstr(terms, ilp.LE, 0, fmt.Sprintf("cross_%d_%d", ei, l.ID))
+		}
+	}
+
+	// (III.2)+(III.3)+(III.7) per-link communication time under Tmax:
+	// Lat + D_l/BW <= Tmax, with D_l = Σ_e y_el·D_e·B + host I/O terms.
+	B := float64(p.FragmentIters)
+	usPerByte := 1 / (t.BandwidthGBs * 1e3)
+	for _, l := range t.Links() {
+		var terms []ilp.Term
+		for ei, e := range p.PDG.Edges {
+			terms = append(terms, ilp.Term{
+				Var:  lay.yVar[[2]int{ei, l.ID}],
+				Coef: float64(e.Bytes) * B * usPerByte,
+			})
+		}
+		for i := 0; i < P; i++ {
+			for k := 0; k < G; k++ {
+				if !lay.under[l.ID][k] {
+					continue
+				}
+				var host float64
+				if l.Dir == topology.Up {
+					host = float64(p.PDG.HostOutBytes[i]) * B * usPerByte
+				} else {
+					host = float64(p.PDG.HostInBytes[i]) * B * usPerByte
+				}
+				if host > 0 {
+					terms = append(terms, ilp.Term{Var: lay.nVar(i, k), Coef: host})
+				}
+			}
+		}
+		terms = append(terms, ilp.Term{Var: lay.tmax, Coef: -1})
+		m.AddConstr(terms, ilp.LE, -t.LatencyUS, fmt.Sprintf("link_%d", l.ID))
+	}
+
+	return m, lay
+}
+
+// encode builds a full feasible ILP vector from a partition->GPU assignment.
+func (lay *ilpLayout) encode(m *ilp.Model, p *Problem, gpuOf []int) []float64 {
+	x := make([]float64, m.NumVars())
+	for i := 0; i < lay.P; i++ {
+		x[lay.nVar(i, gpuOf[i])] = 1
+	}
+	t := p.Topo
+	B := float64(p.FragmentIters)
+	loads := make([]float64, t.NumLinks())
+	for ei, e := range p.PDG.Edges {
+		for _, l := range t.Links() {
+			if t.Carries(l, gpuOf[e.From], gpuOf[e.To]) {
+				x[lay.yVar[[2]int{ei, l.ID}]] = 1
+				loads[l.ID] += float64(e.Bytes) * B
+			}
+		}
+	}
+	for i := 0; i < lay.P; i++ {
+		for _, l := range t.Links() {
+			if t.Carries(l, gpuOf[i], topology.Host) {
+				loads[l.ID] += float64(p.PDG.HostOutBytes[i]) * B
+			}
+			if t.Carries(l, topology.Host, gpuOf[i]) {
+				loads[l.ID] += float64(p.PDG.HostInBytes[i]) * B
+			}
+		}
+	}
+	tmax := 0.0
+	gpuT := make([]float64, lay.G)
+	for i := 0; i < lay.P; i++ {
+		gpuT[gpuOf[i]] += p.PartTimeUS(i)
+	}
+	for _, v := range gpuT {
+		tmax = math.Max(tmax, v)
+	}
+	for l := range loads {
+		tmax = math.Max(tmax, t.LatencyUS+loads[l]/(t.BandwidthGBs*1e3))
+	}
+	x[lay.tmax] = tmax
+	return x
+}
+
+// decode extracts the partition->GPU assignment from an ILP vector.
+func (lay *ilpLayout) decode(x []float64) []int {
+	gpuOf := make([]int, lay.P)
+	for i := 0; i < lay.P; i++ {
+		best, bestV := 0, -1.0
+		for k := 0; k < lay.G; k++ {
+			if v := x[lay.nVar(i, k)]; v > bestV {
+				best, bestV = k, v
+			}
+		}
+		gpuOf[i] = best
+	}
+	return gpuOf
+}
+
+// solveILP runs the exact solver seeded with the heuristic incumbent and a
+// rounding callback, then re-scores the winning assignment with the exact
+// evaluator.
+func solveILP(p *Problem, seed *Assignment, opts Options) (*Assignment, error) {
+	m, lay := buildILP(p)
+	sol := m.Solve(ilp.Options{
+		TimeBudget: opts.TimeBudget,
+		Incumbent:  lay.encode(m, p, seed.GPUOf),
+		Heuristic: func(x []float64) ([]float64, bool) {
+			return lay.encode(m, p, lay.decode(x)), true
+		},
+	})
+	switch sol.Status {
+	case ilp.Optimal, ilp.TimeLimit:
+		a := Evaluate(p, lay.decode(sol.X), "ilp")
+		return a, nil
+	default:
+		return nil, fmt.Errorf("mapping: ILP ended with status %v", sol.Status)
+	}
+}

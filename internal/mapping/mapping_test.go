@@ -1,0 +1,289 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"streammap/internal/pdg"
+	"streammap/internal/topology"
+)
+
+// synth builds a Problem over the 4-GPU paper topology.
+func synth(t *testing.T, work []float64, edges []pdg.Edge, hostIn, hostOut []int64, gpus int) *Problem {
+	t.Helper()
+	g, err := pdg.Synthetic(work, edges, hostIn, hostOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Problem{
+		PDG:           g,
+		Topo:          topology.PairedTree(gpus),
+		FragmentIters: 1,
+		LaunchUS:      0,
+	}
+}
+
+// bruteForce enumerates every assignment and returns the best exact
+// objective.
+func bruteForce(p *Problem) (float64, []int) {
+	n := p.PDG.NumParts()
+	g := p.Topo.NumGPUs()
+	gpuOf := make([]int, n)
+	best := math.Inf(1)
+	var bestA []int
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			if obj := Evaluate(p, gpuOf, "bf").Objective; obj < best {
+				best = obj
+				bestA = append([]int(nil), gpuOf...)
+			}
+			return
+		}
+		for k := 0; k < g; k++ {
+			gpuOf[i] = k
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best, bestA
+}
+
+func TestEvaluateHandComputed(t *testing.T) {
+	// One partition, one GPU: objective = max(work, host-in link, host-out link).
+	p := synth(t, []float64{100}, nil, []int64{80000}, []int64{80000}, 1)
+	a := Evaluate(p, []int{0}, "test")
+	// Host link time: 10us latency + 80000B / (8GB/s = 8000 B/us) = 20us.
+	if math.Abs(a.Objective-100) > 1e-9 {
+		t.Errorf("objective = %v, want 100 (compute bound)", a.Objective)
+	}
+	var loaded int
+	for _, l := range a.LinkLoads {
+		if l > 0 {
+			loaded++
+		}
+	}
+	// gpu0 is 3 hops from host in PairedTree(1): 3 uplinks + 3 downlinks loaded.
+	if loaded != 6 {
+		t.Errorf("loaded links = %d, want 6", loaded)
+	}
+	for i, lt := range a.LinkTimes {
+		if a.LinkLoads[i] > 0 && math.Abs(lt-20) > 1e-9 {
+			t.Errorf("link %d time = %v, want 20", i, lt)
+		}
+	}
+}
+
+func TestEvaluateCommBound(t *testing.T) {
+	// Two partitions chained with a huge edge: on different GPUs the link
+	// dominates; on the same GPU compute adds up.
+	work := []float64{50, 50}
+	edges := []pdg.Edge{{From: 0, To: 1, Bytes: 4_000_000}} // 500us at 8GB/s
+	p := synth(t, work, edges, nil, nil, 2)
+	same := Evaluate(p, []int{0, 0}, "t")
+	diff := Evaluate(p, []int{0, 1}, "t")
+	if math.Abs(same.Objective-100) > 1e-9 {
+		t.Errorf("same-GPU objective = %v, want 100", same.Objective)
+	}
+	if diff.Objective < 500 {
+		t.Errorf("split objective = %v, want >= 500 (comm bound)", diff.Objective)
+	}
+}
+
+func TestSingleGPUTrivial(t *testing.T) {
+	p := synth(t, []float64{10, 20, 30}, nil, nil, nil, 1)
+	a, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range a.GPUOf {
+		if g != 0 {
+			t.Errorf("partition on GPU %d in a 1-GPU machine", g)
+		}
+	}
+	if math.Abs(a.Objective-60) > 1e-9 {
+		t.Errorf("objective = %v, want 60", a.Objective)
+	}
+}
+
+func TestSolveBalancesIndependentWork(t *testing.T) {
+	// Four equal independent heavy partitions on 4 GPUs: perfect split.
+	p := synth(t, []float64{1000, 1000, 1000, 1000}, nil, nil, nil, 4)
+	a, err := Solve(p, Options{ForceILP: true, TimeBudget: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int]bool{}
+	for _, g := range a.GPUOf {
+		used[g] = true
+	}
+	if len(used) != 4 {
+		t.Errorf("assignment %v uses %d GPUs, want 4", a.GPUOf, len(used))
+	}
+	if math.Abs(a.Objective-1000) > 1e-6 {
+		t.Errorf("objective = %v, want 1000", a.Objective)
+	}
+}
+
+func TestSolveCommunicationAware(t *testing.T) {
+	// Two tightly-coupled pairs: (0,1) and (2,3) exchange lots of data;
+	// cross traffic is free. The optimal mapping co-locates each pair.
+	work := []float64{400, 400, 400, 400}
+	edges := []pdg.Edge{
+		{From: 0, To: 1, Bytes: 8_000_000}, // 1000us if split
+		{From: 2, To: 3, Bytes: 8_000_000},
+	}
+	p := synth(t, work, edges, nil, nil, 2)
+	a, err := Solve(p, Options{ForceILP: true, TimeBudget: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GPUOf[0] != a.GPUOf[1] || a.GPUOf[2] != a.GPUOf[3] || a.GPUOf[0] == a.GPUOf[2] {
+		t.Errorf("assignment %v should co-locate pairs on distinct GPUs", a.GPUOf)
+	}
+	if math.Abs(a.Objective-800) > 1e-6 {
+		t.Errorf("objective = %v, want 800", a.Objective)
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	// Mixed instance with work and communication, 2 GPUs, 5 partitions.
+	work := []float64{300, 120, 450, 80, 200}
+	edges := []pdg.Edge{
+		{From: 0, To: 1, Bytes: 400_000},
+		{From: 1, To: 2, Bytes: 1_200_000},
+		{From: 2, To: 3, Bytes: 300_000},
+		{From: 3, To: 4, Bytes: 2_000_000},
+	}
+	p := synth(t, work, edges, []int64{100_000, 0, 0, 0, 0}, []int64{0, 0, 0, 0, 150_000}, 2)
+	want, _ := bruteForce(p)
+	a, err := Solve(p, Options{ForceILP: true, TimeBudget: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objective > want*1.02+1e-6 {
+		t.Errorf("solve objective %v exceeds brute-force optimum %v", a.Objective, want)
+	}
+}
+
+func TestLocalSearchNotWorseThanGreedy(t *testing.T) {
+	work := []float64{10, 500, 30, 250, 90, 120, 60}
+	edges := []pdg.Edge{
+		{From: 0, To: 1, Bytes: 900_000},
+		{From: 1, To: 2, Bytes: 900_000},
+		{From: 2, To: 3, Bytes: 50_000},
+		{From: 3, To: 4, Bytes: 700_000},
+		{From: 4, To: 5, Bytes: 100_000},
+		{From: 5, To: 6, Bytes: 800_000},
+	}
+	p := synth(t, work, edges, nil, nil, 4)
+	g := Greedy(p)
+	l := LocalSearch(p)
+	if l.Objective > g.Objective+1e-9 {
+		t.Errorf("local search %v worse than greedy %v", l.Objective, g.Objective)
+	}
+}
+
+func TestPrevWorkStagesThroughHost(t *testing.T) {
+	work := []float64{100, 100}
+	edges := []pdg.Edge{{From: 0, To: 1, Bytes: 1_000_000}}
+	p := synth(t, work, edges, nil, nil, 2)
+	a := PrevWork(p)
+	if a.GPUOf[0] == a.GPUOf[1] {
+		t.Skip("prevwork chose co-location; nothing to check")
+	}
+	// Via-host: the downlink into the destination GPU's subtree from host
+	// must carry load. With peer-to-peer between siblings it would not pass
+	// through the root; via host it must traverse the SW1 uplink+downlink.
+	tr := p.Topo
+	var rootUp int
+	found := false
+	for _, l := range tr.Links() {
+		if tr.LinkName(l.ID) == "SW1->host" && l.Dir == topology.Up {
+			rootUp = l.ID
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("root uplink not found")
+	}
+	if a.LinkLoads[rootUp] == 0 {
+		t.Errorf("via-host transfer did not load the root uplink")
+	}
+}
+
+func TestPeerToPeerAvoidsHostLinks(t *testing.T) {
+	work := []float64{100, 100}
+	edges := []pdg.Edge{{From: 0, To: 1, Bytes: 1_000_000}}
+	p := synth(t, work, edges, nil, nil, 2)
+	a := Evaluate(p, []int{0, 1}, "p2p")
+	tr := p.Topo
+	for _, l := range tr.Links() {
+		name := tr.LinkName(l.ID)
+		if (name == "SW1->host" || name == "host->SW1") && a.LinkLoads[l.ID] > 0 {
+			t.Errorf("p2p sibling transfer loaded host link %s", name)
+		}
+	}
+}
+
+// Property: Solve never returns a worse objective than plain greedy, and
+// always returns a complete assignment.
+func TestSolveQuality(t *testing.T) {
+	f := func(raw [6]uint16, conn [5]uint16) bool {
+		work := make([]float64, 6)
+		for i, r := range raw {
+			work[i] = float64(r%2000) + 1
+		}
+		var edges []pdg.Edge
+		for i, c := range conn {
+			edges = append(edges, pdg.Edge{From: i, To: i + 1, Bytes: int64(c) * 1000})
+		}
+		g, err := pdg.Synthetic(work, edges, nil, nil)
+		if err != nil {
+			return false
+		}
+		p := &Problem{PDG: g, Topo: topology.PairedTree(3), FragmentIters: 2, LaunchUS: 5}
+		a, err := Solve(p, Options{TimeBudget: 2 * time.Second})
+		if err != nil {
+			return false
+		}
+		if len(a.GPUOf) != 6 {
+			return false
+		}
+		for _, k := range a.GPUOf {
+			if k < 0 || k >= 3 {
+				return false
+			}
+		}
+		return a.Objective <= Greedy(p).Objective+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the ILP encoding of any complete assignment is feasible in the
+// model.
+func TestEncodeFeasibleQuick(t *testing.T) {
+	work := []float64{100, 250, 60, 300}
+	edges := []pdg.Edge{
+		{From: 0, To: 1, Bytes: 500_000},
+		{From: 1, To: 2, Bytes: 200_000},
+		{From: 2, To: 3, Bytes: 800_000},
+	}
+	g, err := pdg.Synthetic(work, edges, []int64{90_000, 0, 0, 0}, []int64{0, 0, 0, 40_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Problem{PDG: g, Topo: topology.FourGPUTree(), FragmentIters: 3, LaunchUS: 2}
+	m, lay := buildILP(p)
+	f := func(a, b, c, d uint8) bool {
+		gpuOf := []int{int(a) % 4, int(b) % 4, int(c) % 4, int(d) % 4}
+		return m.Feasible(lay.encode(m, p, gpuOf))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

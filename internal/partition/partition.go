@@ -1,0 +1,568 @@
+// Package partition implements the paper's four-phase partitioning heuristic
+// (Algorithm 1) and the previous work's SM-only partitioner used as a
+// baseline.
+//
+// A partition is a convex, connected set of stream-graph nodes that will
+// become one GPU kernel. Try-Merge accepts a merge only when (i) the two
+// sides are connected, (ii) the union is convex, and (iii) the performance
+// estimation engine expects the merged kernel to run faster than the two
+// kernels separately — which implicitly enforces the shared-memory size
+// constraint, since an unschedulable merge has no estimate at all.
+//
+// Because partitions may execute at different steady-state granularities
+// (subgraph repetition vectors are gcd-normalized), all comparisons use the
+// workload per *parent-graph* iteration: TW(p) = T(p) · Scale(p). For
+// equal-granularity partitions this is exactly the paper's T comparison.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"streammap/internal/pee"
+	"streammap/internal/sdf"
+)
+
+// Partition is one selected kernel-to-be.
+type Partition struct {
+	Set sdf.NodeSet
+	Sub *sdf.Subgraph
+	Est *pee.Estimate
+}
+
+// TWus is the partition's estimated execution time per parent-graph
+// steady-state iteration, in microseconds.
+func (p *Partition) TWus() float64 { return p.Est.TUS * float64(p.Sub.Scale) }
+
+// ComputeBound reports the compute/IO classification driving phase 3.
+func (p *Partition) ComputeBound() bool { return p.Est.ComputeBound() }
+
+// Result is the partitioner's output.
+type Result struct {
+	Graph *sdf.Graph
+	Parts []*Partition
+
+	// Phase trace for reporting: partition counts after each phase.
+	CountAfterPhase [5]int
+}
+
+// TotalTWus sums the per-iteration workload of all partitions (the quantity
+// Algorithm 1 greedily minimizes).
+func (r *Result) TotalTWus() float64 {
+	var t float64
+	for _, p := range r.Parts {
+		t += p.TWus()
+	}
+	return t
+}
+
+type partitioner struct {
+	g   *sdf.Graph
+	eng *pee.Engine
+
+	parts    []*Partition // live partitions (nil holes compacted lazily)
+	assigned []int        // node -> index into parts, -1 if none
+}
+
+// Run executes Algorithm 1 over the profiled graph.
+func Run(g *sdf.Graph, eng *pee.Engine) (*Result, error) {
+	p := &partitioner{g: g, eng: eng, assigned: make([]int, g.NumNodes())}
+	for i := range p.assigned {
+		p.assigned[i] = -1
+	}
+	res := &Result{Graph: g}
+
+	if err := p.phase0SCC(); err != nil {
+		return nil, err
+	}
+	res.CountAfterPhase[0] = len(p.compact())
+	if err := p.phase1Pipelines(); err != nil {
+		return nil, err
+	}
+	res.CountAfterPhase[1] = len(p.compact())
+	if err := p.phase2Remaining(); err != nil {
+		return nil, err
+	}
+	res.CountAfterPhase[2] = len(p.compact())
+	if err := p.phase3BoundMerging(); err != nil {
+		return nil, err
+	}
+	res.CountAfterPhase[3] = len(p.compact())
+	if err := p.phase4Simultaneous(); err != nil {
+		return nil, err
+	}
+	res.Parts = p.compact()
+	res.CountAfterPhase[4] = len(res.Parts)
+
+	if err := validate(g, res.Parts); err != nil {
+		return nil, err
+	}
+	sortParts(g, res.Parts)
+	return res, nil
+}
+
+// makePartition estimates a node set and wraps it; infeasible sets return an
+// error.
+func (p *partitioner) makePartition(set sdf.NodeSet) (*Partition, error) {
+	est, err := p.eng.EstimateSet(set)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := p.g.Extract(set)
+	if err != nil {
+		return nil, err
+	}
+	return &Partition{Set: set, Sub: sub, Est: est}, nil
+}
+
+// tryMergeSets evaluates the merge criterion on a candidate union given the
+// combined TW of its constituents. It returns the merged partition when the
+// merge is profitable, nil otherwise.
+func (p *partitioner) tryMergeSets(union sdf.NodeSet, combinedTW float64) *Partition {
+	if !p.g.IsConvex(union) {
+		return nil
+	}
+	est, err := p.eng.EstimateSet(union)
+	if err != nil {
+		return nil // SM violation or unschedulable: merge rejected
+	}
+	sub, err := p.g.Extract(union)
+	if err != nil {
+		return nil
+	}
+	m := &Partition{Set: union, Sub: sub, Est: est}
+	if m.TWus() >= combinedTW {
+		return nil
+	}
+	return m
+}
+
+// connected reports whether an edge links the two sets.
+func (p *partitioner) connected(a, b sdf.NodeSet) bool {
+	for _, e := range p.g.Edges {
+		if (a.Has(e.Src) && b.Has(e.Dst)) || (b.Has(e.Src) && a.Has(e.Dst)) {
+			return true
+		}
+	}
+	return false
+}
+
+// install replaces the partitions at the given indices with the merged one.
+func (p *partitioner) install(merged *Partition, victims ...int) int {
+	for _, v := range victims {
+		p.parts[v] = nil
+	}
+	p.parts = append(p.parts, merged)
+	idx := len(p.parts) - 1
+	for _, n := range merged.Set.Members() {
+		p.assigned[n] = idx
+	}
+	return idx
+}
+
+// addSingleton creates a partition for one unassigned node.
+func (p *partitioner) addSingleton(id sdf.NodeID) (int, error) {
+	part, err := p.makePartition(sdf.SingletonSet(p.g.NumNodes(), id))
+	if err != nil {
+		return -1, fmt.Errorf("partition: node %d (%s) does not fit on the device alone: %w",
+			id, p.g.Nodes[id].Filter.Name, err)
+	}
+	p.parts = append(p.parts, part)
+	idx := len(p.parts) - 1
+	p.assigned[id] = idx
+	return idx, nil
+}
+
+// compact returns the live partitions.
+func (p *partitioner) compact() []*Partition {
+	var out []*Partition
+	for _, pt := range p.parts {
+		if pt != nil {
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// phase0SCC collapses every non-trivial strongly connected component
+// (feedback loop) into an atomic partition; the quotient of convex
+// partitions must be acyclic for pipelined execution.
+func (p *partitioner) phase0SCC() error {
+	for _, scc := range stronglyConnected(p.g) {
+		if len(scc) < 2 {
+			continue
+		}
+		set := sdf.NewNodeSet(p.g.NumNodes())
+		for _, id := range scc {
+			set.Add(id)
+		}
+		part, err := p.makePartition(set)
+		if err != nil {
+			return fmt.Errorf("partition: feedback loop %v does not fit in shared memory: %w", set, err)
+		}
+		p.install(part)
+	}
+	return nil
+}
+
+// phase1Pipelines merges filters within each innermost pipeline: grow a
+// window from the head; on the first failed merge, restart a fresh window at
+// the failing node (Algorithm 1 lines 2-10).
+func (p *partitioner) phase1Pipelines() error {
+	for _, chain := range p.pipelineChains() {
+		i := 0
+		for i < len(chain) {
+			if p.assigned[chain[i]] != -1 {
+				i++
+				continue
+			}
+			cur, err := p.addSingleton(chain[i])
+			if err != nil {
+				return err
+			}
+			j := i + 1
+			for j < len(chain) && p.assigned[chain[j]] == -1 {
+				curP := p.parts[cur]
+				single, err := p.makePartition(sdf.SingletonSet(p.g.NumNodes(), chain[j]))
+				if err != nil {
+					return err
+				}
+				union := curP.Set.Clone()
+				union.Add(chain[j])
+				merged := p.tryMergeSets(union, curP.TWus()+single.TWus())
+				if merged == nil {
+					break
+				}
+				cur = p.install(merged, cur)
+				j++
+			}
+			i = j
+		}
+	}
+	return nil
+}
+
+// pipelineChains groups nodes by innermost pipeline, ordered topologically
+// along the chain.
+func (p *partitioner) pipelineChains() [][]sdf.NodeID {
+	order, err := p.g.TopoOrder()
+	if err != nil {
+		// Cyclic graphs: SCC phase already handled loops; order remaining by id.
+		order = nil
+		for _, n := range p.g.Nodes {
+			order = append(order, n.ID)
+		}
+	}
+	pos := make(map[sdf.NodeID]int, len(order))
+	for i, id := range order {
+		pos[id] = i
+	}
+	byPipe := map[int][]sdf.NodeID{}
+	for _, n := range p.g.Nodes {
+		if n.Pipe >= 0 {
+			byPipe[n.Pipe] = append(byPipe[n.Pipe], n.ID)
+		}
+	}
+	pipes := make([]int, 0, len(byPipe))
+	for id := range byPipe {
+		pipes = append(pipes, id)
+	}
+	sort.Ints(pipes)
+	var out [][]sdf.NodeID
+	for _, id := range pipes {
+		chain := byPipe[id]
+		sort.Slice(chain, func(a, b int) bool { return pos[chain[a]] < pos[chain[b]] })
+		out = append(out, chain)
+	}
+	return out
+}
+
+// phase2Remaining merges the nodes outside pipelines (splitters, joiners,
+// bare filters), Algorithm 1 lines 13-20.
+func (p *partitioner) phase2Remaining() error {
+	for _, n := range p.g.Nodes {
+		if p.assigned[n.ID] != -1 {
+			continue
+		}
+		cur, err := p.addSingleton(n.ID)
+		if err != nil {
+			return err
+		}
+		for {
+			mergedAny := false
+			curP := p.parts[cur]
+			for _, k := range p.unassignedNeighbors(curP.Set) {
+				single, err := p.makePartition(sdf.SingletonSet(p.g.NumNodes(), k))
+				if err != nil {
+					return err
+				}
+				union := p.parts[cur].Set.Clone()
+				union.Add(k)
+				if merged := p.tryMergeSets(union, p.parts[cur].TWus()+single.TWus()); merged != nil {
+					cur = p.install(merged, cur)
+					mergedAny = true
+				}
+			}
+			if !mergedAny {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+func (p *partitioner) unassignedNeighbors(set sdf.NodeSet) []sdf.NodeID {
+	seen := map[sdf.NodeID]bool{}
+	var out []sdf.NodeID
+	for _, m := range set.Members() {
+		for _, v := range append(p.g.Succ(m), p.g.Pred(m)...) {
+			if !set.Has(v) && p.assigned[v] == -1 && !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// phase3BoundMerging merges whole partitions in three rounds with the
+// IO-bound-first priority of Algorithm 1 lines 23-31.
+func (p *partitioner) phase3BoundMerging() error {
+	type roundSpec struct{ candIO, partnerIO bool } // restrict to IO-bound lists?
+	rounds := []roundSpec{
+		{candIO: true, partnerIO: true},   // within L1
+		{candIO: true, partnerIO: false},  // L1 against L1 ∪ L2
+		{candIO: false, partnerIO: false}, // everything
+	}
+	for _, spec := range rounds {
+		for {
+			mergedAny := false
+			cands := p.liveIndices(func(pt *Partition) bool {
+				return !spec.candIO || !pt.ComputeBound()
+			})
+			// Ascending execution time: smaller workloads merge first.
+			sort.Slice(cands, func(a, b int) bool {
+				return p.parts[cands[a]].TWus() < p.parts[cands[b]].TWus()
+			})
+			for _, ci := range cands {
+				if p.parts[ci] == nil {
+					continue
+				}
+				partners := p.liveIndices(func(pt *Partition) bool {
+					return !spec.partnerIO || !pt.ComputeBound()
+				})
+				sort.Slice(partners, func(a, b int) bool {
+					return p.parts[partners[a]].TWus() < p.parts[partners[b]].TWus()
+				})
+				for _, pi := range partners {
+					if pi == ci || p.parts[pi] == nil || p.parts[ci] == nil {
+						continue
+					}
+					a, b := p.parts[ci], p.parts[pi]
+					if !p.connected(a.Set, b.Set) {
+						continue
+					}
+					if merged := p.tryMergeSets(a.Set.Union(b.Set), a.TWus()+b.TWus()); merged != nil {
+						p.install(merged, ci, pi)
+						mergedAny = true
+						break
+					}
+				}
+				if mergedAny {
+					break // restart scan with updated lists, as in the paper
+				}
+			}
+			if !mergedAny {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+func (p *partitioner) liveIndices(keep func(*Partition) bool) []int {
+	var out []int
+	for i, pt := range p.parts {
+		if pt != nil && keep(pt) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// phase4Simultaneous attempts (1) three-way merges — a partition plus two of
+// its neighbours at once, which can pay off even when no pairwise merge does
+// — and (2) the all-nodes single partition, guaranteeing the multi-partition
+// result is never worse than single-partition mapping (Algorithm 1 lines
+// 33-35).
+func (p *partitioner) phase4Simultaneous() error {
+	for {
+		mergedAny := false
+		live := p.liveIndices(func(*Partition) bool { return true })
+		for _, ci := range live {
+			if p.parts[ci] == nil {
+				continue
+			}
+			neigh := p.neighborPartitions(ci)
+			for x := 0; x < len(neigh) && !mergedAny; x++ {
+				for y := x + 1; y < len(neigh); y++ {
+					qi, ri := neigh[x], neigh[y]
+					if p.parts[qi] == nil || p.parts[ri] == nil || p.parts[ci] == nil {
+						continue
+					}
+					a, b, c := p.parts[ci], p.parts[qi], p.parts[ri]
+					union := a.Set.Union(b.Set).Union(c.Set)
+					if merged := p.tryMergeSets(union, a.TWus()+b.TWus()+c.TWus()); merged != nil {
+						p.install(merged, ci, qi, ri)
+						mergedAny = true
+						break
+					}
+				}
+			}
+			if mergedAny {
+				break
+			}
+		}
+		if !mergedAny {
+			break
+		}
+	}
+
+	// (2) all nodes at once.
+	live := p.compact()
+	if len(live) > 1 {
+		all := sdf.NewNodeSet(p.g.NumNodes())
+		for _, n := range p.g.Nodes {
+			all.Add(n.ID)
+		}
+		var combined float64
+		for _, pt := range live {
+			combined += pt.TWus()
+		}
+		if merged := p.tryMergeSets(all, combined); merged != nil {
+			idxs := p.liveIndices(func(*Partition) bool { return true })
+			p.install(merged, idxs...)
+		}
+	}
+	return nil
+}
+
+// neighborPartitions returns indices of partitions adjacent to parts[ci].
+func (p *partitioner) neighborPartitions(ci int) []int {
+	seen := map[int]bool{}
+	var out []int
+	set := p.parts[ci].Set
+	for _, m := range set.Members() {
+		for _, v := range append(p.g.Succ(m), p.g.Pred(m)...) {
+			if set.Has(v) {
+				continue
+			}
+			if idx := p.assigned[v]; idx >= 0 && idx != ci && !seen[idx] && p.parts[idx] != nil {
+				seen[idx] = true
+				out = append(out, idx)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// validate checks the partitioning invariants: exact cover, convexity,
+// connectivity.
+func validate(g *sdf.Graph, parts []*Partition) error {
+	covered := sdf.NewNodeSet(g.NumNodes())
+	for _, p := range parts {
+		for _, m := range p.Set.Members() {
+			if covered.Has(m) {
+				return fmt.Errorf("partition: node %d in two partitions", m)
+			}
+			covered.Add(m)
+		}
+		if !g.IsConvex(p.Set) {
+			return fmt.Errorf("partition: %v not convex", p.Set)
+		}
+		if !g.IsConnected(p.Set) {
+			return fmt.Errorf("partition: %v not connected", p.Set)
+		}
+	}
+	if covered.Len() != g.NumNodes() {
+		return fmt.Errorf("partition: %d of %d nodes covered", covered.Len(), g.NumNodes())
+	}
+	return nil
+}
+
+// sortParts orders partitions topologically by their earliest node in a
+// parent topological order, for stable downstream numbering.
+func sortParts(g *sdf.Graph, parts []*Partition) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return
+	}
+	pos := make(map[sdf.NodeID]int, len(order))
+	for i, id := range order {
+		pos[id] = i
+	}
+	first := func(p *Partition) int {
+		best := len(order)
+		for _, m := range p.Set.Members() {
+			if pos[m] < best {
+				best = pos[m]
+			}
+		}
+		return best
+	}
+	sort.SliceStable(parts, func(a, b int) bool { return first(parts[a]) < first(parts[b]) })
+}
+
+// stronglyConnected returns Tarjan's SCCs of the graph.
+func stronglyConnected(g *sdf.Graph) [][]sdf.NodeID {
+	n := g.NumNodes()
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []sdf.NodeID
+	var out [][]sdf.NodeID
+	next := 0
+
+	var strong func(v sdf.NodeID)
+	strong = func(v sdf.NodeID) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.Succ(v) {
+			if index[w] == -1 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []sdf.NodeID
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, scc)
+		}
+	}
+	for _, nd := range g.Nodes {
+		if index[nd.ID] == -1 {
+			strong(nd.ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,318 @@
+// Package pee implements the paper's GPU Performance Estimation Engine
+// (§3.3): given any subgraph of a stream graph, it selects the kernel
+// parameters — S compute threads per execution, W concurrent executions per
+// SM, F data-transfer threads — and statically predicts the kernel's
+// execution time with the model
+//
+//	Texec = max(Tcomp, Tdt) + Tdb            (III.8)
+//	Tcomp = Σ_i t_i / min(f_i, S)            (III.9)
+//	Tdt   = C1 · D / F                       (III.10)
+//	Tdb   = C2 · D / (F + W·S)               (III.11)
+//	T     = Texec / W                        (III.12)
+//
+// where t_i is the profiled single-thread time of one steady-state iteration
+// of filter i, f_i its firing rate within the subgraph, and D the kernel's
+// I/O traffic (all W executions).
+//
+// The same parameter selection is reused verbatim by the code generator, so
+// there is no "static discrepancy" between what the estimator scores and
+// what is generated — a point the paper calls essential for accuracy.
+package pee
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"streammap/internal/gpu"
+	"streammap/internal/sdf"
+	"streammap/internal/smreq"
+)
+
+// Paper regression constants (§4.0.1). The device model constants in
+// package gpu are chosen so that these are also the exact values of our
+// simulated hardware; Calibrate recovers them from profiled samples.
+const (
+	DefaultC1 = 38.4 // cycles per byte per DT thread
+	DefaultC2 = 11.2 // cycles per byte per swapping thread
+)
+
+// ErrInfeasible is returned when a subgraph cannot fit one execution in
+// shared memory even with the minimal parameters.
+var ErrInfeasible = errors.New("pee: subgraph exceeds shared memory for any parameter choice")
+
+// Profile carries the per-filter profiling annotation of §3.3.1: the number
+// of GPU cycles one firing of each node costs when run by a single thread
+// (prefetching suppressed). t_i of the model is PerFiringCycles[i] times the
+// node's firing rate in the subgraph under estimation.
+type Profile struct {
+	Device          gpu.Device
+	C1, C2          float64
+	PerFiringCycles []float64 // indexed by parent-graph node id
+}
+
+// ProfileGraph profiles every filter of g for the device: the annotation
+// step that runs each filter as a single-thread kernel. The cost law is the
+// same one the simulator charges, which is exactly the paper's situation —
+// profiling measures the target hardware.
+func ProfileGraph(g *sdf.Graph, d gpu.Device) *Profile {
+	// The regression constants are device facts: cycles per byte per DT
+	// thread (C1) and per swapping thread (C2). On M2090 they are exactly
+	// the paper's 38.4 and 11.2.
+	p := &Profile{Device: d,
+		C1:              d.GMCyclesPerTokenPerF / sdf.TokenBytes,
+		C2:              d.SwapCyclesPerToken / sdf.TokenBytes,
+		PerFiringCycles: make([]float64, g.NumNodes())}
+	for _, n := range g.Nodes {
+		p.PerFiringCycles[n.ID] = FiringCycles(d, n.Filter)
+	}
+	return p
+}
+
+// FiringCycles is the shared compute-cost law: cycles for one firing of a
+// filter by one thread (fixed overhead + arithmetic + shared-memory moves).
+// Zero-copy filters (splitter/joiner elimination, Chapter V) degenerate to
+// the index-adjustment overhead alone.
+func FiringCycles(d gpu.Device, f *sdf.Filter) float64 {
+	if f.ZeroCopy {
+		return d.FiringOverhead
+	}
+	tokens := 0
+	for _, in := range f.Inputs {
+		tokens += in.Peek
+	}
+	for _, push := range f.Outputs {
+		tokens += push
+	}
+	return d.FiringOverhead + float64(f.Ops)*d.CyclesPerOp + float64(tokens)*d.SMCyclesPerToken
+}
+
+// Params are the kernel parameters the estimator selects (§3.3.1).
+type Params struct {
+	S int // compute threads per execution
+	W int // executions per SM
+	F int // data transfer threads
+}
+
+// Estimate is the engine's verdict for one subgraph.
+type Estimate struct {
+	Params  Params
+	SMBytes int64 // shared-memory bytes per execution (allocator peak)
+	DBytes  int64 // I/O bytes per execution
+
+	TcompUS float64 // per-kernel compute time (independent of W, see III.9)
+	TdtUS   float64 // per-kernel data-transfer time (all W executions)
+	TdbUS   float64 // buffer-swap time
+	TexecUS float64 // max(Tcomp,Tdt)+Tdb
+	TUS     float64 // normalized per-execution time Texec/W
+
+	LaunchUS float64 // fixed per-kernel-invocation cost (not in TUS)
+}
+
+// ComputeBound reports whether the partition's compute time dominates its
+// data-transfer time (the classification driving partitioning phase 3).
+func (e *Estimate) ComputeBound() bool { return e.TcompUS >= e.TdtUS }
+
+// Engine estimates subgraphs against one profile, memoizing by node set.
+type Engine struct {
+	Graph   *sdf.Graph
+	Prof    *Profile
+	memo    map[string]*memoEntry
+	queries int
+	misses  int
+}
+
+type memoEntry struct {
+	est *Estimate
+	err error
+}
+
+// NewEngine returns an estimation engine for the profiled graph.
+func NewEngine(g *sdf.Graph, prof *Profile) *Engine {
+	return &Engine{Graph: g, Prof: prof, memo: map[string]*memoEntry{}}
+}
+
+// Stats returns (queries, cache misses) for instrumentation.
+func (e *Engine) Stats() (int, int) { return e.queries, e.misses }
+
+// EstimateSet estimates the partition given as a node set of the parent
+// graph.
+func (e *Engine) EstimateSet(set sdf.NodeSet) (*Estimate, error) {
+	e.queries++
+	key := set.Key()
+	if m, ok := e.memo[key]; ok {
+		return m.est, m.err
+	}
+	e.misses++
+	sub, err := e.Graph.Extract(set)
+	if err != nil {
+		e.memo[key] = &memoEntry{nil, err}
+		return nil, err
+	}
+	est, err := EstimateSubgraph(sub, e.Prof)
+	e.memo[key] = &memoEntry{est, err}
+	return est, err
+}
+
+// EstimateSubgraph runs parameter selection and the performance model for
+// one subgraph.
+func EstimateSubgraph(s *sdf.Subgraph, prof *Profile) (*Estimate, error) {
+	d := prof.Device
+	lay, err := smreq.Analyze(s)
+	if err != nil {
+		return nil, err
+	}
+	smBytes := lay.PeakBytes
+	dBytes := s.IOBytesPerIteration()
+
+	maxW := int(d.SharedMemPerSM / smBytes)
+	if maxW < 1 {
+		return nil, fmt.Errorf("%w: need %d bytes, have %d", ErrInfeasible, smBytes, d.SharedMemPerSM)
+	}
+
+	// t_i in cycles and candidate S values: Tcomp only changes at distinct
+	// firing rates; warp multiples additionally help Tdb.
+	type nodeCost struct {
+		cycles float64 // t_i = f_i * perFiring
+		f      int64
+	}
+	costs := make([]nodeCost, 0, s.Sub.NumNodes())
+	candS := map[int]bool{1: true}
+	for _, n := range s.Sub.Nodes {
+		f := s.Sub.Rep(n.ID)
+		parent := s.NodeOf[n.ID]
+		costs = append(costs, nodeCost{
+			cycles: float64(f) * prof.PerFiringCycles[parent],
+			f:      f,
+		})
+		if f < int64(d.MaxThreadsPerBlock) {
+			candS[int(f)] = true
+		} else {
+			candS[d.MaxThreadsPerBlock-d.WarpSize] = true
+		}
+	}
+	for s := d.WarpSize; s <= d.MaxThreadsPerBlock/2; s *= 2 {
+		candS[s] = true
+	}
+	sVals := make([]int, 0, len(candS))
+	for v := range candS {
+		if v >= 1 && v < d.MaxThreadsPerBlock {
+			sVals = append(sVals, v)
+		}
+	}
+	sort.Ints(sVals)
+
+	tcomp := func(S int) float64 {
+		var c float64
+		for _, nc := range costs {
+			par := nc.f
+			if int64(S) < par {
+				par = int64(S)
+			}
+			c += nc.cycles / float64(par)
+		}
+		return c
+	}
+
+	best := Estimate{TUS: -1}
+	bestCycles := -1.0
+	for _, S := range sVals {
+		tc := tcomp(S)
+		for W := 1; W <= maxW; W++ {
+			if W*S >= d.MaxThreadsPerBlock {
+				break
+			}
+			maxF := d.MaxThreadsPerBlock - W*S
+			for F := d.WarpSize; F <= maxF; F += d.WarpSize {
+				D := float64(dBytes) * float64(W)
+				tdt := prof.C1 * D / float64(F)
+				tdb := prof.C2 * D / float64(F+W*S)
+				texec := tc
+				if tdt > texec {
+					texec = tdt
+				}
+				texec += tdb
+				t := texec / float64(W)
+				if bestCycles < 0 || t < bestCycles {
+					bestCycles = t
+					best = Estimate{
+						Params:  Params{S: S, W: W, F: F},
+						SMBytes: smBytes,
+						DBytes:  dBytes,
+						TcompUS: d.CyclesToUS(tc),
+						TdtUS:   d.CyclesToUS(tdt),
+						TdbUS:   d.CyclesToUS(tdb),
+						TexecUS: d.CyclesToUS(texec),
+						TUS:     d.CyclesToUS(t),
+					}
+				}
+			}
+		}
+	}
+	if bestCycles < 0 {
+		return nil, fmt.Errorf("%w: no feasible thread configuration", ErrInfeasible)
+	}
+	best.LaunchUS = d.KernelLaunchUS
+	return &best, nil
+}
+
+// Sample is one calibration observation: a kernel run with known parameters
+// and measured transfer/swap times (µs).
+type Sample struct {
+	DBytes    int64 // total kernel I/O bytes (all W executions)
+	Params    Params
+	MeasDtUS  float64
+	MeasDbUS  float64
+	DeviceMHz float64
+}
+
+// Calibrate fits C1 and C2 by least squares through the origin, exactly the
+// paper's linear-regression procedure over profiled data (§4.0.1):
+// Tdt ≈ C1·D/F and Tdb ≈ C2·D/(F+W·S), with times converted to cycles.
+func Calibrate(samples []Sample) (c1, c2 float64, err error) {
+	if len(samples) == 0 {
+		return 0, 0, errors.New("pee: Calibrate: no samples")
+	}
+	var sxx1, sxy1, sxx2, sxy2 float64
+	for _, s := range samples {
+		if s.Params.F <= 0 || s.DeviceMHz <= 0 {
+			return 0, 0, fmt.Errorf("pee: Calibrate: bad sample %+v", s)
+		}
+		x1 := float64(s.DBytes) / float64(s.Params.F)
+		y1 := s.MeasDtUS * s.DeviceMHz // cycles
+		sxx1 += x1 * x1
+		sxy1 += x1 * y1
+		x2 := float64(s.DBytes) / float64(s.Params.F+s.Params.W*s.Params.S)
+		y2 := s.MeasDbUS * s.DeviceMHz
+		sxx2 += x2 * x2
+		sxy2 += x2 * y2
+	}
+	if sxx1 == 0 || sxx2 == 0 {
+		return 0, 0, errors.New("pee: Calibrate: degenerate samples")
+	}
+	return sxy1 / sxx1, sxy2 / sxx2, nil
+}
+
+// RSquared computes the coefficient of determination between predictions
+// and measurements (used to report the Figure 4.1 fit quality).
+func RSquared(pred, meas []float64) float64 {
+	if len(pred) != len(meas) || len(pred) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, m := range meas {
+		mean += m
+	}
+	mean /= float64(len(meas))
+	var ssRes, ssTot float64
+	for i := range meas {
+		d := meas[i] - pred[i]
+		ssRes += d * d
+		t := meas[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}

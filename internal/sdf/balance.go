@@ -1,0 +1,88 @@
+package sdf
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Steady solves the SDF balance equations and stores the minimal positive
+// integer repetition vector on the graph. For every edge (u,v) the solution
+// satisfies rep[u]*push == rep[v]*pop; the graph is inconsistent (no
+// steady-state schedule exists) if the equations conflict on some cycle or
+// undirected loop.
+func (g *Graph) Steady() error {
+	n := len(g.Nodes)
+	if n == 0 {
+		return fmt.Errorf("sdf: graph %s is empty", g.Name)
+	}
+	rate := make([]*big.Rat, n)
+
+	// adjacency over the undirected version of the graph
+	type arc struct {
+		to    NodeID
+		ratio *big.Rat // rate[to] = rate[from] * ratio
+	}
+	adj := make([][]arc, n)
+	for _, e := range g.Edges {
+		// rep[src]*push = rep[dst]*pop  =>  rep[dst] = rep[src]*push/pop
+		fwd := new(big.Rat).SetFrac64(int64(e.Push), int64(e.Pop))
+		bwd := new(big.Rat).SetFrac64(int64(e.Pop), int64(e.Push))
+		adj[e.Src] = append(adj[e.Src], arc{e.Dst, fwd})
+		adj[e.Dst] = append(adj[e.Dst], arc{e.Src, bwd})
+	}
+
+	for start := 0; start < n; start++ {
+		if rate[start] != nil {
+			continue
+		}
+		rate[start] = big.NewRat(1, 1)
+		stack := []NodeID{NodeID(start)}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, a := range adj[u] {
+				want := new(big.Rat).Mul(rate[u], a.ratio)
+				if rate[a.to] == nil {
+					rate[a.to] = want
+					stack = append(stack, a.to)
+				} else if rate[a.to].Cmp(want) != 0 {
+					return fmt.Errorf("sdf: graph %s is inconsistent at %s -> %s (no steady state)",
+						g.Name, g.Nodes[u].Filter.Name, g.Nodes[a.to].Filter.Name)
+				}
+			}
+		}
+	}
+
+	// Scale to the minimal integer vector: multiply by lcm of denominators,
+	// then divide by gcd of numerators.
+	lcm := big.NewInt(1)
+	for _, r := range rate {
+		lcm = lcmInt(lcm, r.Denom())
+	}
+	rep := make([]*big.Int, n)
+	gcd := new(big.Int)
+	for i, r := range rate {
+		v := new(big.Int).Mul(r.Num(), new(big.Int).Div(lcm, r.Denom()))
+		rep[i] = v
+		if i == 0 {
+			gcd.Set(v)
+		} else {
+			gcd.GCD(nil, nil, gcd, v)
+		}
+	}
+	out := make([]int64, n)
+	for i, v := range rep {
+		q := new(big.Int).Div(v, gcd)
+		if !q.IsInt64() || q.Int64() <= 0 {
+			return fmt.Errorf("sdf: graph %s: repetition count overflow or non-positive at node %d", g.Name, i)
+		}
+		out[i] = q.Int64()
+	}
+	g.rep = out
+	return nil
+}
+
+func lcmInt(a, b *big.Int) *big.Int {
+	g := new(big.Int).GCD(nil, nil, a, b)
+	return new(big.Int).Mul(a, new(big.Int).Div(b, g))
+}

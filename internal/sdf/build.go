@@ -1,0 +1,212 @@
+package sdf
+
+import "fmt"
+
+// Stream is a node in the structural composition tree (StreamIt's stream
+// abstraction): a single filter, a pipeline, a split-join, or a feedback
+// loop. Streams are flattened into a Graph by Flatten.
+type Stream interface {
+	elaborate(st *flatState) (streamPorts, error)
+}
+
+// streamPorts is what a stream exposes to its parent after elaboration.
+type streamPorts struct {
+	in, out       PortRef
+	hasIn, hasOut bool
+}
+
+type flatState struct {
+	b        *Builder
+	nextPipe int
+}
+
+func (st *flatState) newPipe() int {
+	id := st.nextPipe
+	st.nextPipe++
+	return id
+}
+
+// Flatten elaborates a structural stream into a flat Graph, solving the
+// balance equations. Each node remembers the innermost pipeline construct it
+// was a direct child of (Node.Pipe), which partitioning phase 1 relies on.
+func Flatten(name string, s Stream) (*Graph, error) {
+	st := &flatState{b: NewBuilder(name)}
+	if _, err := s.elaborate(st); err != nil {
+		return nil, err
+	}
+	return st.b.Graph()
+}
+
+type filterStream struct {
+	f    *Filter
+	pipe int // -1 unless set by an enclosing pipeline during elaboration
+}
+
+// F lifts a filter into a Stream.
+func F(f *Filter) Stream { return &filterStream{f: f, pipe: -1} }
+
+func (fs *filterStream) elaborate(st *flatState) (streamPorts, error) {
+	if len(fs.f.Inputs) > 1 || len(fs.f.Outputs) > 1 {
+		return streamPorts{}, fmt.Errorf("sdf: filter %s used as a plain stream must have at most one input and one output port", fs.f.Name)
+	}
+	id := st.b.AddNode(fs.f, fs.pipe)
+	var p streamPorts
+	if len(fs.f.Inputs) == 1 {
+		p.in, p.hasIn = PortRef{id, 0}, true
+	}
+	if len(fs.f.Outputs) == 1 {
+		p.out, p.hasOut = PortRef{id, 0}, true
+	}
+	return p, nil
+}
+
+type pipeline struct {
+	name     string
+	children []Stream
+}
+
+// Pipe composes streams sequentially: the output of each child feeds the
+// input of the next.
+func Pipe(name string, children ...Stream) Stream {
+	return &pipeline{name: name, children: children}
+}
+
+func (p *pipeline) elaborate(st *flatState) (streamPorts, error) {
+	if len(p.children) == 0 {
+		return streamPorts{}, fmt.Errorf("sdf: pipeline %s is empty", p.name)
+	}
+	pipeID := st.newPipe()
+	var ports streamPorts
+	var prev streamPorts
+	for i, c := range p.children {
+		if fs, ok := c.(*filterStream); ok {
+			fs.pipe = pipeID // direct filter children belong to this pipeline
+		}
+		cp, err := c.elaborate(st)
+		if err != nil {
+			return streamPorts{}, err
+		}
+		if i == 0 {
+			ports.in, ports.hasIn = cp.in, cp.hasIn
+		} else {
+			if !prev.hasOut || !cp.hasIn {
+				return streamPorts{}, fmt.Errorf("sdf: pipeline %s: child %d cannot be connected", p.name, i)
+			}
+			st.b.Connect(prev.out.Node, prev.out.Port, cp.in.Node, cp.in.Port)
+		}
+		prev = cp
+	}
+	ports.out, ports.hasOut = prev.out, prev.hasOut
+	return ports, nil
+}
+
+type splitJoin struct {
+	name     string
+	split    *Filter
+	join     *Filter
+	branches []Stream
+}
+
+// Split composes parallel branches between an explicit splitter and joiner
+// filter. The splitter must have one output port per branch and the joiner
+// one input port per branch.
+func Split(name string, split, join *Filter, branches ...Stream) Stream {
+	return &splitJoin{name: name, split: split, join: join, branches: branches}
+}
+
+// SplitDupRR is the common StreamIt form "split duplicate ... join
+// roundrobin(w...)": every branch sees a copy of `width` input tokens; the
+// joiner gathers joinW[b] tokens from branch b.
+func SplitDupRR(name string, width int, joinW []int, branches ...Stream) Stream {
+	return Split(name, DuplicateSplitter(len(branches), width), RoundRobinJoiner(joinW), branches...)
+}
+
+// SplitRRRR is "split roundrobin(sw...) join roundrobin(jw...)".
+func SplitRRRR(name string, splitW, joinW []int, branches ...Stream) Stream {
+	return Split(name, RoundRobinSplitter(splitW), RoundRobinJoiner(joinW), branches...)
+}
+
+func (sj *splitJoin) elaborate(st *flatState) (streamPorts, error) {
+	n := len(sj.branches)
+	if n == 0 {
+		return streamPorts{}, fmt.Errorf("sdf: split-join %s has no branches", sj.name)
+	}
+	if len(sj.split.Outputs) != n {
+		return streamPorts{}, fmt.Errorf("sdf: split-join %s: splitter has %d outputs for %d branches", sj.name, len(sj.split.Outputs), n)
+	}
+	if len(sj.join.Inputs) != n {
+		return streamPorts{}, fmt.Errorf("sdf: split-join %s: joiner has %d inputs for %d branches", sj.name, len(sj.join.Inputs), n)
+	}
+	split := st.b.AddNode(sj.split, -1)
+	join := st.b.AddNode(sj.join, -1)
+	for b, br := range sj.branches {
+		bp, err := br.elaborate(st)
+		if err != nil {
+			return streamPorts{}, err
+		}
+		if !bp.hasIn || !bp.hasOut {
+			return streamPorts{}, fmt.Errorf("sdf: split-join %s: branch %d must have input and output", sj.name, b)
+		}
+		st.b.Connect(split, b, bp.in.Node, bp.in.Port)
+		st.b.Connect(bp.out.Node, bp.out.Port, join, b)
+	}
+	var p streamPorts
+	if len(sj.split.Inputs) == 1 {
+		p.in, p.hasIn = PortRef{split, 0}, true
+	}
+	p.out, p.hasOut = PortRef{join, 0}, true
+	return p, nil
+}
+
+type feedbackLoop struct {
+	name  string
+	join  *Filter // 2 inputs: port 0 external, port 1 feedback
+	body  Stream
+	split *Filter // 2 outputs: port 0 external, port 1 feedback
+	fb    Stream  // feedback path (may be nil for a wire)
+	delay []Token
+}
+
+// LoopOf builds a StreamIt feedback loop: join(external, feedback) -> body ->
+// split(external out, feedback) -> fb -> back to the joiner, with `delay`
+// initial tokens on the feedback channel. fb may be nil, in which case the
+// splitter feeds the joiner directly.
+func LoopOf(name string, join *Filter, body Stream, split *Filter, fb Stream, delay []Token) Stream {
+	return &feedbackLoop{name: name, join: join, body: body, split: split, fb: fb, delay: delay}
+}
+
+func (fl *feedbackLoop) elaborate(st *flatState) (streamPorts, error) {
+	if len(fl.join.Inputs) != 2 || len(fl.split.Outputs) != 2 {
+		return streamPorts{}, fmt.Errorf("sdf: loop %s: joiner needs 2 inputs and splitter 2 outputs", fl.name)
+	}
+	join := st.b.AddNode(fl.join, -1)
+	bp, err := fl.body.elaborate(st)
+	if err != nil {
+		return streamPorts{}, err
+	}
+	if !bp.hasIn || !bp.hasOut {
+		return streamPorts{}, fmt.Errorf("sdf: loop %s: body must have input and output", fl.name)
+	}
+	split := st.b.AddNode(fl.split, -1)
+	st.b.Connect(join, 0, bp.in.Node, bp.in.Port)
+	st.b.Connect(bp.out.Node, bp.out.Port, split, 0)
+
+	fbOut := PortRef{split, 1}
+	if fl.fb != nil {
+		fp, err := fl.fb.elaborate(st)
+		if err != nil {
+			return streamPorts{}, err
+		}
+		if !fp.hasIn || !fp.hasOut {
+			return streamPorts{}, fmt.Errorf("sdf: loop %s: feedback path must have input and output", fl.name)
+		}
+		st.b.Connect(split, 1, fp.in.Node, fp.in.Port)
+		fbOut = fp.out
+	}
+	st.b.ConnectDelayed(fbOut.Node, fbOut.Port, join, 1, fl.delay)
+
+	return streamPorts{
+		in: PortRef{join, 0}, hasIn: true,
+		out: PortRef{split, 0}, hasOut: true,
+	}, nil
+}

@@ -1,0 +1,26 @@
+// Package sdf implements the synchronous-dataflow stream graph IR that the
+// whole mapping flow operates on.
+//
+// A stream graph is a directed graph whose nodes are filters (actors) and
+// whose edges are FIFO channels. Every filter declares static pop/peek rates
+// on its input ports and push rates on its output ports; the steady-state
+// repetition vector (the paper's "firing rates" f_i) is the minimal integer
+// solution of the balance equations r[src]*push == r[dst]*pop on every edge.
+//
+// The package provides:
+//
+//   - the graph data structures (Graph, Node, Edge, Filter),
+//   - a structural composition API mirroring StreamIt's pipeline,
+//     split-join and feedback-loop operators (Pipe, Split, LoopOf), which
+//     flattens to a Graph while remembering each node's innermost pipeline
+//     (used by partitioning phase 1),
+//   - the balance-equation solver (Graph.Steady),
+//   - a functional interpreter (Interp) that executes steady-state
+//     iterations on the host and is the reference for end-to-end
+//     correctness of generated mappings,
+//   - NodeSet, a bitset over nodes used pervasively by the partitioner.
+//
+// Unconnected input/output ports are the graph's primary I/O: the ports
+// through which host data enters and leaves (the paper's "primary
+// input/output data" that must travel through GPU global memory).
+package sdf

@@ -1,0 +1,214 @@
+package sdf
+
+import "fmt"
+
+// Token is the unit of data flowing on channels. Applications that need bit
+// or integer semantics (e.g. DES) store small exact integers in Tokens.
+type Token = float64
+
+// TokenBytes is the on-device size of one token. Stream tokens are stored as
+// 32-bit words in GPU shared/global memory, as in the StreamIt CUDA backends.
+const TokenBytes = 4
+
+// Kind classifies filters. Splitters and joiners are ordinary filters from
+// the scheduler's point of view but are recognized by the splitter/joiner
+// elimination optimization (package sjopt) and by code generation.
+type Kind int
+
+const (
+	KindGeneric Kind = iota
+	KindSplitter
+	KindJoiner
+	KindIdentity
+	KindSource
+	KindSink
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindGeneric:
+		return "generic"
+	case KindSplitter:
+		return "splitter"
+	case KindJoiner:
+		return "joiner"
+	case KindIdentity:
+		return "identity"
+	case KindSource:
+		return "source"
+	case KindSink:
+		return "sink"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// InRate is the declared consumption rate of one input port.
+// Peek >= Pop; Peek-Pop tokens remain visible across firings (sliding
+// window), which forces persistent buffer space in the SM requirement
+// analysis.
+type InRate struct {
+	Pop  int
+	Peek int
+}
+
+// Work is the per-firing execution context handed to a filter's work
+// function. In[p][i] is the i-th visible token on input port p (len equals
+// the port's Peek rate); the first Pop of them are consumed after the firing.
+// Out[p] must be fully written (len equals the port's push rate).
+type Work struct {
+	In    [][]Token
+	Out   [][]Token
+	State []Token
+}
+
+// WorkFunc is a filter's functional body, executed once per firing.
+type WorkFunc func(w *Work)
+
+// Filter describes one actor: its port rates, an abstract arithmetic cost
+// used by profiling (Ops per firing), optional persistent state, and the
+// functional work body.
+type Filter struct {
+	Name    string
+	Inputs  []InRate // one entry per input port
+	Outputs []int    // push rate per output port
+	Ops     int64    // abstract arithmetic operations per firing
+	Kind    Kind
+	Init    []Token // initial state (copied per node instance)
+	Work    WorkFunc
+
+	// ZeroCopy marks filters whose data movement has been compiled away by
+	// the splitter/joiner elimination of the paper's Chapter V: consumers
+	// index the producer's shared-memory buffer directly, so the filter
+	// costs (almost) nothing at runtime and its output channels occupy no
+	// shared memory. The functional Work body still runs in simulation.
+	ZeroCopy bool
+}
+
+// NewFilter builds the common single-input single-output filter.
+// peek == 0 is shorthand for peek == pop.
+func NewFilter(name string, pop, push, peek int, ops int64, work WorkFunc) *Filter {
+	if peek == 0 {
+		peek = pop
+	}
+	return &Filter{
+		Name:    name,
+		Inputs:  []InRate{{Pop: pop, Peek: peek}},
+		Outputs: []int{push},
+		Ops:     ops,
+		Work:    work,
+	}
+}
+
+// NewSource builds a zero-input filter that generates push tokens per firing.
+func NewSource(name string, push int, ops int64, work WorkFunc) *Filter {
+	return &Filter{Name: name, Outputs: []int{push}, Ops: ops, Kind: KindSource, Work: work}
+}
+
+// NewSink builds a zero-output filter consuming pop tokens per firing.
+func NewSink(name string, pop int, ops int64, work WorkFunc) *Filter {
+	return &Filter{Name: name, Inputs: []InRate{{Pop: pop, Peek: pop}}, Ops: ops, Kind: KindSink, Work: work}
+}
+
+// Identity returns a filter that copies n tokens per firing unchanged.
+func Identity(n int) *Filter {
+	f := NewFilter("Identity", n, n, 0, int64(n), func(w *Work) {
+		copy(w.Out[0], w.In[0][:n])
+	})
+	f.Kind = KindIdentity
+	return f
+}
+
+// DuplicateSplitter pops `width` tokens and pushes a copy of them on each of
+// the n branches per firing (StreamIt "split duplicate").
+func DuplicateSplitter(n, width int) *Filter {
+	outs := make([]int, n)
+	for i := range outs {
+		outs[i] = width
+	}
+	return &Filter{
+		Name:    fmt.Sprintf("DupSplit%d", n),
+		Inputs:  []InRate{{Pop: width, Peek: width}},
+		Outputs: outs,
+		Ops:     int64(n * width), // pure data movement cost
+		Kind:    KindSplitter,
+		Work: func(w *Work) {
+			for b := 0; b < n; b++ {
+				copy(w.Out[b], w.In[0][:width])
+			}
+		},
+	}
+}
+
+// RoundRobinSplitter pops sum(weights) tokens and deals weights[b] of them
+// to branch b, in order (StreamIt "split roundrobin(w0,w1,...)").
+func RoundRobinSplitter(weights []int) *Filter {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	outs := append([]int(nil), weights...)
+	return &Filter{
+		Name:    fmt.Sprintf("RRSplit%d", len(weights)),
+		Inputs:  []InRate{{Pop: total, Peek: total}},
+		Outputs: outs,
+		Ops:     int64(total),
+		Kind:    KindSplitter,
+		Work: func(w *Work) {
+			off := 0
+			for b, n := range outs {
+				copy(w.Out[b], w.In[0][off:off+n])
+				off += n
+			}
+		},
+	}
+}
+
+// RoundRobinJoiner pops weights[b] tokens from branch b and pushes the
+// concatenation, in order (StreamIt "join roundrobin(w0,w1,...)").
+func RoundRobinJoiner(weights []int) *Filter {
+	total := 0
+	ins := make([]InRate, len(weights))
+	for i, w := range weights {
+		ins[i] = InRate{Pop: w, Peek: w}
+		total += w
+	}
+	ws := append([]int(nil), weights...)
+	return &Filter{
+		Name:    fmt.Sprintf("RRJoin%d", len(weights)),
+		Inputs:  ins,
+		Outputs: []int{total},
+		Ops:     int64(total),
+		Kind:    KindJoiner,
+		Work: func(w *Work) {
+			off := 0
+			for b, n := range ws {
+				copy(w.Out[0][off:off+n], w.In[b][:n])
+				off += n
+			}
+		},
+	}
+}
+
+// validate reports structural problems with the filter declaration.
+func (f *Filter) validate() error {
+	if f.Name == "" {
+		return fmt.Errorf("sdf: filter with empty name")
+	}
+	for p, in := range f.Inputs {
+		if in.Pop <= 0 {
+			return fmt.Errorf("sdf: filter %s input port %d: pop rate %d must be positive", f.Name, p, in.Pop)
+		}
+		if in.Peek < in.Pop {
+			return fmt.Errorf("sdf: filter %s input port %d: peek %d < pop %d", f.Name, p, in.Peek, in.Pop)
+		}
+	}
+	for p, push := range f.Outputs {
+		if push <= 0 {
+			return fmt.Errorf("sdf: filter %s output port %d: push rate %d must be positive", f.Name, p, push)
+		}
+	}
+	if f.Ops < 0 {
+		return fmt.Errorf("sdf: filter %s: negative ops", f.Name)
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package sdf
+
+import (
+	"testing"
+)
+
+// chainGraph builds src -> a -> b with the given rates for testing.
+func mustGraph(t *testing.T, name string, s Stream) *Graph {
+	t.Helper()
+	g, err := Flatten(name, s)
+	if err != nil {
+		t.Fatalf("Flatten(%s): %v", name, err)
+	}
+	return g
+}
+
+func addOne() *Filter {
+	return NewFilter("AddOne", 1, 1, 0, 1, func(w *Work) { w.Out[0][0] = w.In[0][0] + 1 })
+}
+
+func double() *Filter {
+	return NewFilter("Double", 1, 1, 0, 1, func(w *Work) { w.Out[0][0] = w.In[0][0] * 2 })
+}
+
+// downsample2 pops 2, pushes 1 (keeps the first).
+func downsample2() *Filter {
+	return NewFilter("Down2", 2, 1, 0, 1, func(w *Work) { w.Out[0][0] = w.In[0][0] })
+}
+
+// upsample2 pops 1, pushes 2 copies.
+func upsample2() *Filter {
+	return NewFilter("Up2", 1, 2, 0, 1, func(w *Work) {
+		w.Out[0][0], w.Out[0][1] = w.In[0][0], w.In[0][0]
+	})
+}
+
+func TestBalanceSimplePipeline(t *testing.T) {
+	g := mustGraph(t, "pipe", Pipe("p", F(addOne()), F(double()), F(addOne())))
+	for i := 0; i < 3; i++ {
+		if got := g.Rep(NodeID(i)); got != 1 {
+			t.Errorf("rep[%d] = %d, want 1", i, got)
+		}
+	}
+}
+
+func TestBalanceRateChange(t *testing.T) {
+	// Up2 -> Down2: up fires 1, down fires 1 is balanced (2 tokens).
+	g := mustGraph(t, "updown", Pipe("p", F(upsample2()), F(downsample2())))
+	if g.Rep(0) != 1 || g.Rep(1) != 1 {
+		t.Errorf("rep = [%d %d], want [1 1]", g.Rep(0), g.Rep(1))
+	}
+	// Down2 -> Up2: down must fire 1x producing 1, up fires 1x. Feed side: 2 in, 2 out.
+	g2 := mustGraph(t, "downup", Pipe("p", F(downsample2()), F(upsample2())))
+	if g2.Rep(0) != 1 || g2.Rep(1) != 1 {
+		t.Errorf("rep = [%d %d], want [1 1]", g2.Rep(0), g2.Rep(1))
+	}
+	// AddOne -> Down2: addone must fire 2x per down firing.
+	g3 := mustGraph(t, "mix", Pipe("p", F(addOne()), F(downsample2())))
+	if g3.Rep(0) != 2 || g3.Rep(1) != 1 {
+		t.Errorf("rep = [%d %d], want [2 1]", g3.Rep(0), g3.Rep(1))
+	}
+}
+
+func TestBalanceSplitJoin(t *testing.T) {
+	g := mustGraph(t, "sj", SplitDupRR("sj", 1, []int{1, 1}, F(addOne()), F(double())))
+	// splitter, join, branch0, branch1 all fire once.
+	for _, n := range g.Nodes {
+		if g.Rep(n.ID) != 1 {
+			t.Errorf("rep[%s] = %d, want 1", n.Filter.Name, g.Rep(n.ID))
+		}
+	}
+}
+
+func TestBalanceInconsistent(t *testing.T) {
+	// duplicate splitter into branches with mismatched rates joined rr(1,1):
+	// branch0 is 1->1, branch1 is 1->2; the join requires equal branch
+	// production => inconsistent.
+	_, err := Flatten("bad", SplitDupRR("sj", 1, []int{1, 1}, F(addOne()), F(upsample2())))
+	if err == nil {
+		t.Fatalf("expected inconsistency error, got nil")
+	}
+}
+
+func TestInterpPipelineFunctional(t *testing.T) {
+	g := mustGraph(t, "pipe", Pipe("p", F(addOne()), F(double())))
+	it, err := NewInterp(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := it.Run(3, [][]Token{{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Token{4, 6, 8}
+	if len(out) != 1 || len(out[0]) != 3 {
+		t.Fatalf("out shape = %v", out)
+	}
+	for i := range want {
+		if out[0][i] != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, out[0][i], want[i])
+		}
+	}
+}
+
+func TestInterpSplitJoinRoundRobin(t *testing.T) {
+	// rr(1,1) split, identity branches, rr(1,1) join => identity overall.
+	g := mustGraph(t, "rr", SplitRRRR("sj", []int{1, 1}, []int{1, 1}, F(Identity(1)), F(Identity(1))))
+	it, _ := NewInterp(g)
+	out, err := it.Run(2, [][]Token{{10, 20, 30, 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Token{10, 20, 30, 40}
+	for i := range want {
+		if out[0][i] != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, out[0][i], want[i])
+		}
+	}
+}
+
+func TestInterpDuplicateSplitter(t *testing.T) {
+	// duplicate to two branches: +1 and *2, join rr(1,1): interleaved results.
+	g := mustGraph(t, "dup", SplitDupRR("sj", 1, []int{1, 1}, F(addOne()), F(double())))
+	it, _ := NewInterp(g)
+	out, err := it.Run(2, [][]Token{{3, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Token{4, 6, 6, 10}
+	for i := range want {
+		if out[0][i] != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, out[0][i], want[i])
+		}
+	}
+}
+
+func TestInterpPeekingFilter(t *testing.T) {
+	// moving sum of 3 with pop 1: needs peek=3.
+	f := NewFilter("MovSum", 1, 1, 3, 3, func(w *Work) {
+		w.Out[0][0] = w.In[0][0] + w.In[0][1] + w.In[0][2]
+	})
+	g := mustGraph(t, "peek", Pipe("p", F(f)))
+	it, _ := NewInterp(g)
+	// One iteration pops 1 but peeks 3: feed 3 tokens, run 1 iteration.
+	it.Feed(0, []Token{1, 2, 3, 4})
+	if err := it.RunIterations(2); err != nil {
+		t.Fatal(err)
+	}
+	out := it.Drain(0)
+	want := []Token{6, 9}
+	if len(out) != 2 || out[0] != want[0] || out[1] != want[1] {
+		t.Errorf("out = %v, want %v", out, want)
+	}
+}
+
+func TestInterpFeedbackLoop(t *testing.T) {
+	// Accumulator: join rr(1,1) [x, fb] -> adder(pop 2 push 1... ) simpler:
+	// join rr(1,1), body pops 2 pushes 2 (sum, sum), split rr(1,1), delay {0}.
+	body := NewFilter("Acc", 2, 2, 0, 3, func(w *Work) {
+		s := w.In[0][0] + w.In[0][1]
+		w.Out[0][0], w.Out[0][1] = s, s
+	})
+	loop := LoopOf("acc",
+		RoundRobinJoiner([]int{1, 1}),
+		F(body),
+		RoundRobinSplitter([]int{1, 1}),
+		nil,
+		[]Token{0},
+	)
+	g := mustGraph(t, "loop", loop)
+	it, err := NewInterp(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := it.Run(4, [][]Token{{1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Token{1, 3, 6, 10} // running sums
+	for i := range want {
+		if out[0][i] != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, out[0][i], want[i])
+		}
+	}
+}
+
+func TestInterpDeadlockWithoutDelay(t *testing.T) {
+	body := NewFilter("Acc", 2, 2, 0, 3, func(w *Work) {
+		s := w.In[0][0] + w.In[0][1]
+		w.Out[0][0], w.Out[0][1] = s, s
+	})
+	loop := LoopOf("acc",
+		RoundRobinJoiner([]int{1, 1}),
+		F(body),
+		RoundRobinSplitter([]int{1, 1}),
+		nil,
+		nil, // no delay: deadlock
+	)
+	g, err := Flatten("loop", loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := NewInterp(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.Feed(0, []Token{1, 2, 3, 4})
+	if err := it.RunIterations(1); err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := mustGraph(t, "sj", SplitDupRR("sj", 1, []int{1, 1}, F(addOne()), F(double())))
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[NodeID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range g.Edges {
+		if pos[e.Src] > pos[e.Dst] {
+			t.Errorf("edge %d -> %d violates topo order", e.Src, e.Dst)
+		}
+	}
+}
+
+func TestPipelineIDs(t *testing.T) {
+	inner := Pipe("inner", F(addOne()), F(double()))
+	g := mustGraph(t, "nested", Pipe("outer", F(addOne()), SplitDupRR("sj", 1, []int{1, 1}, inner, F(Identity(1)))))
+	// Node 0 is the outer AddOne; inner pipeline nodes share a pipe id that
+	// differs from outer's.
+	outerPipe := g.Nodes[0].Pipe
+	if outerPipe < 0 {
+		t.Fatalf("outer filter has no pipeline id")
+	}
+	var innerPipe = -1
+	for _, n := range g.Nodes {
+		if n.Filter.Name == "Double" {
+			innerPipe = n.Pipe
+		}
+	}
+	if innerPipe == -1 || innerPipe == outerPipe {
+		t.Errorf("inner pipeline id %d should exist and differ from outer %d", innerPipe, outerPipe)
+	}
+	for _, n := range g.Nodes {
+		if n.Filter.Kind == KindSplitter || n.Filter.Kind == KindJoiner {
+			if n.Pipe != -1 {
+				t.Errorf("splitter/joiner %s should have pipe -1, got %d", n.Filter.Name, n.Pipe)
+			}
+		}
+	}
+}
+
+func TestValidateCatchesBadWiring(t *testing.T) {
+	b := NewBuilder("bad")
+	a := b.AddNode(addOne(), -1)
+	c := b.AddNode(addOne(), -1)
+	b.Connect(a, 0, c, 0)
+	// Corrupt the wiring.
+	b.g.Edges[0].Push = 99
+	if err := b.g.Validate(); err == nil {
+		t.Fatal("expected validation error for mismatched push rate")
+	}
+}
+
+func TestEdgeTokens(t *testing.T) {
+	g := mustGraph(t, "mix", Pipe("p", F(addOne()), F(downsample2())))
+	e := g.Edges[0]
+	if got := g.EdgeTokens(e); got != 2 {
+		t.Errorf("EdgeTokens = %d, want 2", got)
+	}
+	if got := g.EdgeBytes(e); got != 2*TokenBytes {
+		t.Errorf("EdgeBytes = %d, want %d", got, 2*TokenBytes)
+	}
+}

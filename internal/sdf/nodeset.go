@@ -1,0 +1,248 @@
+package sdf
+
+import (
+	"sort"
+	"strings"
+)
+
+// NodeSet is a fixed-capacity bitset over the node ids of one graph. The
+// zero value is unusable; create with NewNodeSet(g.NumNodes()).
+type NodeSet struct {
+	words []uint64
+	n     int
+}
+
+// NewNodeSet returns an empty set with capacity for n nodes.
+func NewNodeSet(n int) NodeSet {
+	return NodeSet{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// SingletonSet returns {id} with capacity n.
+func SingletonSet(n int, id NodeID) NodeSet {
+	s := NewNodeSet(n)
+	s.Add(id)
+	return s
+}
+
+// Cap returns the set's node capacity.
+func (s NodeSet) Cap() int { return s.n }
+
+// Add inserts id.
+func (s NodeSet) Add(id NodeID) { s.words[id/64] |= 1 << (uint(id) % 64) }
+
+// Remove deletes id.
+func (s NodeSet) Remove(id NodeID) { s.words[id/64] &^= 1 << (uint(id) % 64) }
+
+// Has reports membership.
+func (s NodeSet) Has(id NodeID) bool {
+	return id >= 0 && int(id) < s.n && s.words[id/64]&(1<<(uint(id)%64)) != 0
+}
+
+// Len returns the number of members.
+func (s NodeSet) Len() int {
+	c := 0
+	for _, w := range s.words {
+		c += popcount(w)
+	}
+	return c
+}
+
+func popcount(w uint64) int {
+	c := 0
+	for w != 0 {
+		w &= w - 1
+		c++
+	}
+	return c
+}
+
+// Clone returns an independent copy.
+func (s NodeSet) Clone() NodeSet {
+	return NodeSet{words: append([]uint64(nil), s.words...), n: s.n}
+}
+
+// UnionWith adds all members of t (same capacity assumed).
+func (s NodeSet) UnionWith(t NodeSet) {
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// Union returns s ∪ t as a new set.
+func (s NodeSet) Union(t NodeSet) NodeSet {
+	u := s.Clone()
+	u.UnionWith(t)
+	return u
+}
+
+// Intersects reports whether s and t share a member.
+func (s NodeSet) Intersects(t NodeSet) bool {
+	for i := range s.words {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports set equality.
+func (s NodeSet) Equal(t NodeSet) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Members returns the member ids in ascending order.
+func (s NodeSet) Members() []NodeID {
+	var out []NodeID
+	for i, w := range s.words {
+		for w != 0 {
+			b := w & (-w)
+			bit := 0
+			for b != 1 {
+				b >>= 1
+				bit++
+			}
+			out = append(out, NodeID(i*64+bit))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Key returns a canonical string key (for memoization maps).
+func (s NodeSet) Key() string {
+	var b strings.Builder
+	for _, w := range s.words {
+		b.WriteByte(byte(w))
+		b.WriteByte(byte(w >> 8))
+		b.WriteByte(byte(w >> 16))
+		b.WriteByte(byte(w >> 24))
+		b.WriteByte(byte(w >> 32))
+		b.WriteByte(byte(w >> 40))
+		b.WriteByte(byte(w >> 48))
+		b.WriteByte(byte(w >> 56))
+	}
+	return b.String()
+}
+
+// String renders the set as {a,b,c} for debugging.
+func (s NodeSet) String() string {
+	ms := s.Members()
+	parts := make([]string, len(ms))
+	for i, m := range ms {
+		parts[i] = itoa(int(m))
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// IsConnected reports whether the members of set form a weakly connected
+// subgraph of g.
+func (g *Graph) IsConnected(set NodeSet) bool {
+	ms := set.Members()
+	if len(ms) <= 1 {
+		return len(ms) == 1
+	}
+	seen := NewNodeSet(len(g.Nodes))
+	stack := []NodeID{ms[0]}
+	seen.Add(ms[0])
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range append(g.Succ(u), g.Pred(u)...) {
+			if set.Has(v) && !seen.Has(v) {
+				seen.Add(v)
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == len(ms)
+}
+
+// IsConvex reports whether set is convex in g: no path between two members
+// passes through a non-member (the partition validity condition of the
+// paper, footnote to Algorithm 1).
+func (g *Graph) IsConvex(set NodeSet) bool {
+	// An external node x violates convexity iff x is reachable from the set
+	// and the set is reachable from x. Compute "reachable from set" forward
+	// and "reaches set" backward over external nodes only at the boundary.
+	n := len(g.Nodes)
+	fromSet := NewNodeSet(n) // external nodes reachable from some member
+	var stack []NodeID
+	for _, m := range set.Members() {
+		for _, v := range g.Succ(m) {
+			if !set.Has(v) && !fromSet.Has(v) {
+				fromSet.Add(v)
+				stack = append(stack, v)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.Succ(u) {
+			if set.Has(v) {
+				continue // re-entry is detected via toSet below
+			}
+			if !fromSet.Has(v) {
+				fromSet.Add(v)
+				stack = append(stack, v)
+			}
+		}
+	}
+	toSet := NewNodeSet(n) // external nodes that reach some member
+	stack = stack[:0]
+	for _, m := range set.Members() {
+		for _, v := range g.Pred(m) {
+			if !set.Has(v) && !toSet.Has(v) {
+				toSet.Add(v)
+				stack = append(stack, v)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.Pred(u) {
+			if set.Has(v) {
+				continue
+			}
+			if !toSet.Has(v) {
+				toSet.Add(v)
+				stack = append(stack, v)
+			}
+		}
+	}
+	return !fromSet.Intersects(toSet)
+}

@@ -1,0 +1,198 @@
+package sdf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeSetBasics(t *testing.T) {
+	s := NewNodeSet(130)
+	for _, id := range []NodeID{0, 63, 64, 129} {
+		s.Add(id)
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d, want 4", s.Len())
+	}
+	for _, id := range []NodeID{0, 63, 64, 129} {
+		if !s.Has(id) {
+			t.Errorf("Has(%d) = false", id)
+		}
+	}
+	if s.Has(1) || s.Has(128) {
+		t.Errorf("unexpected members")
+	}
+	s.Remove(63)
+	if s.Has(63) || s.Len() != 3 {
+		t.Errorf("Remove failed")
+	}
+	got := s.Members()
+	want := []NodeID{0, 64, 129}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Members[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNodeSetUnionCloneEqual(t *testing.T) {
+	a := NewNodeSet(100)
+	b := NewNodeSet(100)
+	a.Add(1)
+	a.Add(50)
+	b.Add(99)
+	u := a.Union(b)
+	if u.Len() != 3 || !u.Has(1) || !u.Has(50) || !u.Has(99) {
+		t.Errorf("Union wrong: %v", u)
+	}
+	if a.Len() != 2 {
+		t.Errorf("Union mutated receiver")
+	}
+	c := a.Clone()
+	c.Add(2)
+	if a.Has(2) {
+		t.Errorf("Clone aliases receiver")
+	}
+	if !a.Equal(a.Clone()) || a.Equal(b) {
+		t.Errorf("Equal broken")
+	}
+	if !a.Intersects(u) || a.Intersects(b) {
+		t.Errorf("Intersects broken")
+	}
+}
+
+// Property: Members returns exactly the added ids, sorted, for arbitrary id
+// subsets.
+func TestNodeSetMembersQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		const capN = 256
+		s := NewNodeSet(capN)
+		seen := map[NodeID]bool{}
+		for _, r := range raw {
+			id := NodeID(int(r) % capN)
+			s.Add(id)
+			seen[id] = true
+		}
+		ms := s.Members()
+		if len(ms) != len(seen) {
+			return false
+		}
+		prev := NodeID(-1)
+		for _, m := range ms {
+			if !seen[m] || m <= prev {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Key is injective for distinct sets of the same capacity.
+func TestNodeSetKeyQuick(t *testing.T) {
+	f := func(raw1, raw2 []uint8) bool {
+		const capN = 200
+		mk := func(raw []uint8) NodeSet {
+			s := NewNodeSet(capN)
+			for _, r := range raw {
+				s.Add(NodeID(int(r) % capN))
+			}
+			return s
+		}
+		a, b := mk(raw1), mk(raw2)
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	// a -> b -> c, plus isolated-in-set check
+	g := mustGraph(t, "pipe", Pipe("p", F(addOne()), F(double()), F(addOne())))
+	all := NewNodeSet(3)
+	all.Add(0)
+	all.Add(1)
+	all.Add(2)
+	if !g.IsConnected(all) {
+		t.Errorf("full chain should be connected")
+	}
+	ends := NewNodeSet(3)
+	ends.Add(0)
+	ends.Add(2)
+	if g.IsConnected(ends) {
+		t.Errorf("{0,2} of a 3-chain is not connected")
+	}
+	if g.IsConnected(NewNodeSet(3)) {
+		t.Errorf("empty set is not connected")
+	}
+	if !g.IsConnected(SingletonSet(3, 1)) {
+		t.Errorf("singleton should be connected")
+	}
+}
+
+func TestIsConvex(t *testing.T) {
+	// Diamond: split -> (b0, b1) -> join. {split, b0, join} is NOT convex
+	// because split -> b1 -> join passes through external b1.
+	g := mustGraph(t, "sj", SplitDupRR("sj", 1, []int{1, 1}, F(addOne()), F(double())))
+	var split, join, b0, b1 NodeID = -1, -1, -1, -1
+	for _, n := range g.Nodes {
+		switch {
+		case n.Filter.Kind == KindSplitter:
+			split = n.ID
+		case n.Filter.Kind == KindJoiner:
+			join = n.ID
+		case n.Filter.Name == "AddOne":
+			b0 = n.ID
+		case n.Filter.Name == "Double":
+			b1 = n.ID
+		}
+	}
+	bad := NewNodeSet(4)
+	bad.Add(split)
+	bad.Add(b0)
+	bad.Add(join)
+	if g.IsConvex(bad) {
+		t.Errorf("{split,b0,join} should not be convex")
+	}
+	good := bad.Clone()
+	good.Add(b1)
+	if !g.IsConvex(good) {
+		t.Errorf("whole diamond should be convex")
+	}
+	half := NewNodeSet(4)
+	half.Add(split)
+	half.Add(b0)
+	if !g.IsConvex(half) {
+		t.Errorf("{split,b0} should be convex")
+	}
+}
+
+// Property: on a random series-parallel-ish chain graph, any contiguous
+// window of a chain is convex.
+func TestChainWindowsConvexQuick(t *testing.T) {
+	streams := make([]Stream, 12)
+	for i := range streams {
+		streams[i] = F(addOne())
+	}
+	g := mustGraph(t, "chain", Pipe("p", streams...))
+	f := func(a, b uint8) bool {
+		lo, hi := int(a)%12, int(b)%12
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		set := NewNodeSet(12)
+		for i := lo; i <= hi; i++ {
+			set.Add(NodeID(i))
+		}
+		return g.IsConvex(set) && g.IsConnected(set)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

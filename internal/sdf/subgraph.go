@@ -1,0 +1,199 @@
+package sdf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BoundaryEdge ties an original cut edge to the primary port it became in
+// the extracted subgraph.
+type BoundaryEdge struct {
+	Orig EdgeID  // edge id in the parent graph
+	Port PortRef // primary port in the subgraph
+}
+
+// Subgraph is the result of extracting an induced, convex node set from a
+// parent graph. It is what a partition becomes: the subgraph is a standalone
+// Graph whose primary ports are the cut edges plus any of the parent's
+// primary ports that fell inside the set.
+type Subgraph struct {
+	Parent *Graph
+	Sub    *Graph
+	Set    NodeSet
+
+	NodeOf  []NodeID          // sub node id -> parent node id
+	SubOf   map[NodeID]NodeID // parent node id -> sub node id
+	EdgeOf  []EdgeID          // sub edge id -> parent edge id
+	CutIn   []BoundaryEdge    // parent edges entering the set
+	CutOut  []BoundaryEdge    // parent edges leaving the set
+	PrimIn  []PortRef         // parent primary input ports inside the set (sub coordinates)
+	PrimOut []PortRef         // parent primary output ports inside the set (sub coordinates)
+	Scale   int64             // parent reps = Scale * sub reps for member nodes
+}
+
+// Extract builds the induced subgraph over set. The parent graph must have a
+// steady state. The sub repetition vector is the parent's restricted vector
+// divided by its gcd, so one sub iteration is the minimal self-consistent
+// unit of work; Scale records the ratio.
+func (g *Graph) Extract(set NodeSet) (*Subgraph, error) {
+	members := set.Members()
+	if len(members) == 0 {
+		return nil, fmt.Errorf("sdf: Extract: empty set")
+	}
+	if !g.HasSteady() {
+		return nil, fmt.Errorf("sdf: Extract: parent graph has no steady state")
+	}
+	s := &Subgraph{
+		Parent: g,
+		Set:    set.Clone(),
+		SubOf:  make(map[NodeID]NodeID, len(members)),
+	}
+	sub := &Graph{Name: g.Name + set.String()}
+	for _, pid := range members {
+		pn := g.Nodes[pid]
+		id := NodeID(len(sub.Nodes))
+		n := &Node{ID: id, Filter: pn.Filter, Pipe: pn.Pipe,
+			in: make([]EdgeID, len(pn.in)), out: make([]EdgeID, len(pn.out))}
+		for i := range n.in {
+			n.in[i] = -1
+		}
+		for i := range n.out {
+			n.out[i] = -1
+		}
+		sub.Nodes = append(sub.Nodes, n)
+		s.NodeOf = append(s.NodeOf, pid)
+		s.SubOf[pid] = id
+	}
+	// Internal edges, in parent edge order for determinism.
+	for _, e := range g.Edges {
+		if set.Has(e.Src) && set.Has(e.Dst) {
+			ne := &Edge{
+				ID:  EdgeID(len(sub.Edges)),
+				Src: s.SubOf[e.Src], SrcPort: e.SrcPort, Push: e.Push,
+				Dst: s.SubOf[e.Dst], DstPort: e.DstPort, Pop: e.Pop, Peek: e.Peek,
+				Initial: append([]Token(nil), e.Initial...),
+			}
+			sub.Nodes[ne.Src].out[ne.SrcPort] = ne.ID
+			sub.Nodes[ne.Dst].in[ne.DstPort] = ne.ID
+			sub.Edges = append(sub.Edges, ne)
+			s.EdgeOf = append(s.EdgeOf, e.ID)
+		}
+	}
+	// Cut edges become primary ports of the subgraph.
+	for _, e := range g.Edges {
+		srcIn, dstIn := set.Has(e.Src), set.Has(e.Dst)
+		if srcIn && !dstIn {
+			s.CutOut = append(s.CutOut, BoundaryEdge{Orig: e.ID, Port: PortRef{s.SubOf[e.Src], e.SrcPort}})
+		} else if !srcIn && dstIn {
+			s.CutIn = append(s.CutIn, BoundaryEdge{Orig: e.ID, Port: PortRef{s.SubOf[e.Dst], e.DstPort}})
+		}
+	}
+	// Parent primary ports inside the set.
+	for _, p := range g.InputPorts() {
+		if set.Has(p.Node) {
+			s.PrimIn = append(s.PrimIn, PortRef{s.SubOf[p.Node], p.Port})
+		}
+	}
+	for _, p := range g.OutputPorts() {
+		if set.Has(p.Node) {
+			s.PrimOut = append(s.PrimOut, PortRef{s.SubOf[p.Node], p.Port})
+		}
+	}
+	// Restricted repetition vector, gcd-normalized.
+	reps := make([]int64, len(members))
+	var gcd int64
+	for i, pid := range members {
+		reps[i] = g.Rep(pid)
+		gcd = gcd64(gcd, reps[i])
+	}
+	rep := make([]int64, len(members))
+	for i := range reps {
+		rep[i] = reps[i] / gcd
+	}
+	sub.rep = rep
+	s.Scale = gcd
+	s.Sub = sub
+	if err := sub.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// IOBytesPerIteration returns the primary input plus output traffic, in
+// bytes, of one subgraph steady-state iteration: the paper's per-execution
+// I/O data size D. It counts cut edges and inherited primary ports alike —
+// all of them travel through GPU global memory.
+func (s *Subgraph) IOBytesPerIteration() int64 {
+	var tokens int64
+	for _, p := range s.Sub.InputPorts() {
+		tokens += s.Sub.PortTokens(p, true)
+	}
+	for _, p := range s.Sub.OutputPorts() {
+		tokens += s.Sub.PortTokens(p, false)
+	}
+	return tokens * TokenBytes
+}
+
+// InBytesPerIteration returns primary-input bytes per sub iteration.
+func (s *Subgraph) InBytesPerIteration() int64 {
+	var tokens int64
+	for _, p := range s.Sub.InputPorts() {
+		tokens += s.Sub.PortTokens(p, true)
+	}
+	return tokens * TokenBytes
+}
+
+// OutBytesPerIteration returns primary-output bytes per sub iteration.
+func (s *Subgraph) OutBytesPerIteration() int64 {
+	var tokens int64
+	for _, p := range s.Sub.OutputPorts() {
+		tokens += s.Sub.PortTokens(p, false)
+	}
+	return tokens * TokenBytes
+}
+
+// CutInPorts returns, sorted by subgraph port order, the set of sub primary
+// input ports that correspond to cut edges (as opposed to inherited parent
+// primary inputs).
+func (s *Subgraph) CutInPorts() map[PortRef]EdgeID {
+	m := make(map[PortRef]EdgeID, len(s.CutIn))
+	for _, b := range s.CutIn {
+		m[b.Port] = b.Orig
+	}
+	return m
+}
+
+// CutOutPorts is the output-side analogue of CutInPorts.
+func (s *Subgraph) CutOutPorts() map[PortRef]EdgeID {
+	m := make(map[PortRef]EdgeID, len(s.CutOut))
+	for _, b := range s.CutOut {
+		m[b.Port] = b.Orig
+	}
+	return m
+}
+
+// SortPorts orders port refs deterministically (node, then port).
+func SortPorts(ps []PortRef) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Node != ps[j].Node {
+			return ps[i].Node < ps[j].Node
+		}
+		return ps[i].Port < ps[j].Port
+	})
+}

@@ -1,0 +1,130 @@
+package sdf
+
+import "testing"
+
+func TestExtractPipelineMiddle(t *testing.T) {
+	g := mustGraph(t, "pipe", Pipe("p", F(addOne()), F(double()), F(addOne())))
+	set := SingletonSet(3, 1) // the Double node
+	s, err := g.Extract(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sub.NumNodes() != 1 || s.Sub.NumEdges() != 0 {
+		t.Fatalf("sub shape: %d nodes %d edges", s.Sub.NumNodes(), s.Sub.NumEdges())
+	}
+	if len(s.CutIn) != 1 || len(s.CutOut) != 1 {
+		t.Fatalf("cut: in %d out %d", len(s.CutIn), len(s.CutOut))
+	}
+	if s.Scale != 1 {
+		t.Errorf("scale = %d, want 1", s.Scale)
+	}
+	if got := s.IOBytesPerIteration(); got != 2*TokenBytes {
+		t.Errorf("IO bytes = %d, want %d", got, 2*TokenBytes)
+	}
+}
+
+func TestExtractScale(t *testing.T) {
+	// AddOne fires 2x per Down2 firing; extracting {AddOne} alone gives
+	// rep=[1] with scale 2.
+	g := mustGraph(t, "mix", Pipe("p", F(addOne()), F(downsample2())))
+	s, err := g.Extract(SingletonSet(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Scale != 2 {
+		t.Errorf("scale = %d, want 2", s.Scale)
+	}
+	if s.Sub.Rep(0) != 1 {
+		t.Errorf("sub rep = %d, want 1", s.Sub.Rep(0))
+	}
+}
+
+func TestExtractFunctionalEquivalence(t *testing.T) {
+	// Splitting a pipeline into two partitions and chaining their
+	// interpreters must reproduce the whole-graph output.
+	g := mustGraph(t, "pipe", Pipe("p", F(addOne()), F(double()), F(addOne()), F(double())))
+	whole, _ := NewInterp(g)
+	input := []Token{1, 2, 3, 4, 5}
+	wantOut, err := whole.Run(5, [][]Token{input})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	front := NewNodeSet(4)
+	front.Add(0)
+	front.Add(1)
+	back := NewNodeSet(4)
+	back.Add(2)
+	back.Add(3)
+	sf, err := g.Extract(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := g.Extract(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	itF, _ := NewInterp(sf.Sub)
+	itB, _ := NewInterp(sb.Sub)
+	mid, err := itF.Run(5, [][]Token{input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := itB.Run(5, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final[0]) != len(wantOut[0]) {
+		t.Fatalf("len %d vs %d", len(final[0]), len(wantOut[0]))
+	}
+	for i := range final[0] {
+		if final[0][i] != wantOut[0][i] {
+			t.Errorf("tok %d: %v != %v", i, final[0][i], wantOut[0][i])
+		}
+	}
+}
+
+func TestExtractDiamondWhole(t *testing.T) {
+	g := mustGraph(t, "sj", SplitDupRR("sj", 1, []int{1, 1}, F(addOne()), F(double())))
+	all := NewNodeSet(g.NumNodes())
+	for _, n := range g.Nodes {
+		all.Add(n.ID)
+	}
+	s, err := g.Extract(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.CutIn) != 0 || len(s.CutOut) != 0 {
+		t.Errorf("whole-graph extraction should have no cut edges")
+	}
+	if len(s.Sub.InputPorts()) != 1 || len(s.Sub.OutputPorts()) != 1 {
+		t.Errorf("primary ports should be inherited")
+	}
+}
+
+func TestExtractPreservesInitialTokens(t *testing.T) {
+	body := NewFilter("Acc", 2, 2, 0, 3, func(w *Work) {
+		s := w.In[0][0] + w.In[0][1]
+		w.Out[0][0], w.Out[0][1] = s, s
+	})
+	loop := LoopOf("acc", RoundRobinJoiner([]int{1, 1}), F(body),
+		RoundRobinSplitter([]int{1, 1}), nil, []Token{0})
+	g := mustGraph(t, "loop", loop)
+	all := NewNodeSet(g.NumNodes())
+	for _, n := range g.Nodes {
+		all.Add(n.ID)
+	}
+	s, err := g.Extract(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range s.Sub.Edges {
+		if len(e.Initial) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("delay tokens lost in extraction")
+	}
+}

@@ -1,0 +1,338 @@
+// Package topology models the PCI Express interconnect of a multi-GPU
+// machine as a tree: GPUs are leaves, switches are internal nodes and the
+// host/root complex is the root (the paper's Figure 3.3). Every tree edge is
+// a full-duplex link modelled as two directed links (an uplink towards the
+// root and a downlink away from it).
+//
+// The package implements the paper's §3.2.1 machinery: peer-to-peer routes
+// through the lowest common ancestor, and dtlist(l) — the set of
+// source-destination GPU pairs whose traffic crosses a given directed link —
+// derived from the uplink rule "the load of an uplink l is contributed by
+// the transfer from GPU i to GPU j iff i is a child of l and j is not".
+package topology
+
+import "fmt"
+
+// Host is the endpoint index representing the host (CPU) in routes and
+// transfer pairs.
+const Host = -1
+
+// Dir is a link direction.
+type Dir int
+
+const (
+	// Up points towards the root (host).
+	Up Dir = iota
+	// Down points away from the root.
+	Down
+)
+
+func (d Dir) String() string {
+	if d == Up {
+		return "up"
+	}
+	return "down"
+}
+
+// Link is one directed PCIe link. Child is the tree node at the lower (away
+// from root) end; the upper end is that node's parent.
+type Link struct {
+	ID    int
+	Child int // tree node index at the lower end
+	Dir   Dir
+}
+
+// Pair is a source-destination endpoint pair; either may be Host.
+type Pair struct {
+	Src, Dst int
+}
+
+// Tree is an immutable PCIe tree. Construct with NewBuilder or one of the
+// canned shapes, then query links, routes and dtlists.
+type Tree struct {
+	parent   []int    // per tree node; -1 for root
+	name     []string // per tree node
+	gpuNode  []int    // gpu index -> tree node
+	gpuOf    []int    // tree node -> gpu index or -1
+	links    []Link   // all directed links: 2*(numNodes-1)
+	upLink   []int    // tree node -> uplink id (-1 for root)
+	downLink []int    // tree node -> downlink id (-1 for root)
+
+	BandwidthGBs float64 // per-link per-direction bandwidth
+	LatencyUS    float64 // per-transfer initial latency
+}
+
+// Builder assembles a Tree.
+type Builder struct {
+	t *Tree
+}
+
+// NewBuilder starts a tree with only the host root node.
+// Default link parameters model PCIe 2.0 x16: 8 GB/s per direction, 10 µs
+// initial latency.
+func NewBuilder() *Builder {
+	t := &Tree{
+		parent:       []int{-1},
+		name:         []string{"host"},
+		BandwidthGBs: 8,
+		LatencyUS:    10,
+	}
+	return &Builder{t: t}
+}
+
+// SetLink overrides the per-direction bandwidth (GB/s) and latency (µs).
+func (b *Builder) SetLink(bandwidthGBs, latencyUS float64) *Builder {
+	b.t.BandwidthGBs = bandwidthGBs
+	b.t.LatencyUS = latencyUS
+	return b
+}
+
+// Root returns the host node index (always 0).
+func (b *Builder) Root() int { return 0 }
+
+// AddSwitch attaches a PCIe switch under parent and returns its node index.
+func (b *Builder) AddSwitch(parent int, name string) int {
+	return b.addNode(parent, name)
+}
+
+// AddGPU attaches a GPU leaf under parent and returns its GPU index
+// (0-based, dense).
+func (b *Builder) AddGPU(parent int) int {
+	gi := len(b.t.gpuNode)
+	n := b.addNode(parent, fmt.Sprintf("gpu%d", gi+1))
+	b.t.gpuNode = append(b.t.gpuNode, n)
+	return gi
+}
+
+func (b *Builder) addNode(parent int, name string) int {
+	if parent < 0 || parent >= len(b.t.parent) {
+		panic(fmt.Sprintf("topology: bad parent %d", parent))
+	}
+	id := len(b.t.parent)
+	b.t.parent = append(b.t.parent, parent)
+	b.t.name = append(b.t.name, name)
+	return id
+}
+
+// Build finalizes the tree.
+func (b *Builder) Build() (*Tree, error) {
+	t := b.t
+	if len(t.gpuNode) == 0 {
+		return nil, fmt.Errorf("topology: no GPUs")
+	}
+	n := len(t.parent)
+	t.gpuOf = make([]int, n)
+	for i := range t.gpuOf {
+		t.gpuOf[i] = -1
+	}
+	for gi, node := range t.gpuNode {
+		t.gpuOf[node] = gi
+	}
+	t.upLink = make([]int, n)
+	t.downLink = make([]int, n)
+	t.upLink[0], t.downLink[0] = -1, -1
+	for node := 1; node < n; node++ {
+		up := Link{ID: len(t.links), Child: node, Dir: Up}
+		t.links = append(t.links, up)
+		t.upLink[node] = up.ID
+		down := Link{ID: len(t.links), Child: node, Dir: Down}
+		t.links = append(t.links, down)
+		t.downLink[node] = down.ID
+	}
+	return t, nil
+}
+
+// FourGPUTree reproduces the paper's Figure 3.3: host - SW1 - {SW2(gpu1,
+// gpu2), SW3(gpu3, gpu4)}.
+func FourGPUTree() *Tree {
+	b := NewBuilder()
+	sw1 := b.AddSwitch(b.Root(), "SW1")
+	sw2 := b.AddSwitch(sw1, "SW2")
+	sw3 := b.AddSwitch(sw1, "SW3")
+	b.AddGPU(sw2)
+	b.AddGPU(sw2)
+	b.AddGPU(sw3)
+	b.AddGPU(sw3)
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// PairedTree builds a machine with g GPUs attached pairwise to switches
+// under a root switch, matching Figure 3.3 truncated to g GPUs. g must be
+// between 1 and 4 for the canned shape; larger machines add more pair
+// switches.
+func PairedTree(g int) *Tree {
+	if g < 1 {
+		panic("topology: PairedTree needs at least 1 GPU")
+	}
+	b := NewBuilder()
+	sw1 := b.AddSwitch(b.Root(), "SW1")
+	for added, sw := 0, -1; added < g; added++ {
+		if added%2 == 0 {
+			sw = b.AddSwitch(sw1, fmt.Sprintf("SW%d", 2+added/2))
+		}
+		b.AddGPU(sw)
+	}
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumGPUs returns the number of GPU leaves.
+func (t *Tree) NumGPUs() int { return len(t.gpuNode) }
+
+// NumLinks returns the number of directed links.
+func (t *Tree) NumLinks() int { return len(t.links) }
+
+// Links returns all directed links.
+func (t *Tree) Links() []Link { return t.links }
+
+// LinkName renders a link for reports.
+func (t *Tree) LinkName(id int) string {
+	l := t.links[id]
+	p := t.parent[l.Child]
+	if l.Dir == Up {
+		return t.name[l.Child] + "->" + t.name[p]
+	}
+	return t.name[p] + "->" + t.name[l.Child]
+}
+
+// nodeOf maps an endpoint (GPU index or Host) to a tree node.
+func (t *Tree) nodeOf(endpoint int) int {
+	if endpoint == Host {
+		return 0
+	}
+	return t.gpuNode[endpoint]
+}
+
+// underLink reports whether endpoint lies in the subtree at the link's child
+// end ("is a child of l" in the paper's rule).
+func (t *Tree) underLink(l Link, endpoint int) bool {
+	node := t.nodeOf(endpoint)
+	for node != -1 {
+		if node == l.Child {
+			return true
+		}
+		node = t.parent[node]
+	}
+	return false
+}
+
+// Carries reports whether a transfer src->dst crosses directed link l:
+// an uplink carries it iff src is under l and dst is not; a downlink iff dst
+// is under l and src is not.
+func (t *Tree) Carries(l Link, src, dst int) bool {
+	if src == dst {
+		return false
+	}
+	if l.Dir == Up {
+		return t.underLink(l, src) && !t.underLink(l, dst)
+	}
+	return t.underLink(l, dst) && !t.underLink(l, src)
+}
+
+// DTList returns the source-destination pairs whose traffic loads directed
+// link l — the paper's dtlist(l). Endpoints range over all GPUs and Host.
+func (t *Tree) DTList(l Link) []Pair {
+	endpoints := make([]int, 0, t.NumGPUs()+1)
+	endpoints = append(endpoints, Host)
+	for g := 0; g < t.NumGPUs(); g++ {
+		endpoints = append(endpoints, g)
+	}
+	var out []Pair
+	for _, s := range endpoints {
+		for _, d := range endpoints {
+			if s != d && t.Carries(l, s, d) {
+				out = append(out, Pair{s, d})
+			}
+		}
+	}
+	return out
+}
+
+// Route returns the directed link ids on the path src -> dst (peer-to-peer
+// through the lowest common ancestor; either endpoint may be Host). An empty
+// route means src == dst.
+func (t *Tree) Route(src, dst int) []int {
+	if src == dst {
+		return nil
+	}
+	var route []int
+	for _, l := range t.links {
+		if t.Carries(l, src, dst) {
+			route = append(route, l.ID)
+		}
+	}
+	// Order: uplinks bottom-up then downlinks top-down. Depth sorting.
+	depth := func(node int) int {
+		d := 0
+		for node != -1 {
+			d++
+			node = t.parent[node]
+		}
+		return d
+	}
+	for i := 0; i < len(route); i++ {
+		for j := i + 1; j < len(route); j++ {
+			li, lj := t.links[route[i]], t.links[route[j]]
+			swap := false
+			switch {
+			case li.Dir == Down && lj.Dir == Up:
+				swap = true
+			case li.Dir == lj.Dir && li.Dir == Up && depth(li.Child) < depth(lj.Child):
+				swap = true
+			case li.Dir == lj.Dir && li.Dir == Down && depth(li.Child) > depth(lj.Child):
+				swap = true
+			}
+			if swap {
+				route[i], route[j] = route[j], route[i]
+			}
+		}
+	}
+	return route
+}
+
+// RouteViaHost returns the links of a transfer staged through the host
+// (device-to-host then host-to-device), as the previous work [7] does for
+// every inter-GPU communication.
+func (t *Tree) RouteViaHost(src, dst int) []int {
+	if src == dst {
+		return nil
+	}
+	return append(t.Route(src, Host), t.Route(Host, dst)...)
+}
+
+// TransferUS returns the uncontended time for one transfer of `bytes` over a
+// route: latency plus bytes/bandwidth (the route is pipelined cut-through,
+// so length does not multiply the bandwidth term).
+func (t *Tree) TransferUS(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return t.LatencyUS + float64(bytes)/(t.BandwidthGBs*1e3) // GB/s == bytes/ns == 1e3 bytes/us
+}
+
+// Validate sanity-checks the tree.
+func (t *Tree) Validate() error {
+	if t.BandwidthGBs <= 0 || t.LatencyUS < 0 {
+		return fmt.Errorf("topology: bad link parameters")
+	}
+	for gi, node := range t.gpuNode {
+		for n := node; ; {
+			p := t.parent[n]
+			if p == -1 {
+				if n != 0 {
+					return fmt.Errorf("topology: gpu %d not rooted at host", gi)
+				}
+				break
+			}
+			n = p
+		}
+	}
+	return nil
+}

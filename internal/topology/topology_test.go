@@ -1,0 +1,187 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFourGPUTreeShape(t *testing.T) {
+	tr := FourGPUTree()
+	if tr.NumGPUs() != 4 {
+		t.Fatalf("NumGPUs = %d", tr.NumGPUs())
+	}
+	// nodes: host, SW1, SW2, SW3, 4 gpus = 8; links = 2*(8-1) = 14
+	if tr.NumLinks() != 14 {
+		t.Fatalf("NumLinks = %d, want 14", tr.NumLinks())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper's example: the uplink SW2->SW1 is used only by transfers
+// (1,3), (1,4), (2,3), (2,4) — in our 0-based indexing (0,2),(0,3),(1,2),
+// (1,3) — plus GPU->host transfers from GPUs 0 and 1.
+func TestDTListMatchesPaperExample(t *testing.T) {
+	tr := FourGPUTree()
+	var sw2Up Link
+	found := false
+	for _, l := range tr.Links() {
+		if tr.LinkName(l.ID) == "SW2->SW1" && l.Dir == Up {
+			sw2Up = l
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("SW2->SW1 uplink not found")
+	}
+	got := map[Pair]bool{}
+	for _, p := range tr.DTList(sw2Up) {
+		got[p] = true
+	}
+	want := []Pair{{0, 2}, {0, 3}, {1, 2}, {1, 3}, {0, Host}, {1, Host}}
+	for _, p := range want {
+		if !got[p] {
+			t.Errorf("dtlist missing %v", p)
+		}
+	}
+	for p := range got {
+		if p.Src != 0 && p.Src != 1 {
+			t.Errorf("dtlist has pair %v with src not under SW2", p)
+		}
+		if p.Dst == 0 || p.Dst == 1 {
+			t.Errorf("dtlist has pair %v with dst under SW2", p)
+		}
+	}
+}
+
+func TestRouteSiblingVsCousin(t *testing.T) {
+	tr := FourGPUTree()
+	// GPU0 -> GPU1 (same switch): 2 links.
+	if r := tr.Route(0, 1); len(r) != 2 {
+		t.Errorf("sibling route uses %d links, want 2", len(r))
+	}
+	// GPU1 -> GPU2 (across SW1): 4 links, matching the paper's example.
+	if r := tr.Route(1, 2); len(r) != 4 {
+		t.Errorf("cousin route uses %d links, want 4", len(r))
+	}
+	// Route ordering: uplinks first then downlinks.
+	r := tr.Route(1, 2)
+	seenDown := false
+	for _, id := range r {
+		l := tr.Links()[id]
+		if l.Dir == Down {
+			seenDown = true
+		} else if seenDown {
+			t.Errorf("uplink after downlink in route")
+		}
+	}
+}
+
+func TestRouteHostEndpoints(t *testing.T) {
+	tr := FourGPUTree()
+	// GPU0 -> host crosses 3 uplinks (gpu0->SW2, SW2->SW1, SW1->host).
+	r := tr.Route(0, Host)
+	if len(r) != 3 {
+		t.Errorf("gpu0->host route = %d links, want 3", len(r))
+	}
+	for _, id := range r {
+		if tr.Links()[id].Dir != Up {
+			t.Errorf("gpu->host route contains a downlink")
+		}
+	}
+	r = tr.Route(Host, 3)
+	if len(r) != 3 {
+		t.Errorf("host->gpu3 route = %d links, want 3", len(r))
+	}
+}
+
+func TestRouteViaHost(t *testing.T) {
+	tr := FourGPUTree()
+	direct := tr.Route(0, 1)
+	staged := tr.RouteViaHost(0, 1)
+	if len(staged) <= len(direct) {
+		t.Errorf("staged route (%d links) should be longer than p2p (%d)", len(staged), len(direct))
+	}
+	if len(staged) != 6 {
+		t.Errorf("staged sibling route = %d links, want 6", len(staged))
+	}
+}
+
+// Property: a transfer crosses an uplink iff the reverse transfer crosses
+// the matching downlink.
+func TestCarriesSymmetryQuick(t *testing.T) {
+	tr := FourGPUTree()
+	f := func(a, b uint8, li uint8) bool {
+		src := int(a)%5 - 1 // -1..3 => Host..gpu3
+		dst := int(b)%5 - 1
+		if src == dst {
+			return true
+		}
+		l := tr.Links()[int(li)%tr.NumLinks()]
+		var mirror Link
+		for _, m := range tr.Links() {
+			if m.Child == l.Child && m.Dir != l.Dir {
+				mirror = m
+			}
+		}
+		return tr.Carries(l, src, dst) == tr.Carries(mirror, dst, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every route alternates a (possibly empty) uplink prefix with a
+// downlink suffix and is link-disjoint.
+func TestRouteStructureQuick(t *testing.T) {
+	tr := PairedTree(6)
+	f := func(a, b uint8) bool {
+		src := int(a)%7 - 1
+		dst := int(b)%7 - 1
+		r := tr.Route(src, dst)
+		if src == dst {
+			return len(r) == 0
+		}
+		seen := map[int]bool{}
+		down := false
+		for _, id := range r {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+			if tr.Links()[id].Dir == Down {
+				down = true
+			} else if down {
+				return false
+			}
+		}
+		return len(r) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairedTreeSizes(t *testing.T) {
+	for g := 1; g <= 5; g++ {
+		tr := PairedTree(g)
+		if tr.NumGPUs() != g {
+			t.Errorf("PairedTree(%d).NumGPUs = %d", g, tr.NumGPUs())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("PairedTree(%d): %v", g, err)
+		}
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	tr := FourGPUTree()
+	us := tr.TransferUS(8000) // 8 KB at 8 GB/s = 1 us + 10 us latency
+	if us < 10.9 || us > 11.1 {
+		t.Errorf("TransferUS(8000) = %v, want ~11", us)
+	}
+	if tr.TransferUS(0) != 0 {
+		t.Errorf("zero-byte transfer should be free")
+	}
+}

@@ -1,0 +1,117 @@
+// Package streammap is a communication-aware compiler that maps stream
+// graphs (StreamIt-style synchronous dataflow programs) onto multi-GPU
+// platforms, reproducing "Communication-aware Mapping of Stream Graphs for
+// Multi-GPU Platforms" (Nguyen, 2016).
+//
+// The flow profiles every filter for the target GPU, partitions the graph
+// with a four-phase heuristic driven by a GPU performance estimation engine,
+// solves the partition-to-GPU assignment with an ILP over the PCIe tree
+// topology, and emits an executable plan that runs — pipelined across
+// fragments, with peer-to-peer transfers — on the included discrete-event
+// multi-GPU simulator.
+//
+// Quick start:
+//
+//	s := streammap.Pipe("app", streammap.F(myFilter), ...)
+//	g, err := streammap.Flatten("app", s)
+//	c, err := streammap.Compile(g, streammap.Options{Topo: streammap.PairedTree(4)})
+//	res, err := c.Execute(inputs, 64)
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// architecture.
+package streammap
+
+import (
+	"streammap/internal/core"
+	"streammap/internal/gpu"
+	"streammap/internal/sdf"
+	"streammap/internal/topology"
+)
+
+// Re-exported stream-graph construction API (package sdf).
+type (
+	// Token is the unit of channel data.
+	Token = sdf.Token
+	// Filter is one actor.
+	Filter = sdf.Filter
+	// Work is the per-firing execution context.
+	Work = sdf.Work
+	// Stream is a structural composition node.
+	Stream = sdf.Stream
+	// Graph is a flattened stream graph.
+	Graph = sdf.Graph
+)
+
+// Structural composition.
+var (
+	// F lifts a Filter into a Stream.
+	F = sdf.F
+	// Pipe composes streams sequentially.
+	Pipe = sdf.Pipe
+	// Split composes parallel branches with explicit splitter/joiner.
+	Split = sdf.Split
+	// SplitDupRR is duplicate-split / round-robin-join.
+	SplitDupRR = sdf.SplitDupRR
+	// SplitRRRR is round-robin split and join.
+	SplitRRRR = sdf.SplitRRRR
+	// LoopOf builds a feedback loop.
+	LoopOf = sdf.LoopOf
+	// Flatten elaborates a Stream into a Graph.
+	Flatten = sdf.Flatten
+	// NewFilter builds a single-input single-output filter.
+	NewFilter = sdf.NewFilter
+	// Identity copies n tokens per firing.
+	Identity = sdf.Identity
+)
+
+// Devices and topologies.
+type (
+	// Device is a GPU model.
+	Device = gpu.Device
+	// Topology is a PCIe tree.
+	Topology = topology.Tree
+)
+
+var (
+	// M2090 is the paper's evaluation GPU.
+	M2090 = gpu.M2090
+	// C2070 is the previous work's GPU.
+	C2070 = gpu.C2070
+	// FourGPUTree is the paper's Figure 3.3 machine.
+	FourGPUTree = topology.FourGPUTree
+	// PairedTree builds a machine with g GPUs attached pairwise.
+	PairedTree = topology.PairedTree
+	// NewTopology starts a custom PCIe tree.
+	NewTopology = topology.NewBuilder
+)
+
+// Compilation.
+type (
+	// Options configures the mapping flow.
+	Options = core.Options
+	// Compiled is the result: partitions, assignment, executable plan.
+	Compiled = core.Compiled
+	// PartitionerKind selects the partitioning algorithm.
+	PartitionerKind = core.PartitionerKind
+	// MapperKind selects the mapper.
+	MapperKind = core.MapperKind
+)
+
+// Partitioner and mapper choices.
+const (
+	// Alg1 is the paper's four-phase partitioning heuristic.
+	Alg1 = core.Alg1
+	// PrevWorkPartitioner merges until the shared-memory limit ([7]).
+	PrevWorkPartitioner = core.PrevWorkPart
+	// SinglePartition maps the whole graph as one kernel ([10]).
+	SinglePartition = core.SinglePart
+	// ILPMapper is the communication-aware mapping of §3.2.2.
+	ILPMapper = core.ILPMapper
+	// PrevWorkMapper is workload-only balancing with host staging.
+	PrevWorkMapper = core.PrevWorkMap
+)
+
+// Compile runs the full mapping flow on a stream graph.
+func Compile(g *Graph, opts Options) (*Compiled, error) {
+	return core.Compile(g, opts)
+}
