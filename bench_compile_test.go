@@ -1,0 +1,88 @@
+package streammap
+
+// Compile-path guardrail: BenchmarkCompile_Serial measures the monolithic
+// serial reference flow, BenchmarkCompile_Pipeline the staged concurrent
+// pass-pipeline, on the largest internal/apps workload (DES N=32: ~224
+// partitions, the heaviest partition+map passes of the suite). Their ratio
+// is the compile-path speedup; bench_compile_baseline.json records a
+// reference run so future PRs can track regressions.
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"streammap/internal/apps"
+	"streammap/internal/core"
+	"streammap/internal/driver"
+	"streammap/internal/mapping"
+	"streammap/internal/sdf"
+	"streammap/internal/topology"
+)
+
+// benchCompileWorkload builds the heaviest compile instance of the app
+// suite.
+func benchCompileWorkload(b *testing.B) *sdf.Graph {
+	b.Helper()
+	app, ok := apps.ByName("DES")
+	if !ok {
+		b.Fatal("DES not registered")
+	}
+	g, err := apps.BuildGraph(app, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchCompileOptions(workers int) core.Options {
+	return core.Options{
+		Topo:       topology.PairedTree(4),
+		MapOptions: mapping.Options{TimeBudget: 2 * time.Second},
+		Workers:    workers,
+	}
+}
+
+func BenchmarkCompile_Serial(b *testing.B) {
+	g := benchCompileWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := driver.CompileSerial(g, benchCompileOptions(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(c.Parts.Parts)), "partitions")
+	}
+}
+
+func BenchmarkCompile_Pipeline(b *testing.B) {
+	g := benchCompileWorkload(b)
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := core.CompileCtx(context.Background(), g, benchCompileOptions(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(c.Parts.Parts)), "partitions")
+		b.ReportMetric(float64(workers), "workers")
+	}
+}
+
+// BenchmarkCompile_ServiceCached measures the served path: after the first
+// miss every request is a cache hit, which is the steady state of a
+// compile-serving deployment.
+func BenchmarkCompile_ServiceCached(b *testing.B) {
+	g := benchCompileWorkload(b)
+	svc := NewService(ServiceConfig{})
+	if _, err := svc.Compile(context.Background(), g, benchCompileOptions(0)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Compile(context.Background(), g, benchCompileOptions(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

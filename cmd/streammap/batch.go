@@ -1,0 +1,171 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"streammap/internal/apps"
+	"streammap/internal/core"
+	"streammap/internal/gpu"
+	"streammap/internal/topology"
+)
+
+// batchJob is one requested compilation cell.
+type batchJob struct {
+	app  apps.App
+	n    int
+	gpus int
+}
+
+// parseBatch expands a -batch spec: "all" enumerates every registered app
+// at its default size; otherwise a comma-separated list of app[:n[:gpus]].
+func parseBatch(spec string, defaultGPUs int) ([]batchJob, error) {
+	if spec == "all" {
+		var jobs []batchJob
+		for _, a := range apps.Registry {
+			jobs = append(jobs, batchJob{app: a, n: a.Sizes[len(a.Sizes)/2], gpus: defaultGPUs})
+		}
+		return jobs, nil
+	}
+	var jobs []batchJob
+	for _, ent := range strings.Split(spec, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		parts := strings.Split(ent, ":")
+		app, ok := apps.ByName(parts[0])
+		if !ok {
+			return nil, fmt.Errorf("unknown app %q; available: %s", parts[0], strings.Join(apps.Names(), ", "))
+		}
+		job := batchJob{app: app, n: app.Sizes[len(app.Sizes)/2], gpus: defaultGPUs}
+		if len(parts) > 1 {
+			v, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("bad size in %q: %w", ent, err)
+			}
+			job.n = v
+		}
+		if len(parts) > 2 {
+			v, err := strconv.Atoi(parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("bad gpu count in %q: %w", ent, err)
+			}
+			job.gpus = v
+		}
+		if len(parts) > 3 {
+			return nil, fmt.Errorf("malformed spec entry %q (want app[:n[:gpus]])", ent)
+		}
+		if job.n < 1 {
+			return nil, fmt.Errorf("bad size %d in %q (want >= 1)", job.n, ent)
+		}
+		if job.gpus < 1 {
+			return nil, fmt.Errorf("bad gpu count %d in %q (want >= 1)", job.gpus, ent)
+		}
+		jobs = append(jobs, job)
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("empty batch spec")
+	}
+	return jobs, nil
+}
+
+// runBatch compiles every job concurrently through one core.Service and
+// prints a per-job line plus the service's cache statistics. Duplicate
+// cells in the spec are served from cache (or joined in flight), which is
+// the serving story of DESIGN.md S9 in miniature.
+func runBatch(spec string, defaultGPUs, workers int, device string) error {
+	if defaultGPUs < 1 {
+		return fmt.Errorf("need at least 1 GPU (-gpus %d)", defaultGPUs)
+	}
+	var dev gpu.Device
+	switch device {
+	case "m2090":
+		dev = gpu.M2090()
+	case "c2070":
+		dev = gpu.C2070()
+	default:
+		return fmt.Errorf("unknown device %q", device)
+	}
+	jobs, err := parseBatch(spec, defaultGPUs)
+	if err != nil {
+		return err
+	}
+
+	svc := core.NewService(core.ServiceConfig{MaxConcurrent: workers})
+	type outcome struct {
+		c   *core.Compiled
+		err error
+		dur time.Duration
+	}
+	results := make([]outcome, len(jobs))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job batchJob) {
+			defer wg.Done()
+			g, err := apps.BuildGraph(job.app, job.n)
+			if err != nil {
+				results[i] = outcome{err: err}
+				return
+			}
+			t0 := time.Now()
+			c, err := svc.Compile(context.Background(), g, core.Options{
+				Device: dev,
+				Topo:   topology.PairedTree(job.gpus),
+			})
+			results[i] = outcome{c: c, err: err, dur: time.Since(t0)}
+		}(i, job)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	fmt.Printf("%-12s %6s %5s  %7s %10s %-8s %10s  %s\n",
+		"app", "N", "gpus", "#parts", "Tmax(us)", "method", "latency", "stages")
+	for i, job := range jobs {
+		r := results[i]
+		if r.err != nil {
+			fmt.Printf("%-12s %6d %5d  error: %v\n", job.app.Name, job.n, job.gpus, r.err)
+			continue
+		}
+		var stages []string
+		for _, s := range r.c.Stages {
+			stages = append(stages, fmt.Sprintf("%s=%s", s.Name, s.Duration.Round(time.Microsecond)))
+		}
+		fmt.Printf("%-12s %6d %5d  %7d %10.1f %-8s %10s  %s\n",
+			job.app.Name, job.n, job.gpus,
+			len(r.c.Parts.Parts), r.c.Assign.Objective, r.c.Assign.Method,
+			r.dur.Round(time.Microsecond), strings.Join(stages, " "))
+	}
+	st := svc.Stats()
+	fmt.Printf("\nbatch: %d jobs in %s — cache: %d hits, %d misses, %d entries\n",
+		len(jobs), wall.Round(time.Millisecond), st.Hits, st.Misses, st.Entries)
+
+	// Aggregate stage costs over the distinct compilations.
+	agg := map[string]time.Duration{}
+	seen := map[*core.Compiled]bool{}
+	for _, r := range results {
+		if r.err != nil || seen[r.c] {
+			continue
+		}
+		seen[r.c] = true
+		for _, s := range r.c.Stages {
+			agg[s.Name] += s.Duration
+		}
+	}
+	names := make([]string, 0, len(agg))
+	for name := range agg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  total %-10s %s\n", name, agg[name].Round(time.Microsecond))
+	}
+	return nil
+}

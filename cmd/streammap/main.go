@@ -1,17 +1,21 @@
 // Command streammap is the compiler driver: it maps a benchmark stream
 // graph onto a simulated multi-GPU machine and emits a report, generated
-// CUDA-like source, Graphviz, or a simulated execution.
+// CUDA-like source, Graphviz, or a simulated execution. Batch mode compiles
+// many graphs concurrently through the core.Service compile cache.
 //
 // Usage:
 //
 //	streammap -app DES -n 8 -gpus 4 [-partitioner alg1|prev|single]
 //	          [-mapper ilp|prev] [-emit report|cuda|dot|run] [-fragments 64]
+//	streammap -batch "DES:8:4,FFT:64:2,DES:8:4" [-batch-workers 8]
+//	streammap -batch all
 //
 // Examples:
 //
 //	streammap -app FFT -n 256 -gpus 4 -emit report
 //	streammap -app DES -n 8 -gpus 2 -emit cuda > des.cu
 //	streammap -app DCT -n 14 -gpus 4 -emit run
+//	streammap -batch all -gpus 4
 package main
 
 import (
@@ -38,7 +42,16 @@ func main() {
 	emit := flag.String("emit", "report", "report, cuda, dot or run")
 	fragments := flag.Int("fragments", 64, "fragments for -emit run")
 	device := flag.String("device", "m2090", "m2090 or c2070")
+	batch := flag.String("batch", "", `batch mode: comma-separated app[:n[:gpus]] specs, or "all"; compiles concurrently through the compile service`)
+	batchWorkers := flag.Int("batch-workers", 0, "concurrent compilations in batch mode (default GOMAXPROCS)")
 	flag.Parse()
+
+	if *batch != "" {
+		if err := runBatch(*batch, *gpus, *batchWorkers, *device); err != nil {
+			fail("batch: %v", err)
+		}
+		return
+	}
 
 	app, ok := apps.ByName(*appName)
 	if !ok {

@@ -1,0 +1,3 @@
+module streammap
+
+go 1.24

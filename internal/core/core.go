@@ -1,197 +1,59 @@
-// Package core orchestrates the paper's mapping flow (Figure 3.1):
-//
-//	annotated stream graph -> partitioning -> multi-GPU mapping -> plan
-//
-// profiling the graph for the target device, running the chosen partitioner
-// (Algorithm 1, the previous work's SM-only heuristic, or single-partition),
-// building the partition dependence graph, solving the communication-aware
-// mapping, and assembling the executable plan for the simulator and the
-// code generator.
+// Package core is the public face of the compilation flow. The flow itself
+// — profile -> partition -> pdg -> map -> plan — lives in package driver as
+// an explicit pass-pipeline with named, timed, cancellable stages; core
+// re-exports the driver types and adds Service, a concurrent compile
+// service with an LRU result cache for serving many graphs.
 package core
 
 import (
-	"fmt"
+	"context"
 
-	"streammap/internal/gpu"
-	"streammap/internal/gpusim"
-	"streammap/internal/mapping"
-	"streammap/internal/partition"
-	"streammap/internal/pdg"
-	"streammap/internal/pee"
+	"streammap/internal/driver"
 	"streammap/internal/sdf"
-	"streammap/internal/topology"
 )
 
 // PartitionerKind selects the partitioning algorithm.
-type PartitionerKind int
+type PartitionerKind = driver.PartitionerKind
 
 // Partitioners.
 const (
 	// Alg1 is the paper's four-phase heuristic.
-	Alg1 PartitionerKind = iota
+	Alg1 = driver.Alg1
 	// PrevWorkPart merges until the SM requirement is violated ([7]).
-	PrevWorkPart
+	PrevWorkPart = driver.PrevWorkPart
 	// SinglePart maps the whole graph as one kernel ([10], the SOSP
 	// baseline).
-	SinglePart
+	SinglePart = driver.SinglePart
 )
 
 // MapperKind selects the partition-to-GPU mapper.
-type MapperKind int
+type MapperKind = driver.MapperKind
 
 // Mappers.
 const (
-	// ILPMapper is the communication-aware ILP of §3.2.2 (with local-search
-	// seeding/fallback).
-	ILPMapper MapperKind = iota
+	// ILPMapper is the communication-aware ILP of §3.2.2 (raced as a solver
+	// portfolio with local-search seeding/fallback).
+	ILPMapper = driver.ILPMapper
 	// PrevWorkMap is workload-only balancing with host-staged transfers.
-	PrevWorkMap
+	PrevWorkMap = driver.PrevWorkMap
 )
 
 // Options configures a compilation.
-type Options struct {
-	Device        gpu.Device
-	Topo          *topology.Tree
-	FragmentIters int // B: parent iterations per fragment (default 512)
-	Partitioner   PartitionerKind
-	Mapper        MapperKind
-	MapOptions    mapping.Options
-}
+type Options = driver.Options
 
-func (o Options) withDefaults() Options {
-	if o.Device.Name == "" {
-		o.Device = gpu.M2090()
-	}
-	if o.Topo == nil {
-		o.Topo = topology.PairedTree(1)
-	}
-	if o.FragmentIters == 0 {
-		o.FragmentIters = 512
-	}
-	return o
-}
+// StageMetric records one pipeline pass's wall-clock cost.
+type StageMetric = driver.StageMetric
 
 // Compiled is the full result of the mapping flow.
-type Compiled struct {
-	Graph   *sdf.Graph
-	Options Options
-	Prof    *pee.Profile
-	Engine  *pee.Engine
-	Parts   *partition.Result
-	PDG     *pdg.PDG
-	Problem *mapping.Problem
-	Assign  *mapping.Assignment
-	Plan    *gpusim.Plan
-}
+type Compiled = driver.Compiled
 
 // Compile runs the whole flow on a stream graph.
 func Compile(g *sdf.Graph, opts Options) (*Compiled, error) {
-	opts = opts.withDefaults()
-	if err := opts.Device.Validate(); err != nil {
-		return nil, err
-	}
-	if err := opts.Topo.Validate(); err != nil {
-		return nil, err
-	}
-	if !g.HasSteady() {
-		if err := g.Steady(); err != nil {
-			return nil, err
-		}
-	}
-	prof := pee.ProfileGraph(g, opts.Device)
-	eng := pee.NewEngine(g, prof)
-
-	var parts *partition.Result
-	var err error
-	switch opts.Partitioner {
-	case Alg1:
-		parts, err = partition.Run(g, eng)
-	case PrevWorkPart:
-		parts, err = partition.PrevWork(g, eng, opts.Device)
-	case SinglePart:
-		parts, err = partition.SinglePartition(g, eng)
-	default:
-		err = fmt.Errorf("core: unknown partitioner %d", opts.Partitioner)
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	dg, err := pdg.Build(g, parts.Parts)
-	if err != nil {
-		return nil, err
-	}
-
-	prob := &mapping.Problem{
-		PDG:           dg,
-		Topo:          opts.Topo,
-		FragmentIters: opts.FragmentIters,
-		NumSMs:        opts.Device.NumSMs,
-		LaunchUS:      opts.Device.KernelLaunchUS,
-		ViaHost:       opts.Mapper == PrevWorkMap,
-		TimesUS:       fragmentTimes(parts.Parts, opts),
-	}
-	var assign *mapping.Assignment
-	switch opts.Mapper {
-	case ILPMapper:
-		assign, err = mapping.Solve(prob, opts.MapOptions)
-	case PrevWorkMap:
-		assign = mapping.PrevWork(prob)
-	default:
-		err = fmt.Errorf("core: unknown mapper %d", opts.Mapper)
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	plan := &gpusim.Plan{
-		Graph:         g,
-		Machine:       gpusim.Machine{Device: opts.Device, Topo: opts.Topo},
-		Prof:          prof,
-		PDG:           dg,
-		Parts:         parts.Parts,
-		GPUOf:         assign.GPUOf,
-		FragmentIters: opts.FragmentIters,
-		ViaHost:       opts.Mapper == PrevWorkMap,
-	}
-	return &Compiled{
-		Graph:   g,
-		Options: opts,
-		Prof:    prof,
-		Engine:  eng,
-		Parts:   parts,
-		PDG:     dg,
-		Problem: prob,
-		Assign:  assign,
-		Plan:    plan,
-	}, nil
+	return driver.Compile(context.Background(), g, opts)
 }
 
-// fragmentTimes derives each partition's per-fragment busy-time estimate
-// with the same wave-quantized law the execution engine charges: blocks of W
-// executions spread over the SMs, each wave costing the estimated Texec.
-// Feeding the mapper the law the hardware follows is the "minimal static
-// discrepancy" principle of §3.3 applied to the mapping step.
-func fragmentTimes(parts []*partition.Partition, opts Options) []float64 {
-	out := make([]float64, len(parts))
-	for i, p := range parts {
-		execs := int64(opts.FragmentIters) * p.Sub.Scale
-		w := int64(p.Est.Params.W)
-		blocks := (execs + w - 1) / w
-		waves := (blocks + int64(opts.Device.NumSMs) - 1) / int64(opts.Device.NumSMs)
-		out[i] = opts.Device.KernelLaunchUS + float64(waves)*p.Est.TexecUS
-	}
-	return out
-}
-
-// Execute runs the compiled plan on the simulator.
-func (c *Compiled) Execute(inputs [][]sdf.Token, fragments int) (*gpusim.Result, error) {
-	return gpusim.Run(c.Plan, inputs, fragments)
-}
-
-// InputNeed returns the number of tokens required on primary input port idx
-// for the given fragment count.
-func (c *Compiled) InputNeed(idx, fragments int) int64 {
-	ports := c.Graph.InputPorts()
-	return c.Graph.PortTokens(ports[idx], true) * int64(c.Options.FragmentIters) * int64(fragments)
+// CompileCtx is Compile under a context: cancellation aborts between
+// pipeline stages and inside the parallel passes.
+func CompileCtx(ctx context.Context, g *sdf.Graph, opts Options) (*Compiled, error) {
+	return driver.Compile(ctx, g, opts)
 }

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streammap/internal/driver"
+	"streammap/internal/sdf"
+)
+
+// ServiceConfig tunes a compile service.
+type ServiceConfig struct {
+	// MaxEntries bounds the LRU result cache (default 256).
+	MaxEntries int
+	// MaxConcurrent bounds compilations running at once; further requests
+	// queue (default GOMAXPROCS).
+	MaxConcurrent int
+}
+
+func (c ServiceConfig) withDefaults() ServiceConfig {
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 256
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// ServiceStats is a snapshot of a service's counters.
+type ServiceStats struct {
+	Hits      int64 // requests served from cache (including join-in-flight)
+	Misses    int64 // requests that ran a compilation
+	Evictions int64 // cache entries dropped by the LRU bound
+	Entries   int   // entries currently cached
+}
+
+// cacheKey identifies a compilation result: graph structure, device,
+// topology and every option that influences the outcome. Workers is
+// deliberately excluded — it changes wall-clock, never the result.
+type cacheKey struct {
+	graph       uint64
+	device      string
+	topo        string
+	fragIters   int
+	partitioner PartitionerKind
+	mapper      MapperKind
+	ilpMax      int
+	ilpBudget   time.Duration
+	forceILP    bool
+}
+
+func keyOf(g *sdf.Graph, opts Options) cacheKey {
+	// Normalize first so a zero-value request and its explicit-default
+	// twin (e.g. Topo nil vs PairedTree(1), FragmentIters 0 vs 512) share
+	// one cache entry.
+	opts = driver.Normalized(opts)
+	return cacheKey{
+		graph:       g.Fingerprint(),
+		device:      fmt.Sprintf("%+v", opts.Device),
+		topo:        opts.Topo.Key(),
+		fragIters:   opts.FragmentIters,
+		partitioner: opts.Partitioner,
+		mapper:      opts.Mapper,
+		ilpMax:      opts.MapOptions.ILPMaxParts,
+		ilpBudget:   opts.MapOptions.TimeBudget,
+		forceILP:    opts.MapOptions.ForceILP,
+	}
+}
+
+// entry is one cached (possibly in-flight) compilation.
+type entry struct {
+	done chan struct{} // closed when c/err are final
+	c    *Compiled
+	err  error
+}
+
+// Service compiles many stream graphs concurrently, deduplicating identical
+// in-flight requests and caching results in an LRU keyed by (graph
+// fingerprint, device, topology, options). It is safe for concurrent use.
+//
+// The cache returns the same *Compiled to every caller with an equal key;
+// treat compiled results as immutable (copy the Plan before mutating it, as
+// the experiments do).
+type Service struct {
+	cfg ServiceConfig
+	sem chan struct{}
+
+	// steadyMu serializes lazy steady-state computation: concurrent first
+	// requests may share one *Graph, and Graph.Steady mutates it.
+	steadyMu sync.Mutex
+
+	mu    sync.Mutex
+	lru   *list.List // of *lruItem, most recent at front
+	byKey map[cacheKey]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type lruItem struct {
+	key cacheKey
+	e   *entry
+}
+
+// NewService returns a compile service.
+func NewService(cfg ServiceConfig) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		lru:   list.New(),
+		byKey: map[cacheKey]*list.Element{},
+	}
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() ServiceStats {
+	s.mu.Lock()
+	entries := s.lru.Len()
+	s.mu.Unlock()
+	return ServiceStats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+		Entries:   entries,
+	}
+}
+
+// Compile returns the compilation of g under opts, serving repeats from the
+// cache and joining concurrent duplicates onto one in-flight compilation.
+// Failed compilations are not cached.
+func (s *Service) Compile(ctx context.Context, g *sdf.Graph, opts Options) (*Compiled, error) {
+	s.steadyMu.Lock()
+	var steadyErr error
+	if !g.HasSteady() {
+		steadyErr = g.Steady()
+	}
+	s.steadyMu.Unlock()
+	if steadyErr != nil {
+		return nil, steadyErr
+	}
+	key := keyOf(g, opts)
+
+	s.mu.Lock()
+	if el, ok := s.byKey[key]; ok {
+		s.lru.MoveToFront(el)
+		e := el.Value.(*lruItem).e
+		s.mu.Unlock()
+		s.hits.Add(1)
+		select {
+		case <-e.done:
+			return e.c, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &entry{done: make(chan struct{})}
+	el := s.lru.PushFront(&lruItem{key: key, e: e})
+	s.byKey[key] = el
+	s.evictLocked()
+	s.mu.Unlock()
+	s.misses.Add(1)
+
+	// The compilation runs detached from the requesting context: other
+	// callers may have joined this entry, and one caller's cancellation
+	// must not poison theirs. The originator still returns promptly on its
+	// own ctx; an abandoned compilation finishes and populates the cache.
+	go func() {
+		s.sem <- struct{}{}
+		e.c, e.err = driver.Compile(context.WithoutCancel(ctx), g, opts)
+		<-s.sem
+		if e.err != nil {
+			s.drop(key, el)
+		}
+		close(e.done)
+	}()
+	select {
+	case <-e.done:
+		return e.c, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// drop removes a failed or abandoned entry so later requests retry.
+func (s *Service) drop(key cacheKey, el *list.Element) {
+	s.mu.Lock()
+	if cur, ok := s.byKey[key]; ok && cur == el {
+		s.lru.Remove(el)
+		delete(s.byKey, key)
+	}
+	s.mu.Unlock()
+}
+
+// evictLocked enforces MaxEntries; the caller holds s.mu. In-flight entries
+// can be evicted — their waiters still complete, the result just is not
+// retained.
+func (s *Service) evictLocked() {
+	for s.lru.Len() > s.cfg.MaxEntries {
+		back := s.lru.Back()
+		if back == nil {
+			return
+		}
+		it := back.Value.(*lruItem)
+		s.lru.Remove(back)
+		delete(s.byKey, it.key)
+		s.evictions.Add(1)
+	}
+}

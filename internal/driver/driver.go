@@ -1,0 +1,280 @@
+// Package driver runs the paper's mapping flow (Figure 3.1) as an explicit
+// pass-pipeline:
+//
+//	profile -> partition -> pdg -> map -> plan
+//
+// Each pass is a named, timed, cancellable stage sharing one
+// context.Context; per-stage wall-clock metrics are recorded on the result.
+// The two hot passes are parallel: the partitioner speculatively scores
+// Try-Merge candidates on a worker pool (package partition) against a
+// concurrency-safe estimation engine (package pee), and the mapper races a
+// portfolio of solvers under the ILP budget (package mapping). Both commit
+// deterministically, so the pipeline's artifacts are bit-identical to the
+// serial reference flow kept in CompileSerial (see DESIGN.md S9).
+//
+// Package core re-exports this package's types; core.Service adds the
+// caching compile service on top.
+package driver
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"streammap/internal/gpu"
+	"streammap/internal/gpusim"
+	"streammap/internal/mapping"
+	"streammap/internal/partition"
+	"streammap/internal/pdg"
+	"streammap/internal/pee"
+	"streammap/internal/sdf"
+	"streammap/internal/topology"
+)
+
+// PartitionerKind selects the partitioning algorithm.
+type PartitionerKind int
+
+// Partitioners.
+const (
+	// Alg1 is the paper's four-phase heuristic.
+	Alg1 PartitionerKind = iota
+	// PrevWorkPart merges until the SM requirement is violated ([7]).
+	PrevWorkPart
+	// SinglePart maps the whole graph as one kernel ([10], the SOSP
+	// baseline).
+	SinglePart
+)
+
+// MapperKind selects the partition-to-GPU mapper.
+type MapperKind int
+
+// Mappers.
+const (
+	// ILPMapper is the communication-aware ILP of §3.2.2 (with local-search
+	// seeding/fallback, raced as a portfolio in the pipeline).
+	ILPMapper MapperKind = iota
+	// PrevWorkMap is workload-only balancing with host-staged transfers.
+	PrevWorkMap
+)
+
+// Options configures a compilation.
+type Options struct {
+	Device        gpu.Device
+	Topo          *topology.Tree
+	FragmentIters int // B: parent iterations per fragment (default 512)
+	Partitioner   PartitionerKind
+	Mapper        MapperKind
+	MapOptions    mapping.Options
+
+	// Workers bounds the worker pools of the parallel passes. 0 selects
+	// GOMAXPROCS; 1 runs every pass serially. The result is identical
+	// either way — workers only change wall-clock time.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Device.Name == "" {
+		o.Device = gpu.M2090()
+	}
+	if o.Topo == nil {
+		o.Topo = topology.PairedTree(1)
+	}
+	if o.FragmentIters == 0 {
+		o.FragmentIters = 512
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Normalized returns opts with every default filled in. core.Service keys
+// its result cache on normalized options, so equivalent requests (zero
+// value vs explicit default) share one cache entry.
+func Normalized(opts Options) Options { return opts.withDefaults() }
+
+// StageMetric records one pass's wall-clock cost.
+type StageMetric struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Compiled is the full result of the mapping flow.
+type Compiled struct {
+	Graph   *sdf.Graph
+	Options Options
+	Prof    *pee.Profile
+	Engine  *pee.Engine
+	Parts   *partition.Result
+	PDG     *pdg.PDG
+	Problem *mapping.Problem
+	Assign  *mapping.Assignment
+	Plan    *gpusim.Plan
+
+	// Stages holds the per-pass timings of this compilation, in pass order.
+	Stages []StageMetric
+}
+
+// StageDuration returns the recorded wall-clock of the named pass (zero if
+// the pass did not run).
+func (c *Compiled) StageDuration(name string) time.Duration {
+	for _, s := range c.Stages {
+		if s.Name == name {
+			return s.Duration
+		}
+	}
+	return 0
+}
+
+// stage is one named pass over the accumulating compilation state.
+type stage struct {
+	name string
+	run  func(ctx context.Context, c *Compiled) error
+}
+
+// pipeline is the pass order of the flow.
+func pipeline() []stage {
+	return []stage{
+		{"profile", stageProfile},
+		{"partition", stagePartition},
+		{"pdg", stagePDG},
+		{"map", stageMap},
+		{"plan", stagePlan},
+	}
+}
+
+// Compile runs the whole flow on a stream graph through the pass-pipeline.
+// The context cancels the run between stages and inside the parallel
+// passes.
+func Compile(ctx context.Context, g *sdf.Graph, opts Options) (*Compiled, error) {
+	opts = opts.withDefaults()
+	if err := opts.Device.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.HasSteady() {
+		if err := g.Steady(); err != nil {
+			return nil, err
+		}
+	}
+	c := &Compiled{Graph: g, Options: opts}
+	for _, s := range pipeline() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("driver: cancelled before %s pass: %w", s.name, err)
+		}
+		start := time.Now()
+		if err := s.run(ctx, c); err != nil {
+			return nil, err
+		}
+		c.Stages = append(c.Stages, StageMetric{Name: s.name, Duration: time.Since(start)})
+	}
+	return c, nil
+}
+
+// stageProfile annotates every filter with its profiled single-thread cost
+// and builds the shared estimation engine.
+func stageProfile(_ context.Context, c *Compiled) error {
+	c.Prof = pee.ProfileGraph(c.Graph, c.Options.Device)
+	c.Engine = pee.NewEngine(c.Graph, c.Prof)
+	return nil
+}
+
+// stagePartition runs the selected partitioner; Algorithm 1 scores its
+// Try-Merge candidates on the worker pool.
+func stagePartition(ctx context.Context, c *Compiled) error {
+	var err error
+	switch c.Options.Partitioner {
+	case Alg1:
+		c.Parts, err = partition.RunCtx(ctx, c.Graph, c.Engine, c.Options.Workers)
+	case PrevWorkPart:
+		c.Parts, err = partition.PrevWork(c.Graph, c.Engine, c.Options.Device)
+	case SinglePart:
+		c.Parts, err = partition.SinglePartition(c.Graph, c.Engine)
+	default:
+		err = fmt.Errorf("driver: unknown partitioner %d", c.Options.Partitioner)
+	}
+	return err
+}
+
+// stagePDG builds the partition dependence graph.
+func stagePDG(_ context.Context, c *Compiled) error {
+	var err error
+	c.PDG, err = pdg.Build(c.Graph, c.Parts.Parts)
+	return err
+}
+
+// stageMap solves the partition-to-GPU assignment; the communication-aware
+// mapper races its solver portfolio under the ILP budget.
+func stageMap(ctx context.Context, c *Compiled) error {
+	c.Problem = &mapping.Problem{
+		PDG:           c.PDG,
+		Topo:          c.Options.Topo,
+		FragmentIters: c.Options.FragmentIters,
+		NumSMs:        c.Options.Device.NumSMs,
+		LaunchUS:      c.Options.Device.KernelLaunchUS,
+		ViaHost:       c.Options.Mapper == PrevWorkMap,
+		TimesUS:       fragmentTimes(c.Parts.Parts, c.Options),
+	}
+	var err error
+	switch c.Options.Mapper {
+	case ILPMapper:
+		mo := c.Options.MapOptions
+		if mo.Workers == 0 {
+			mo.Workers = c.Options.Workers
+		}
+		c.Assign, err = mapping.SolveCtx(ctx, c.Problem, mo)
+	case PrevWorkMap:
+		c.Assign = mapping.PrevWork(c.Problem)
+	default:
+		err = fmt.Errorf("driver: unknown mapper %d", c.Options.Mapper)
+	}
+	return err
+}
+
+// stagePlan assembles the executable plan for the simulator and the code
+// generator.
+func stagePlan(_ context.Context, c *Compiled) error {
+	c.Plan = &gpusim.Plan{
+		Graph:         c.Graph,
+		Machine:       gpusim.Machine{Device: c.Options.Device, Topo: c.Options.Topo},
+		Prof:          c.Prof,
+		PDG:           c.PDG,
+		Parts:         c.Parts.Parts,
+		GPUOf:         c.Assign.GPUOf,
+		FragmentIters: c.Options.FragmentIters,
+		ViaHost:       c.Options.Mapper == PrevWorkMap,
+	}
+	return nil
+}
+
+// fragmentTimes derives each partition's per-fragment busy-time estimate
+// with the same wave-quantized law the execution engine charges: blocks of W
+// executions spread over the SMs, each wave costing the estimated Texec.
+// Feeding the mapper the law the hardware follows is the "minimal static
+// discrepancy" principle of §3.3 applied to the mapping step.
+func fragmentTimes(parts []*partition.Partition, opts Options) []float64 {
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		execs := int64(opts.FragmentIters) * p.Sub.Scale
+		w := int64(p.Est.Params.W)
+		blocks := (execs + w - 1) / w
+		waves := (blocks + int64(opts.Device.NumSMs) - 1) / int64(opts.Device.NumSMs)
+		out[i] = opts.Device.KernelLaunchUS + float64(waves)*p.Est.TexecUS
+	}
+	return out
+}
+
+// Execute runs the compiled plan on the simulator.
+func (c *Compiled) Execute(inputs [][]sdf.Token, fragments int) (*gpusim.Result, error) {
+	return gpusim.Run(c.Plan, inputs, fragments)
+}
+
+// InputNeed returns the number of tokens required on primary input port idx
+// for the given fragment count.
+func (c *Compiled) InputNeed(idx, fragments int) int64 {
+	ports := c.Graph.InputPorts()
+	return c.Graph.PortTokens(ports[idx], true) * int64(c.Options.FragmentIters) * int64(fragments)
+}

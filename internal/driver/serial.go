@@ -1,0 +1,99 @@
+package driver
+
+import (
+	"fmt"
+
+	"streammap/internal/gpusim"
+	"streammap/internal/mapping"
+	"streammap/internal/partition"
+	"streammap/internal/pdg"
+	"streammap/internal/pee"
+	"streammap/internal/sdf"
+)
+
+// CompileSerial is the monolithic, fully serial reference flow — the shape
+// core.Compile had before the pass-pipeline. It is kept as the fidelity
+// baseline: the golden tests assert Compile produces the same partitions,
+// assignment cost and simulated throughput, and BenchmarkCompile measures
+// the pipeline's speedup against it.
+func CompileSerial(g *sdf.Graph, opts Options) (*Compiled, error) {
+	opts = opts.withDefaults()
+	if err := opts.Device.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.HasSteady() {
+		if err := g.Steady(); err != nil {
+			return nil, err
+		}
+	}
+	prof := pee.ProfileGraph(g, opts.Device)
+	eng := pee.NewEngine(g, prof)
+
+	var parts *partition.Result
+	var err error
+	switch opts.Partitioner {
+	case Alg1:
+		parts, err = partition.Run(g, eng)
+	case PrevWorkPart:
+		parts, err = partition.PrevWork(g, eng, opts.Device)
+	case SinglePart:
+		parts, err = partition.SinglePartition(g, eng)
+	default:
+		err = fmt.Errorf("driver: unknown partitioner %d", opts.Partitioner)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	dg, err := pdg.Build(g, parts.Parts)
+	if err != nil {
+		return nil, err
+	}
+
+	prob := &mapping.Problem{
+		PDG:           dg,
+		Topo:          opts.Topo,
+		FragmentIters: opts.FragmentIters,
+		NumSMs:        opts.Device.NumSMs,
+		LaunchUS:      opts.Device.KernelLaunchUS,
+		ViaHost:       opts.Mapper == PrevWorkMap,
+		TimesUS:       fragmentTimes(parts.Parts, opts),
+	}
+	var assign *mapping.Assignment
+	switch opts.Mapper {
+	case ILPMapper:
+		assign, err = mapping.Solve(prob, opts.MapOptions)
+	case PrevWorkMap:
+		assign = mapping.PrevWork(prob)
+	default:
+		err = fmt.Errorf("driver: unknown mapper %d", opts.Mapper)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	plan := &gpusim.Plan{
+		Graph:         g,
+		Machine:       gpusim.Machine{Device: opts.Device, Topo: opts.Topo},
+		Prof:          prof,
+		PDG:           dg,
+		Parts:         parts.Parts,
+		GPUOf:         assign.GPUOf,
+		FragmentIters: opts.FragmentIters,
+		ViaHost:       opts.Mapper == PrevWorkMap,
+	}
+	return &Compiled{
+		Graph:   g,
+		Options: opts,
+		Prof:    prof,
+		Engine:  eng,
+		Parts:   parts,
+		PDG:     dg,
+		Problem: prob,
+		Assign:  assign,
+		Plan:    plan,
+	}, nil
+}

@@ -34,19 +34,19 @@ func Ablations(cfg Config) (*Table, []AblationRow, error) {
 	}{
 		{"DES", 12, 4}, {"FMRadio", 12, 4}, {"DCT", 14, 4}, {"BitonicRec", 32, 4},
 	}
-	var rows []AblationRow
-	for _, cs := range cases {
+	rows, err := parMap(cfg, len(cases), func(i int) (AblationRow, error) {
+		cs := cases[i]
 		app, ok := apps.ByName(cs.app)
 		if !ok {
-			return nil, nil, fmt.Errorf("ablation: unknown app %s", cs.app)
+			return AblationRow{}, fmt.Errorf("ablation: unknown app %s", cs.app)
 		}
 		g, err := buildApp(app, cs.n)
 		if err != nil {
-			return nil, nil, err
+			return AblationRow{}, err
 		}
 		c, err := compileApp(g, cs.gpus, core.Alg1, core.ILPMapper, gpu.M2090(), cfg.ILPBudget)
 		if err != nil {
-			return nil, nil, err
+			return AblationRow{}, err
 		}
 		row := AblationRow{App: cs.app, N: cs.n, GPUs: cs.gpus}
 
@@ -62,20 +62,23 @@ func Ablations(cfg Config) (*Table, []AblationRow, error) {
 		}
 
 		if row.CommAware, err = runWith(c.Assign.GPUOf, false); err != nil {
-			return nil, nil, err
+			return row, err
 		}
 		blind := commBlindLPT(c.PDG, c.Problem)
 		if row.CommBlind, err = runWith(blind, false); err != nil {
-			return nil, nil, err
+			return row, err
 		}
 		if row.ViaHost, err = runWith(c.Assign.GPUOf, true); err != nil {
-			return nil, nil, err
+			return row, err
 		}
 		greedy := mapping.Greedy(c.Problem)
 		if row.GreedyOnly, err = runWith(greedy.GPUOf, false); err != nil {
-			return nil, nil, err
+			return row, err
 		}
-		rows = append(rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 
 	t := &Table{
@@ -95,7 +98,10 @@ func Ablations(cfg Config) (*Table, []AblationRow, error) {
 	return t, rows, nil
 }
 
-// commBlindLPT balances T_i across GPUs ignoring all communication.
+// commBlindLPT balances T_i across GPUs ignoring all communication. The
+// exchange sort is kept verbatim from the seed implementation: its tie
+// ordering differs from the stable sort in mapping.LPT, and the ablation's
+// reference numbers depend on it.
 func commBlindLPT(dg *pdg.PDG, prob *mapping.Problem) []int {
 	n := dg.NumParts()
 	order := make([]int, n)

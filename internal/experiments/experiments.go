@@ -9,7 +9,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"streammap/internal/apps"
@@ -32,6 +35,61 @@ type Config struct {
 	Tiny bool
 	// ILPBudget bounds each exact mapping solve.
 	ILPBudget time.Duration
+	// Workers bounds how many independent table/figure cells run
+	// concurrently. 0 selects GOMAXPROCS; 1 is fully serial. Cell results
+	// are collected by index, so row order never depends on scheduling;
+	// cell *values* are deterministic except where a mapping ILP hits its
+	// wall-clock budget, where CPU contention can change how far the
+	// branch-and-bound gets (true of any timed solve, serial ones
+	// included).
+	Workers int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parMap evaluates cell(0..n-1) on a bounded worker pool and returns the
+// results in index order; the error reported is the lowest-index one, so a
+// failure is deterministic regardless of scheduling.
+func parMap[T any](cfg Config, n int, cell func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	w := cfg.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = cell(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= n {
+						return
+					}
+					out[i], errs[i] = cell(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // Default returns the full-scale configuration. Throughput runs are
@@ -145,7 +203,10 @@ func input(n int64, mod int) []sdf.Token {
 	return out
 }
 
-// compileApp runs the full flow for one app instance.
+// compileApp runs the full flow for one app instance. Workers is pinned to
+// 1: the experiments' parallelism is cell-granular (parMap), and nesting a
+// per-compile worker pool under every concurrent cell would oversubscribe
+// the CPU without adding coverage.
 func compileApp(g *sdf.Graph, gpus int, part core.PartitionerKind, mapper core.MapperKind,
 	dev gpu.Device, budget time.Duration) (*core.Compiled, error) {
 	return core.Compile(g, core.Options{
@@ -154,6 +215,7 @@ func compileApp(g *sdf.Graph, gpus int, part core.PartitionerKind, mapper core.M
 		Partitioner: part,
 		Mapper:      mapper,
 		MapOptions:  mapping.Options{TimeBudget: budget},
+		Workers:     1,
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"streammap/internal/apps"
 	"streammap/internal/core"
 	"streammap/internal/gpu"
 	"streammap/internal/gpusim"
@@ -33,28 +34,45 @@ type Fig41Result struct {
 // predictions against simulated kernel measurements over all partitions
 // selected across the benchmark suite.
 func Fig41(cfg Config) (*Table, *Fig41Result, error) {
-	res := &Fig41Result{}
+	type cell struct {
+		app apps.App
+		n   int
+	}
+	var cells []cell
 	for _, app := range appsRegistry() {
 		for _, n := range cfg.sizes(app, false) {
-			g, err := buildApp(app, n)
-			if err != nil {
-				return nil, nil, err
-			}
-			c, err := compileApp(g, 1, core.Alg1, core.ILPMapper, gpu.M2090(), cfg.ILPBudget)
-			if err != nil {
-				return nil, nil, fmt.Errorf("fig4.1 %s N=%d: %w", app.Name, n, err)
-			}
-			for _, part := range c.Parts.Parts {
-				meas := gpusim.MeasureKernel(part, c.Prof)
-				res.Points = append(res.Points, Fig41Point{
-					App:         app.Name,
-					N:           n,
-					Partition:   part.Set.String(),
-					EstimatedUS: part.Est.TUS,
-					MeasuredUS:  meas.PerExecUS,
-				})
-			}
+			cells = append(cells, cell{app, n})
 		}
+	}
+	points, err := parMap(cfg, len(cells), func(i int) ([]Fig41Point, error) {
+		app, n := cells[i].app, cells[i].n
+		g, err := buildApp(app, n)
+		if err != nil {
+			return nil, err
+		}
+		c, err := compileApp(g, 1, core.Alg1, core.ILPMapper, gpu.M2090(), cfg.ILPBudget)
+		if err != nil {
+			return nil, fmt.Errorf("fig4.1 %s N=%d: %w", app.Name, n, err)
+		}
+		var pts []Fig41Point
+		for _, part := range c.Parts.Parts {
+			meas := gpusim.MeasureKernel(part, c.Prof)
+			pts = append(pts, Fig41Point{
+				App:         app.Name,
+				N:           n,
+				Partition:   part.Set.String(),
+				EstimatedUS: part.Est.TUS,
+				MeasuredUS:  meas.PerExecUS,
+			})
+		}
+		return pts, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Fig41Result{}
+	for _, pts := range points {
+		res.Points = append(res.Points, pts...)
 	}
 	var pred, meas []float64
 	var sxx, sxy, sumAPE float64

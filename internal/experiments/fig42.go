@@ -9,6 +9,10 @@ import (
 	"streammap/internal/sdf"
 )
 
+// Independent (app, N) cells of every figure run concurrently via parMap;
+// each cell compiles its own graphs, so cells share nothing but the
+// deterministic compile pipeline.
+
 func appsRegistry() []apps.App { return apps.Registry }
 
 func buildApp(a apps.App, n int) (*sdf.Graph, error) { return apps.BuildGraph(a, n) }
@@ -29,35 +33,46 @@ type Fig42Row struct {
 // x-axes are reported alongside the previous work's counts (the kernel
 // count ratio discussion of §4.0.3).
 func Fig42(cfg Config) (*Table, []Fig42Row, error) {
-	var rows []Fig42Row
+	type cell struct {
+		app apps.App
+		n   int
+	}
+	var cells []cell
 	for _, app := range appsRegistry() {
 		for _, n := range cfg.sizes(app, false) {
-			g, err := buildApp(app, n)
-			if err != nil {
-				return nil, nil, err
-			}
-			row := Fig42Row{App: app.Name, N: n}
-			var base float64
-			for gpus := 1; gpus <= 4; gpus++ {
-				c, err := compileApp(g, gpus, core.Alg1, core.ILPMapper, gpu.M2090(), cfg.ILPBudget)
-				if err != nil {
-					return nil, nil, fmt.Errorf("fig4.2 %s N=%d G=%d: %w", app.Name, n, gpus, err)
-				}
-				row.Partitions = len(c.Parts.Parts)
-				t, err := measure(c, cfg.Fragments)
-				if err != nil {
-					return nil, nil, err
-				}
-				if gpus == 1 {
-					base = t
-				}
-				row.SpeedupG[gpus] = base / t
-			}
-			if pc, err := compileApp(g, 1, core.PrevWorkPart, core.PrevWorkMap, gpu.M2090(), cfg.ILPBudget); err == nil {
-				row.PrevParts = len(pc.Parts.Parts)
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{app, n})
 		}
+	}
+	rows, err := parMap(cfg, len(cells), func(i int) (Fig42Row, error) {
+		app, n := cells[i].app, cells[i].n
+		g, err := buildApp(app, n)
+		if err != nil {
+			return Fig42Row{}, err
+		}
+		row := Fig42Row{App: app.Name, N: n}
+		var base float64
+		for gpus := 1; gpus <= 4; gpus++ {
+			c, err := compileApp(g, gpus, core.Alg1, core.ILPMapper, gpu.M2090(), cfg.ILPBudget)
+			if err != nil {
+				return row, fmt.Errorf("fig4.2 %s N=%d G=%d: %w", app.Name, n, gpus, err)
+			}
+			row.Partitions = len(c.Parts.Parts)
+			t, err := measure(c, cfg.Fragments)
+			if err != nil {
+				return row, err
+			}
+			if gpus == 1 {
+				base = t
+			}
+			row.SpeedupG[gpus] = base / t
+		}
+		if pc, err := compileApp(g, 1, core.PrevWorkPart, core.PrevWorkMap, gpu.M2090(), cfg.ILPBudget); err == nil {
+			row.PrevParts = len(pc.Parts.Parts)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 
 	t := &Table{

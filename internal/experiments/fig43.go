@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"streammap/internal/apps"
 	"streammap/internal/core"
 	"streammap/internal/gpu"
 )
@@ -22,58 +23,69 @@ type Fig43Row struct {
 // SPSG baseline (whole graph as one kernel on one GPU), so the SOSP ratio
 // equals the direct performance ratio of the two schemes.
 func Fig43(cfg Config) (*Table, []Fig43Row, error) {
-	var rows []Fig43Row
+	type cell struct {
+		app apps.App
+		n   int
+	}
+	var cells []cell
 	for _, app := range appsRegistry() {
 		if len(app.CompareSizes) == 0 {
 			continue
 		}
 		for _, n := range cfg.sizes(app, true) {
-			g, err := buildApp(app, n)
-			if err != nil {
-				return nil, nil, err
-			}
-			row := Fig43Row{App: app.Name, N: n}
-
-			// SPSG baseline: single partition, single GPU. For sizes whose
-			// whole graph exceeds shared memory the baseline is infeasible;
-			// those rows report the our/prev ratio only.
-			var spsg float64
-			if c, err := compileApp(g, 1, core.SinglePart, core.ILPMapper, gpu.M2090(), cfg.ILPBudget); err == nil {
-				if t, err := measure(c, cfg.Fragments); err == nil {
-					spsg = t
-					row.SPSGOK = true
-				}
-			}
-
-			for gpus := 1; gpus <= 4; gpus++ {
-				co, err := compileApp(g, gpus, core.Alg1, core.ILPMapper, gpu.M2090(), cfg.ILPBudget)
-				if err != nil {
-					return nil, nil, fmt.Errorf("fig4.3 %s N=%d G=%d (ours): %w", app.Name, n, gpus, err)
-				}
-				to, err := measure(co, cfg.Fragments)
-				if err != nil {
-					return nil, nil, err
-				}
-				cp, err := compileApp(g, gpus, core.PrevWorkPart, core.PrevWorkMap, gpu.M2090(), cfg.ILPBudget)
-				if err != nil {
-					return nil, nil, fmt.Errorf("fig4.3 %s N=%d G=%d (prev): %w", app.Name, n, gpus, err)
-				}
-				tp, err := measure(cp, cfg.Fragments)
-				if err != nil {
-					return nil, nil, err
-				}
-				if row.SPSGOK {
-					row.SOSPOur[gpus] = spsg / to
-					row.SOSPPrev[gpus] = spsg / tp
-				} else {
-					// Without a feasible SPSG, normalize by the previous
-					// work's 1-GPU time so ratios remain meaningful.
-					row.SOSPOur[gpus] = 1 / to
-					row.SOSPPrev[gpus] = 1 / tp
-				}
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{app, n})
 		}
+	}
+	rows, err := parMap(cfg, len(cells), func(i int) (Fig43Row, error) {
+		app, n := cells[i].app, cells[i].n
+		g, err := buildApp(app, n)
+		if err != nil {
+			return Fig43Row{}, err
+		}
+		row := Fig43Row{App: app.Name, N: n}
+
+		// SPSG baseline: single partition, single GPU. For sizes whose
+		// whole graph exceeds shared memory the baseline is infeasible;
+		// those rows report the our/prev ratio only.
+		var spsg float64
+		if c, err := compileApp(g, 1, core.SinglePart, core.ILPMapper, gpu.M2090(), cfg.ILPBudget); err == nil {
+			if t, err := measure(c, cfg.Fragments); err == nil {
+				spsg = t
+				row.SPSGOK = true
+			}
+		}
+
+		for gpus := 1; gpus <= 4; gpus++ {
+			co, err := compileApp(g, gpus, core.Alg1, core.ILPMapper, gpu.M2090(), cfg.ILPBudget)
+			if err != nil {
+				return row, fmt.Errorf("fig4.3 %s N=%d G=%d (ours): %w", app.Name, n, gpus, err)
+			}
+			to, err := measure(co, cfg.Fragments)
+			if err != nil {
+				return row, err
+			}
+			cp, err := compileApp(g, gpus, core.PrevWorkPart, core.PrevWorkMap, gpu.M2090(), cfg.ILPBudget)
+			if err != nil {
+				return row, fmt.Errorf("fig4.3 %s N=%d G=%d (prev): %w", app.Name, n, gpus, err)
+			}
+			tp, err := measure(cp, cfg.Fragments)
+			if err != nil {
+				return row, err
+			}
+			if row.SPSGOK {
+				row.SOSPOur[gpus] = spsg / to
+				row.SOSPPrev[gpus] = spsg / tp
+			} else {
+				// Without a feasible SPSG, normalize by the previous
+				// work's 1-GPU time so ratios remain meaningful.
+				row.SOSPOur[gpus] = 1 / to
+				row.SOSPPrev[gpus] = 1 / tp
+			}
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 
 	t := &Table{

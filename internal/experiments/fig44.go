@@ -34,51 +34,59 @@ func Fig44(cfg Config) (*Table, []Fig44Row, error) {
 		{"DES", 12}, {"FFT", 512}, {"DCT", 14}, {"Bitonic", 64},
 	}
 	devices := []gpu.Device{gpu.C2070(), gpu.M2090()}
-	var rows []Fig44Row
-	for _, cs := range cases {
+	type cellResult struct {
+		row      Fig44Row
+		feasible bool
+	}
+	cellRows, err := parMap(cfg, len(cases), func(i int) (cellResult, error) {
+		cs := cases[i]
 		app, ok := apps.ByName(cs.name)
 		if !ok {
-			return nil, nil, fmt.Errorf("fig4.4: unknown app %s", cs.name)
+			return cellResult{}, fmt.Errorf("fig4.4: unknown app %s", cs.name)
 		}
 		g, err := buildApp(app, cs.n)
 		if err != nil {
-			return nil, nil, err
+			return cellResult{}, err
 		}
 		var sosp [2]float64
 		var spsgT [2]float64
-		feasible := true
 		for di, dev := range devices {
 			sc, err := core.Compile(g, optionsFor(dev, 1, core.SinglePart, cfg))
 			if err != nil {
-				feasible = false
-				break
+				return cellResult{}, nil // SPSG infeasible: skip the row
 			}
 			ts, err := measure(sc, cfg.Fragments)
 			if err != nil {
-				return nil, nil, err
+				return cellResult{}, err
 			}
 			mc, err := core.Compile(g, optionsFor(dev, 4, core.Alg1, cfg))
 			if err != nil {
-				return nil, nil, err
+				return cellResult{}, err
 			}
 			tm, err := measure(mc, cfg.Fragments)
 			if err != nil {
-				return nil, nil, err
+				return cellResult{}, err
 			}
 			sosp[di] = ts / tm
 			spsgT[di] = ts
 		}
-		if !feasible {
-			continue
-		}
-		rows = append(rows, Fig44Row{
+		return cellResult{feasible: true, row: Fig44Row{
 			App:          cs.name,
 			N:            cs.n,
 			SOSPG1:       sosp[0],
 			SOSPG2:       sosp[1],
 			Deviation:    math.Abs(sosp[1]/sosp[0] - 1),
 			RawSpeedupG2: spsgT[0] / spsgT[1],
-		})
+		}}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []Fig44Row
+	for _, cr := range cellRows {
+		if cr.feasible {
+			rows = append(rows, cr.row)
+		}
 	}
 
 	t := &Table{
@@ -107,5 +115,6 @@ func optionsFor(dev gpu.Device, gpus int, part core.PartitionerKind, cfg Config)
 		Partitioner: part,
 		Mapper:      core.ILPMapper,
 		MapOptions:  mapOptions(cfg),
+		Workers:     1, // cell-granular parallelism; see compileApp
 	}
 }

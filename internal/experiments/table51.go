@@ -49,44 +49,55 @@ func Table51(cfg Config) (*Table, []Table51Row, error) {
 		{"FFT", []int{512, 256, 128}},
 		{"BitonicRec", []int{64, 32, 16}},
 	}
-	var rows []Table51Row
+	type cell struct {
+		app string
+		n   int
+	}
+	var cells []cell
 	for _, cs := range cases {
+		for _, n := range cs.sizes {
+			cells = append(cells, cell{cs.app, n})
+		}
+	}
+	rows, err := parMap(cfg, len(cells), func(i int) (Table51Row, error) {
+		cs := cells[i]
 		app, ok := apps.ByName(cs.app)
 		if !ok {
-			return nil, nil, fmt.Errorf("table5.1: unknown app %s", cs.app)
+			return Table51Row{}, fmt.Errorf("table5.1: unknown app %s", cs.app)
 		}
-		for _, n := range cs.sizes {
-			g, err := buildApp(app, n)
-			if err != nil {
-				return nil, nil, err
-			}
-			enh, st, err := sjopt.Eliminate(g)
-			if err != nil {
-				return nil, nil, err
-			}
-			co, err := compileApp(g, 1, core.Alg1, core.ILPMapper, gpu.M2090(), cfg.ILPBudget)
-			if err != nil {
-				return nil, nil, err
-			}
-			tOrig, err := measure(co, cfg.Fragments)
-			if err != nil {
-				return nil, nil, err
-			}
-			ce, err := compileApp(enh, 1, core.Alg1, core.ILPMapper, gpu.M2090(), cfg.ILPBudget)
-			if err != nil {
-				return nil, nil, err
-			}
-			tEnh, err := measure(ce, cfg.Fragments)
-			if err != nil {
-				return nil, nil, err
-			}
-			rows = append(rows, Table51Row{
-				App: cs.app, N: n,
-				OriginalUS: tOrig, EnhancedUS: tEnh,
-				Speedup:   tOrig / tEnh,
-				Splitters: st.Splitters, Joiners: st.Joiners,
-			})
+		g, err := buildApp(app, cs.n)
+		if err != nil {
+			return Table51Row{}, err
 		}
+		enh, st, err := sjopt.Eliminate(g)
+		if err != nil {
+			return Table51Row{}, err
+		}
+		co, err := compileApp(g, 1, core.Alg1, core.ILPMapper, gpu.M2090(), cfg.ILPBudget)
+		if err != nil {
+			return Table51Row{}, err
+		}
+		tOrig, err := measure(co, cfg.Fragments)
+		if err != nil {
+			return Table51Row{}, err
+		}
+		ce, err := compileApp(enh, 1, core.Alg1, core.ILPMapper, gpu.M2090(), cfg.ILPBudget)
+		if err != nil {
+			return Table51Row{}, err
+		}
+		tEnh, err := measure(ce, cfg.Fragments)
+		if err != nil {
+			return Table51Row{}, err
+		}
+		return Table51Row{
+			App: cs.app, N: cs.n,
+			OriginalUS: tOrig, EnhancedUS: tEnh,
+			Speedup:   tOrig / tEnh,
+			Splitters: st.Splitters, Joiners: st.Joiners,
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 
 	t := &Table{

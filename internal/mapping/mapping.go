@@ -11,9 +11,11 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"streammap/internal/pdg"
@@ -222,12 +224,25 @@ func evalPartial(p *Problem, gpuOf []int) float64 {
 // swaps until a local optimum of the exact objective, then returns the best
 // of several deterministic seeds.
 func LocalSearch(p *Problem) *Assignment {
+	return localSearchCtx(context.Background(), p, 1, nil)
+}
+
+// localSearchCtx is LocalSearch with the seed descents run on up to workers
+// goroutines. Each descent is deterministic and the winner is selected in
+// fixed seed order, so the parallel result is identical to the serial one.
+// Cancelling the context returns the best assignment found so far. A
+// non-nil greedy supplies the precomputed first seed (SolveCtx reuses the
+// portfolio's greedy leg instead of recomputing it).
+func localSearchCtx(ctx context.Context, p *Problem, workers int, greedy *Assignment) *Assignment {
 	n := p.PDG.NumParts()
 	g := p.Topo.NumGPUs()
 
 	descend := func(gpuOf []int) *Assignment {
 		cur := Evaluate(p, gpuOf, "local")
 		for {
+			if ctx.Err() != nil {
+				return cur
+			}
 			improved := false
 			// Moves.
 			for i := 0; i < n; i++ {
@@ -264,7 +279,10 @@ func LocalSearch(p *Problem) *Assignment {
 	}
 
 	var seeds [][]int
-	seeds = append(seeds, Greedy(p).GPUOf)
+	if greedy == nil {
+		greedy = Greedy(p)
+	}
+	seeds = append(seeds, greedy.GPUOf)
 	// Topological round-robin and block seeds.
 	rr := make([]int, n)
 	for pos, pi := range p.PDG.Topo {
@@ -277,9 +295,26 @@ func LocalSearch(p *Problem) *Assignment {
 	}
 	seeds = append(seeds, blk)
 
+	results := make([]*Assignment, len(seeds))
+	if workers > 1 {
+		var wg sync.WaitGroup
+		for i := range seeds {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i] = descend(seeds[i])
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range seeds {
+			results[i] = descend(seeds[i])
+		}
+	}
+
 	var best *Assignment
-	for _, s := range seeds {
-		if r := descend(s); best == nil || r.Objective < best.Objective {
+	for _, r := range results {
+		if best == nil || r.Objective < best.Objective {
 			best = r
 		}
 	}
@@ -321,13 +356,16 @@ func PrevWork(p *Problem) *Assignment {
 // Options tunes Solve.
 type Options struct {
 	// ILPMaxParts caps the instance size handed to the exact solver; larger
-	// instances use local search only (see DESIGN.md). Default 24.
+	// instances use local search only (see DESIGN.md S5). Default 24.
 	ILPMaxParts int
 	// TimeBudget for the ILP solver. Default 10s (the paper reports <10s
 	// with Gurobi).
 	TimeBudget time.Duration
 	// ForceILP runs the ILP regardless of size.
 	ForceILP bool
+	// Workers bounds the portfolio solver's concurrency (SolveCtx); 0 or 1
+	// keeps the seed descents serial.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,107 @@
+package mapping
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// LPT is the communication-blind baseline: longest-processing-time-first
+// balancing of T_i across GPUs, ignoring every transfer. It is the previous
+// work's mapping policy evaluated under the current execution model, and one
+// leg of the portfolio solver.
+func LPT(p *Problem) *Assignment {
+	n := p.PDG.NumParts()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return p.PartTimeUS(order[a]) > p.PartTimeUS(order[b])
+	})
+	g := p.Topo.NumGPUs()
+	load := make([]float64, g)
+	gpuOf := make([]int, n)
+	for _, pi := range order {
+		best := 0
+		for k := 1; k < g; k++ {
+			if load[k] < load[best] {
+				best = k
+			}
+		}
+		gpuOf[pi] = best
+		load[best] += p.PartTimeUS(pi)
+	}
+	return Evaluate(p, gpuOf, "lpt")
+}
+
+// SolveCtx is the portfolio form of Solve: it races the greedy placer, the
+// communication-blind LPT baseline, the multi-seed local search (its seed
+// descents themselves parallel under opts.Workers) and — once the local
+// optimum is in hand as the incumbent — the exact ILP, all under the ILP
+// time budget and the context.
+//
+// Determinism: when the context stays live the final selection is exactly
+// Solve's (local search vs ILP with the same seed), so SolveCtx and Solve
+// return the same assignment for the same problem. The extra racers only
+// decide the answer when the context is cancelled mid-solve, where SolveCtx
+// degrades to the best feasible assignment found so far instead of failing.
+func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Assignment, error) {
+	opts = opts.withDefaults()
+	if p.PDG.NumParts() == 0 {
+		return nil, fmt.Errorf("mapping: empty PDG")
+	}
+	if p.Topo.NumGPUs() == 1 {
+		gpuOf := make([]int, p.PDG.NumParts())
+		return Evaluate(p, gpuOf, "single-gpu"), nil
+	}
+
+	var lpt *Assignment
+	lptDone := make(chan struct{})
+	go func() { defer close(lptDone); lpt = LPT(p) }()
+
+	// Greedy is both a racer and local search's first seed — computed once.
+	greedy := Greedy(p)
+	heur := localSearchCtx(ctx, p, opts.Workers, greedy)
+	<-lptDone
+
+	if ctx.Err() != nil {
+		return anytimeBest(heur, greedy, lpt), nil
+	}
+	if p.PDG.NumParts() > opts.ILPMaxParts && !opts.ForceILP {
+		return heur, nil
+	}
+	ilpOpts := opts
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < ilpOpts.TimeBudget {
+			ilpOpts.TimeBudget = rem
+		}
+	}
+	if ilpOpts.TimeBudget <= 0 {
+		return heur, nil
+	}
+	a, err := solveILP(p, heur, ilpOpts)
+	if err != nil {
+		return heur, nil // solver trouble: fall back to the heuristic
+	}
+	if heur.Objective < a.Objective-1e-9 {
+		return heur, nil
+	}
+	return a, nil
+}
+
+// anytimeBest picks the lowest-objective assignment, preferring earlier
+// candidates on ties so the choice is deterministic.
+func anytimeBest(cands ...*Assignment) *Assignment {
+	var best *Assignment
+	for _, c := range cands {
+		if c == nil {
+			continue
+		}
+		if best == nil || c.Objective < best.Objective-1e-9 {
+			best = c
+		}
+	}
+	return best
+}

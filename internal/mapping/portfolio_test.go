@@ -1,0 +1,92 @@
+package mapping
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"streammap/internal/pdg"
+	"streammap/internal/topology"
+)
+
+func synthProblem(t *testing.T, nParts, gpus int) *Problem {
+	t.Helper()
+	work := make([]float64, nParts)
+	var edges []pdg.Edge
+	for i := range work {
+		work[i] = float64((i*37)%211 + 40)
+		if i > 0 {
+			edges = append(edges, pdg.Edge{From: i - 1, To: i, Bytes: int64(50000 * (i%5 + 1))})
+		}
+	}
+	g, err := pdg.Synthetic(work, edges, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Problem{PDG: g, Topo: topology.PairedTree(gpus), FragmentIters: 4}
+}
+
+// TestSolveCtxMatchesSolve: with a live context the portfolio must commit
+// exactly the serial Solve selection.
+func TestSolveCtxMatchesSolve(t *testing.T) {
+	for _, nParts := range []int{6, 14, 30} {
+		p := synthProblem(t, nParts, 4)
+		opts := Options{TimeBudget: 2 * time.Second}
+		serial, err := Solve(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Workers = 8
+		par, err := SolveCtx(context.Background(), p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Objective != serial.Objective {
+			t.Errorf("n=%d: portfolio objective %v != serial %v", nParts, par.Objective, serial.Objective)
+		}
+		if par.Method != serial.Method {
+			t.Errorf("n=%d: portfolio method %q != serial %q", nParts, par.Method, serial.Method)
+		}
+		for i := range par.GPUOf {
+			if par.GPUOf[i] != serial.GPUOf[i] {
+				t.Fatalf("n=%d: assignment differs at partition %d", nParts, i)
+			}
+		}
+	}
+}
+
+// TestSolveCtxAnytime: a cancelled context still yields a feasible
+// assignment (the best racer finished so far) instead of an error.
+func TestSolveCtxAnytime(t *testing.T) {
+	p := synthProblem(t, 30, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a, err := SolveCtx(ctx, p, Options{Workers: 4, TimeBudget: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == nil || len(a.GPUOf) != 30 {
+		t.Fatal("no feasible assignment under cancellation")
+	}
+	for _, k := range a.GPUOf {
+		if k < 0 || k >= 4 {
+			t.Fatalf("invalid GPU %d", k)
+		}
+	}
+}
+
+// TestLPTBalances sanity-checks the portfolio's comm-blind leg.
+func TestLPTBalances(t *testing.T) {
+	p := synthProblem(t, 12, 4)
+	a := LPT(p)
+	if a.Method != "lpt" {
+		t.Errorf("method %q", a.Method)
+	}
+	used := map[int]bool{}
+	for _, k := range a.GPUOf {
+		used[k] = true
+	}
+	if len(used) != 4 {
+		t.Errorf("LPT used %d of 4 GPUs", len(used))
+	}
+}

@@ -16,6 +16,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -60,45 +61,64 @@ type partitioner struct {
 	g   *sdf.Graph
 	eng *pee.Engine
 
+	// Concurrency knobs (see parallel.go). ctx == nil, workers <= 1 is the
+	// plain serial path.
+	ctx     context.Context
+	workers int
+
 	parts    []*Partition // live partitions (nil holes compacted lazily)
 	assigned []int        // node -> index into parts, -1 if none
 }
 
-// Run executes Algorithm 1 over the profiled graph.
+// Run executes Algorithm 1 over the profiled graph serially.
 func Run(g *sdf.Graph, eng *pee.Engine) (*Result, error) {
-	p := &partitioner{g: g, eng: eng, assigned: make([]int, g.NumNodes())}
+	p := &partitioner{g: g, eng: eng, workers: 1, assigned: make([]int, g.NumNodes())}
+	return p.run()
+}
+
+// run drives the five phases, checking for cancellation between them.
+func (p *partitioner) run() (*Result, error) {
 	for i := range p.assigned {
 		p.assigned[i] = -1
 	}
-	res := &Result{Graph: g}
+	res := &Result{Graph: p.g}
 
-	if err := p.phase0SCC(); err != nil {
-		return nil, err
+	phases := []struct {
+		run func() error
+	}{
+		{p.phase0SCC},
+		{p.phase1},
+		{p.phase2Remaining},
+		{p.phase3BoundMerging},
+		{p.phase4Simultaneous},
 	}
-	res.CountAfterPhase[0] = len(p.compact())
-	if err := p.phase1Pipelines(); err != nil {
-		return nil, err
-	}
-	res.CountAfterPhase[1] = len(p.compact())
-	if err := p.phase2Remaining(); err != nil {
-		return nil, err
-	}
-	res.CountAfterPhase[2] = len(p.compact())
-	if err := p.phase3BoundMerging(); err != nil {
-		return nil, err
-	}
-	res.CountAfterPhase[3] = len(p.compact())
-	if err := p.phase4Simultaneous(); err != nil {
-		return nil, err
+	for i, ph := range phases {
+		if err := p.cancelled(); err != nil {
+			return nil, err
+		}
+		if err := ph.run(); err != nil {
+			return nil, err
+		}
+		res.CountAfterPhase[i] = len(p.compact())
 	}
 	res.Parts = p.compact()
-	res.CountAfterPhase[4] = len(res.Parts)
 
-	if err := validate(g, res.Parts); err != nil {
+	if err := validate(p.g, res.Parts); err != nil {
 		return nil, err
 	}
-	sortParts(g, res.Parts)
+	sortParts(p.g, res.Parts)
 	return res, nil
+}
+
+// phase1 dispatches between the serial and chain-parallel phase 1; both
+// produce identical partitions in identical order. Singleton estimates are
+// prewarmed first so every window grows against a hot memo.
+func (p *partitioner) phase1() error {
+	p.prewarmSingletons()
+	if p.workers > 1 {
+		return p.phase1Parallel()
+	}
+	return p.phase1Pipelines()
 }
 
 // makePartition estimates a node set and wraps it; infeasible sets return an
@@ -291,7 +311,17 @@ func (p *partitioner) phase2Remaining() error {
 		for {
 			mergedAny := false
 			curP := p.parts[cur]
-			for _, k := range p.unassignedNeighbors(curP.Set) {
+			neighbors := p.unassignedNeighbors(curP.Set)
+			if p.workers > 1 {
+				cands := make([]sdf.NodeSet, 0, len(neighbors))
+				for _, k := range neighbors {
+					u := curP.Set.Clone()
+					u.Add(k)
+					cands = append(cands, u)
+				}
+				p.prewarmUnions(cands)
+			}
+			for _, k := range neighbors {
 				single, err := p.makePartition(sdf.SingletonSet(p.g.NumNodes(), k))
 				if err != nil {
 					return err
@@ -337,6 +367,9 @@ func (p *partitioner) phase3BoundMerging() error {
 	}
 	for _, spec := range rounds {
 		for {
+			if err := p.cancelled(); err != nil {
+				return err
+			}
 			mergedAny := false
 			cands := p.liveIndices(func(pt *Partition) bool {
 				return !spec.candIO || !pt.ComputeBound()
@@ -345,6 +378,27 @@ func (p *partitioner) phase3BoundMerging() error {
 			sort.Slice(cands, func(a, b int) bool {
 				return p.parts[cands[a]].TWus() < p.parts[cands[b]].TWus()
 			})
+			if p.workers > 1 {
+				// Speculatively score every eligible pair this round; the
+				// engine memo makes repeat rounds nearly free, and the serial
+				// scan below then commits deterministically from warm cache.
+				allPartners := p.liveIndices(func(pt *Partition) bool {
+					return !spec.partnerIO || !pt.ComputeBound()
+				})
+				var unions []sdf.NodeSet
+				for _, ci := range cands {
+					for _, pi := range allPartners {
+						if pi == ci {
+							continue
+						}
+						a, b := p.parts[ci], p.parts[pi]
+						if p.connected(a.Set, b.Set) {
+							unions = append(unions, a.Set.Union(b.Set))
+						}
+					}
+				}
+				p.prewarmUnions(unions)
+			}
 			for _, ci := range cands {
 				if p.parts[ci] == nil {
 					continue
@@ -398,8 +452,27 @@ func (p *partitioner) liveIndices(keep func(*Partition) bool) []int {
 // 33-35).
 func (p *partitioner) phase4Simultaneous() error {
 	for {
+		if err := p.cancelled(); err != nil {
+			return err
+		}
 		mergedAny := false
 		live := p.liveIndices(func(*Partition) bool { return true })
+		if p.workers > 1 {
+			var unions []sdf.NodeSet
+			for _, ci := range live {
+				if p.parts[ci] == nil {
+					continue
+				}
+				neigh := p.neighborPartitions(ci)
+				for x := 0; x < len(neigh); x++ {
+					for y := x + 1; y < len(neigh); y++ {
+						a, b, c := p.parts[ci], p.parts[neigh[x]], p.parts[neigh[y]]
+						unions = append(unions, a.Set.Union(b.Set).Union(c.Set))
+					}
+				}
+			}
+			p.prewarmUnions(unions)
+		}
 		for _, ci := range live {
 			if p.parts[ci] == nil {
 				continue

@@ -23,6 +23,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"streammap/internal/gpu"
 	"streammap/internal/sdf"
@@ -113,13 +115,25 @@ type Estimate struct {
 // data-transfer time (the classification driving partitioning phase 3).
 func (e *Estimate) ComputeBound() bool { return e.TcompUS >= e.TdtUS }
 
+// memoShards is the number of independently locked memo shards. Sharding
+// keeps concurrent Try-Merge scoring from serializing on one mutex.
+const memoShards = 64
+
 // Engine estimates subgraphs against one profile, memoizing by node set.
+// It is safe for concurrent use: the memo is sharded by a hash of the set
+// key and the counters are atomic, so the partitioner's worker pool and
+// core.Service can share one engine per graph.
 type Engine struct {
 	Graph   *sdf.Graph
 	Prof    *Profile
-	memo    map[string]*memoEntry
-	queries int
-	misses  int
+	shards  [memoShards]memoShard
+	queries atomic.Int64
+	misses  atomic.Int64
+}
+
+type memoShard struct {
+	mu   sync.RWMutex
+	memo map[string]*memoEntry
 }
 
 type memoEntry struct {
@@ -129,29 +143,71 @@ type memoEntry struct {
 
 // NewEngine returns an estimation engine for the profiled graph.
 func NewEngine(g *sdf.Graph, prof *Profile) *Engine {
-	return &Engine{Graph: g, Prof: prof, memo: map[string]*memoEntry{}}
+	e := &Engine{Graph: g, Prof: prof}
+	for i := range e.shards {
+		e.shards[i].memo = map[string]*memoEntry{}
+	}
+	return e
 }
 
-// Stats returns (queries, cache misses) for instrumentation.
-func (e *Engine) Stats() (int, int) { return e.queries, e.misses }
+// Stats returns (queries, cache misses) for instrumentation. Under serial
+// use the counts are exact; under concurrent use two goroutines racing on
+// the same uncached set may both count a miss.
+func (e *Engine) Stats() (int, int) { return int(e.queries.Load()), int(e.misses.Load()) }
+
+// shardOf hashes a memo key to its shard (FNV-1a).
+func shardOf(key string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % memoShards)
+}
+
+// Cached reports whether the verdict for set is already memoized, without
+// counting a query. Speculative scorers use it to skip warm candidates.
+func (e *Engine) Cached(set sdf.NodeSet) bool {
+	key := set.Key()
+	sh := &e.shards[shardOf(key)]
+	sh.mu.RLock()
+	_, ok := sh.memo[key]
+	sh.mu.RUnlock()
+	return ok
+}
 
 // EstimateSet estimates the partition given as a node set of the parent
 // graph.
 func (e *Engine) EstimateSet(set sdf.NodeSet) (*Estimate, error) {
-	e.queries++
+	e.queries.Add(1)
 	key := set.Key()
-	if m, ok := e.memo[key]; ok {
+	sh := &e.shards[shardOf(key)]
+	sh.mu.RLock()
+	m, ok := sh.memo[key]
+	sh.mu.RUnlock()
+	if ok {
 		return m.est, m.err
 	}
-	e.misses++
+	// Compute outside the lock; EstimateSubgraph is deterministic, so a
+	// concurrent duplicate computation yields an identical entry and the
+	// first writer wins.
+	var entry *memoEntry
 	sub, err := e.Graph.Extract(set)
 	if err != nil {
-		e.memo[key] = &memoEntry{nil, err}
-		return nil, err
+		entry = &memoEntry{nil, err}
+	} else {
+		est, err := EstimateSubgraph(sub, e.Prof)
+		entry = &memoEntry{est, err}
 	}
-	est, err := EstimateSubgraph(sub, e.Prof)
-	e.memo[key] = &memoEntry{est, err}
-	return est, err
+	sh.mu.Lock()
+	if prev, ok := sh.memo[key]; ok {
+		sh.mu.Unlock()
+		return prev.est, prev.err
+	}
+	sh.memo[key] = entry
+	sh.mu.Unlock()
+	e.misses.Add(1)
+	return entry.est, entry.err
 }
 
 // EstimateSubgraph runs parameter selection and the performance model for

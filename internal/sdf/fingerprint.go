@@ -1,0 +1,84 @@
+package sdf
+
+import "math"
+
+// fnv1a is a tiny streaming FNV-1a 64 hasher.
+type fnv1a uint64
+
+func newFNV() fnv1a { return 14695981039346656037 }
+
+func (h *fnv1a) byte(b byte) {
+	*h = (*h ^ fnv1a(b)) * 1099511628211
+}
+
+func (h *fnv1a) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+}
+
+func (h *fnv1a) i(v int) { h.u64(uint64(int64(v))) }
+
+func (h *fnv1a) str(s string) {
+	h.i(len(s))
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+}
+
+// Fingerprint returns a stable structural hash of the graph: its name,
+// every node's filter signature (name, rates, ops, kind, flags, initial
+// state), pipeline grouping, and every edge with its endpoints, ports,
+// rates and delay tokens. Two graphs with equal fingerprints compile to the
+// same partitions, mapping and plan, which is what core.Service keys its
+// result cache on.
+//
+// The hash deliberately excludes the filters' work-function closures (Go
+// functions are not hashable); it assumes — as the benchmark registry
+// guarantees — that a filter's name plus rate/cost signature identifies its
+// semantics.
+func (g *Graph) Fingerprint() uint64 {
+	h := newFNV()
+	h.str(g.Name)
+	h.i(len(g.Nodes))
+	for _, n := range g.Nodes {
+		f := n.Filter
+		h.str(f.Name)
+		h.i(int(f.Kind))
+		h.i(n.Pipe)
+		h.u64(uint64(f.Ops))
+		if f.ZeroCopy {
+			h.byte(1)
+		} else {
+			h.byte(0)
+		}
+		h.i(len(f.Inputs))
+		for _, in := range f.Inputs {
+			h.i(in.Pop)
+			h.i(in.Peek)
+		}
+		h.i(len(f.Outputs))
+		for _, push := range f.Outputs {
+			h.i(push)
+		}
+		h.i(len(f.Init))
+		for _, tok := range f.Init {
+			h.u64(math.Float64bits(tok))
+		}
+	}
+	h.i(len(g.Edges))
+	for _, e := range g.Edges {
+		h.i(int(e.Src))
+		h.i(e.SrcPort)
+		h.i(int(e.Dst))
+		h.i(e.DstPort)
+		h.i(e.Push)
+		h.i(e.Pop)
+		h.i(e.Peek)
+		h.i(len(e.Initial))
+		for _, tok := range e.Initial {
+			h.u64(math.Float64bits(tok))
+		}
+	}
+	return uint64(h)
+}

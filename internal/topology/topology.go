@@ -183,6 +183,21 @@ func PairedTree(g int) *Tree {
 	return t
 }
 
+// Key returns a canonical string identifying the tree's shape and link
+// parameters: two trees with equal keys route and cost transfers
+// identically. core.Service uses it in compile-cache keys.
+func (t *Tree) Key() string {
+	key := fmt.Sprintf("bw=%g;lat=%g;p=", t.BandwidthGBs, t.LatencyUS)
+	for _, p := range t.parent {
+		key += fmt.Sprintf("%d,", p)
+	}
+	key += ";g="
+	for _, n := range t.gpuNode {
+		key += fmt.Sprintf("%d,", n)
+	}
+	return key
+}
+
 // NumGPUs returns the number of GPU leaves.
 func (t *Tree) NumGPUs() int { return len(t.gpuNode) }
 

@@ -17,11 +17,23 @@
 //	c, err := streammap.Compile(g, streammap.Options{Topo: streammap.PairedTree(4)})
 //	res, err := c.Execute(inputs, 64)
 //
-// See the examples directory for complete programs and DESIGN.md for the
-// architecture.
+// Compilation runs as a staged pass-pipeline (profile -> partition -> pdg
+// -> map -> plan) whose hot passes are parallel and deterministic; each
+// Compiled records per-stage timings. For servers compiling many graphs,
+// NewService returns a concurrent compile service that deduplicates
+// identical in-flight requests and caches results in an LRU keyed by
+// (graph fingerprint, device, topology, options):
+//
+//	svc := streammap.NewService(streammap.ServiceConfig{})
+//	c, err := svc.Compile(ctx, g, opts) // safe from any number of goroutines
+//
+// CompileCtx is the cancellable form of Compile. See the examples
+// directory for complete programs and DESIGN.md for the architecture.
 package streammap
 
 import (
+	"context"
+
 	"streammap/internal/core"
 	"streammap/internal/gpu"
 	"streammap/internal/sdf"
@@ -89,12 +101,21 @@ var (
 type (
 	// Options configures the mapping flow.
 	Options = core.Options
-	// Compiled is the result: partitions, assignment, executable plan.
+	// Compiled is the result: partitions, assignment, executable plan, and
+	// per-stage pipeline timings.
 	Compiled = core.Compiled
 	// PartitionerKind selects the partitioning algorithm.
 	PartitionerKind = core.PartitionerKind
 	// MapperKind selects the mapper.
 	MapperKind = core.MapperKind
+	// StageMetric is one pipeline pass's recorded wall-clock cost.
+	StageMetric = core.StageMetric
+	// Service is a concurrent compile service with an LRU result cache.
+	Service = core.Service
+	// ServiceConfig tunes a Service.
+	ServiceConfig = core.ServiceConfig
+	// ServiceStats is a snapshot of a Service's counters.
+	ServiceStats = core.ServiceStats
 )
 
 // Partitioner and mapper choices.
@@ -114,4 +135,18 @@ const (
 // Compile runs the full mapping flow on a stream graph.
 func Compile(g *Graph, opts Options) (*Compiled, error) {
 	return core.Compile(g, opts)
+}
+
+// CompileCtx is Compile under a context: cancellation aborts between
+// pipeline stages and inside the parallel passes.
+func CompileCtx(ctx context.Context, g *Graph, opts Options) (*Compiled, error) {
+	return core.CompileCtx(ctx, g, opts)
+}
+
+// NewService returns a concurrent compile service: many goroutines may
+// Compile through it at once; identical in-flight requests are deduplicated
+// and results cached in an LRU keyed by (graph fingerprint, device,
+// topology, options).
+func NewService(cfg ServiceConfig) *Service {
+	return core.NewService(cfg)
 }
