@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig4.1|fig4.2|fig4.3|fig4.4|table5.1|ablation] [-quick] [-fragments N]
+//	experiments [-exp all|fig4.1|fig4.2|fig4.3|fig4.4|table5.1|ablation|scaling] [-quick] [-fragments N]
 //
 // Full runs sweep every N of every application and can take several
 // minutes; -quick trims each sweep to three sizes.
@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "which experiment: all, fig4.1, fig4.2, fig4.3, fig4.4, table5.1, ablation")
+	exp := flag.String("exp", "all", "which experiment: all, fig4.1, fig4.2, fig4.3, fig4.4, table5.1, ablation, scaling")
 	quick := flag.Bool("quick", false, "trim N sweeps to three sizes per app")
 	fragments := flag.Int("fragments", 0, "override fragments per measurement")
 	budget := flag.Duration("ilp-budget", 0, "override ILP time budget per mapping solve")
@@ -47,6 +47,7 @@ func main() {
 		{"fig4.4", func() (*experiments.Table, error) { t, _, err := experiments.Fig44(cfg); return t, err }},
 		{"table5.1", func() (*experiments.Table, error) { t, _, err := experiments.Table51(cfg); return t, err }},
 		{"ablation", func() (*experiments.Table, error) { t, _, err := experiments.Ablations(cfg); return t, err }},
+		{"scaling", func() (*experiments.Table, error) { t, _, err := experiments.ScalingSweep(cfg); return t, err }},
 	}
 
 	ran := false

@@ -9,6 +9,13 @@
 //	          [-mapper ilp|prev] [-emit report|cuda|dot|run] [-fragments 64]
 //	streammap -batch "DES:8:4,FFT:64:2,DES:8:4" [-batch-workers 8]
 //	streammap -batch all
+//	streammap -synth 50 [-synth-seed S] [-synth-filters 28] [-synth-gpus 8]
+//	          [-synth-check]
+//
+// Synth mode compiles a seeded corpus of randomly generated stream graphs
+// on randomly generated PCIe topologies through the compile service; with
+// -synth-check every scenario also runs the differential harness (serial
+// reference flow vs. concurrent pipeline, plus structural invariants).
 //
 // Examples:
 //
@@ -16,6 +23,7 @@
 //	streammap -app DES -n 8 -gpus 2 -emit cuda > des.cu
 //	streammap -app DCT -n 14 -gpus 4 -emit run
 //	streammap -batch all -gpus 4
+//	streammap -synth 100 -synth-seed 0xC0FFEE -synth-check
 package main
 
 import (
@@ -44,7 +52,30 @@ func main() {
 	device := flag.String("device", "m2090", "m2090 or c2070")
 	batch := flag.String("batch", "", `batch mode: comma-separated app[:n[:gpus]] specs, or "all"; compiles concurrently through the compile service`)
 	batchWorkers := flag.Int("batch-workers", 0, "concurrent compilations in batch mode (default GOMAXPROCS)")
+	synthN := flag.Int("synth", 0, "synth mode: compile this many generated scenarios through the compile service")
+	synthSeed := flag.String("synth-seed", "1", "corpus seed for -synth (decimal or 0x hex)")
+	synthFilters := flag.Int("synth-filters", 28, "max filters per generated graph in -synth mode")
+	synthGPUs := flag.Int("synth-gpus", 8, "max GPUs per generated topology in -synth mode")
+	synthCheck := flag.Bool("synth-check", false, "run the serial-vs-pipeline differential harness on every generated scenario")
 	flag.Parse()
+
+	if *synthN > 0 {
+		seed, err := parseSeed(*synthSeed)
+		if err != nil {
+			fail("synth: %v", err)
+		}
+		if err := runSynth(synthFlags{
+			scenarios: *synthN,
+			seed:      seed,
+			filters:   *synthFilters,
+			gpus:      *synthGPUs,
+			workers:   *batchWorkers,
+			check:     *synthCheck,
+		}); err != nil {
+			fail("synth: %v", err)
+		}
+		return
+	}
 
 	if *batch != "" {
 		if err := runBatch(*batch, *gpus, *batchWorkers, *device); err != nil {

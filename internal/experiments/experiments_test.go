@@ -153,3 +153,30 @@ func TestTableRendering(t *testing.T) {
 		}
 	}
 }
+
+func TestScalingSweepTinyShape(t *testing.T) {
+	tbl, rows, err := ScalingSweep(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4 (2 sizes x 2 gpu counts)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Nodes < r.Filters/2 {
+			t.Errorf("%d filters requested but only %d nodes", r.Filters, r.Nodes)
+		}
+		if r.Partitions < 1 {
+			t.Errorf("%d-filter cell has %d partitions", r.Filters, r.Partitions)
+		}
+		if r.SerialMS <= 0 || r.PipeMS <= 0 {
+			t.Errorf("cell (%d, %d) reports non-positive compile latency", r.Filters, r.GPUs)
+		}
+		if r.PerFragUS <= 0 {
+			t.Errorf("cell (%d, %d) reports non-positive throughput", r.Filters, r.GPUs)
+		}
+	}
+	if !strings.Contains(tbl.String(), "speedup") {
+		t.Error("table missing speedup column")
+	}
+}

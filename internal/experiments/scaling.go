@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"streammap/internal/core"
+	"streammap/internal/gpu"
+	"streammap/internal/gpusim"
+	"streammap/internal/mapping"
+	"streammap/internal/synth"
+	"streammap/internal/topology"
+)
+
+// ScalingRow is one cell of the synthetic scaling sweep.
+type ScalingRow struct {
+	Filters    int // requested size
+	Nodes      int // actual flattened node count
+	GPUs       int
+	Partitions int
+	SerialMS   float64 // CompileSerial wall clock
+	PipeMS     float64 // concurrent pipeline wall clock
+	Speedup    float64 // SerialMS / PipeMS
+	TmaxUS     float64 // mapping objective
+	PerFragUS  float64 // simulated steady-state time per fragment
+}
+
+// ScalingSweep compiles a family of generated stream graphs of growing size
+// onto machines of growing GPU count and reports compile latency (serial
+// reference vs. concurrent pipeline) and simulated throughput. Graphs come
+// from the synth generator under fixed seeds; topologies are the paper's
+// paired PCIe trees so the GPU-count axis varies only in width. Cells run
+// serially — unlike the paper-figure experiments — because the pipeline
+// latency being measured would be distorted by co-running cells.
+//
+// Beyond the numbers, every cell is differential: the sweep asserts the
+// pipeline's artifacts are identical to the serial flow's before timing
+// them, so scaling runs double as large-graph correctness checks.
+func ScalingSweep(cfg Config) (*Table, []ScalingRow, error) {
+	sizes := []int{16, 48, 96, 192, 384}
+	gpus := []int{1, 2, 4, 8}
+	switch {
+	case cfg.Tiny:
+		sizes = []int{12, 32}
+		gpus = []int{1, 4}
+	case cfg.Quick:
+		sizes = []int{16, 96, 384}
+	}
+
+	var rows []ScalingRow
+	for _, n := range sizes {
+		for _, g := range gpus {
+			row, err := scalingCell(cfg, n, g)
+			if err != nil {
+				return nil, nil, fmt.Errorf("scaling cell (%d filters, %d gpus): %w", n, g, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+
+	tbl := &Table{
+		Title:  "Scaling — synthetic graphs: compile latency and throughput vs. size and GPU count",
+		Header: []string{"filters", "nodes", "gpus", "parts", "serial(ms)", "pipeline(ms)", "speedup", "Tmax(us)", "us/frag"},
+		Notes: []string{
+			"graphs: synth.BuildGraph (seeded, skewed work); topology: PairedTree",
+			"every cell also asserts pipeline == serial artifacts (differential)",
+		},
+	}
+	for _, r := range rows {
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(r.Filters), fmt.Sprint(r.Nodes), fmt.Sprint(r.GPUs), fmt.Sprint(r.Partitions),
+			f2(r.SerialMS), f2(r.PipeMS), f2(r.Speedup), f1(r.TmaxUS), f2(r.PerFragUS),
+		})
+	}
+	return tbl, rows, nil
+}
+
+func scalingCell(cfg Config, filters, gpus int) (ScalingRow, error) {
+	gp := synth.GraphParams{
+		Seed:     uint64(filters)<<16 | uint64(gpus),
+		Filters:  filters,
+		MaxRate:  8,
+		MaxOps:   512,
+		SkewWork: true,
+	}
+	opts := core.Options{
+		Device: gpu.M2090(),
+		Topo:   topology.PairedTree(gpus),
+		// Same deterministic ILP regime as the differential corpus: only
+		// instances the branch-and-bound solves to proven optimality may
+		// use the exact solver, or a budget-truncated incumbent could make
+		// the serial-vs-pipeline assertion wall-clock dependent.
+		MapOptions: mapping.Options{TimeBudget: cfg.ILPBudget, ILPMaxParts: 4},
+	}
+
+	gSerial, err := synth.BuildGraph(gp)
+	if err != nil {
+		return ScalingRow{}, err
+	}
+	t0 := time.Now()
+	serial, err := core.CompileSerial(gSerial, opts)
+	if err != nil {
+		return ScalingRow{}, err
+	}
+	serialMS := float64(time.Since(t0).Microseconds()) / 1e3
+
+	gPipe, err := synth.BuildGraph(gp)
+	if err != nil {
+		return ScalingRow{}, err
+	}
+	t0 = time.Now()
+	pipe, err := core.Compile(gPipe, opts)
+	if err != nil {
+		return ScalingRow{}, err
+	}
+	pipeMS := float64(time.Since(t0).Microseconds()) / 1e3
+
+	if err := core.Equivalent(serial, pipe); err != nil {
+		return ScalingRow{}, fmt.Errorf("pipeline diverged from serial: %w", err)
+	}
+	res, err := gpusim.RunTiming(pipe.Plan, cfg.Fragments)
+	if err != nil {
+		return ScalingRow{}, err
+	}
+
+	speedup := 0.0
+	if pipeMS > 0 {
+		speedup = serialMS / pipeMS
+	}
+	return ScalingRow{
+		Filters:    filters,
+		Nodes:      gPipe.NumNodes(),
+		GPUs:       gpus,
+		Partitions: len(pipe.Parts.Parts),
+		SerialMS:   serialMS,
+		PipeMS:     pipeMS,
+		Speedup:    speedup,
+		TmaxUS:     pipe.Assign.Objective,
+		PerFragUS:  res.PerFragmentUS,
+	}, nil
+}

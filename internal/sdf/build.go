@@ -13,6 +13,11 @@ type Stream interface {
 type streamPorts struct {
 	in, out       PortRef
 	hasIn, hasOut bool
+
+	// delay holds initial tokens to place on the channel that will feed
+	// `in` once the parent wires it (see WithDelay). It is an error for a
+	// delayed input to remain a primary graph input.
+	delay []Token
 }
 
 type flatState struct {
@@ -31,10 +36,44 @@ func (st *flatState) newPipe() int {
 // was a direct child of (Node.Pipe), which partitioning phase 1 relies on.
 func Flatten(name string, s Stream) (*Graph, error) {
 	st := &flatState{b: NewBuilder(name)}
-	if _, err := s.elaborate(st); err != nil {
+	ports, err := s.elaborate(st)
+	if err != nil {
 		return nil, err
 	}
+	if len(ports.delay) > 0 {
+		return nil, fmt.Errorf("sdf: %s: delay tokens on a primary input (WithDelay needs an upstream producer)", name)
+	}
 	return st.b.Graph()
+}
+
+// delayStream wraps a stream so the channel that will feed its input
+// carries initial tokens.
+type delayStream struct {
+	inner Stream
+	toks  []Token
+}
+
+// WithDelay declares `tokens` initial (delay) tokens on the channel feeding
+// s's input, the StreamIt "prework/init push" idiom for priming sliding
+// windows: a filter with Peek > Pop can only fire a full steady-state
+// iteration if at least Peek-Pop tokens pre-exist on its input channel.
+// The wrapped stream must end up with an upstream producer (a pipeline
+// predecessor or a splitter branch edge); delaying a primary graph input is
+// rejected by Flatten.
+func WithDelay(s Stream, tokens []Token) Stream {
+	return &delayStream{inner: s, toks: tokens}
+}
+
+func (d *delayStream) elaborate(st *flatState) (streamPorts, error) {
+	ports, err := d.inner.elaborate(st)
+	if err != nil {
+		return streamPorts{}, err
+	}
+	if !ports.hasIn {
+		return streamPorts{}, fmt.Errorf("sdf: WithDelay on a stream without an input")
+	}
+	ports.delay = append(append([]Token(nil), ports.delay...), d.toks...)
+	return ports, nil
 }
 
 type filterStream struct {
@@ -87,12 +126,12 @@ func (p *pipeline) elaborate(st *flatState) (streamPorts, error) {
 			return streamPorts{}, err
 		}
 		if i == 0 {
-			ports.in, ports.hasIn = cp.in, cp.hasIn
+			ports.in, ports.hasIn, ports.delay = cp.in, cp.hasIn, cp.delay
 		} else {
 			if !prev.hasOut || !cp.hasIn {
 				return streamPorts{}, fmt.Errorf("sdf: pipeline %s: child %d cannot be connected", p.name, i)
 			}
-			st.b.Connect(prev.out.Node, prev.out.Port, cp.in.Node, cp.in.Port)
+			st.b.ConnectDelayed(prev.out.Node, prev.out.Port, cp.in.Node, cp.in.Port, cp.delay)
 		}
 		prev = cp
 	}
@@ -147,7 +186,7 @@ func (sj *splitJoin) elaborate(st *flatState) (streamPorts, error) {
 		if !bp.hasIn || !bp.hasOut {
 			return streamPorts{}, fmt.Errorf("sdf: split-join %s: branch %d must have input and output", sj.name, b)
 		}
-		st.b.Connect(split, b, bp.in.Node, bp.in.Port)
+		st.b.ConnectDelayed(split, b, bp.in.Node, bp.in.Port, bp.delay)
 		st.b.Connect(bp.out.Node, bp.out.Port, join, b)
 	}
 	var p streamPorts
@@ -188,7 +227,7 @@ func (fl *feedbackLoop) elaborate(st *flatState) (streamPorts, error) {
 		return streamPorts{}, fmt.Errorf("sdf: loop %s: body must have input and output", fl.name)
 	}
 	split := st.b.AddNode(fl.split, -1)
-	st.b.Connect(join, 0, bp.in.Node, bp.in.Port)
+	st.b.ConnectDelayed(join, 0, bp.in.Node, bp.in.Port, bp.delay)
 	st.b.Connect(bp.out.Node, bp.out.Port, split, 0)
 
 	fbOut := PortRef{split, 1}
@@ -200,7 +239,7 @@ func (fl *feedbackLoop) elaborate(st *flatState) (streamPorts, error) {
 		if !fp.hasIn || !fp.hasOut {
 			return streamPorts{}, fmt.Errorf("sdf: loop %s: feedback path must have input and output", fl.name)
 		}
-		st.b.Connect(split, 1, fp.in.Node, fp.in.Port)
+		st.b.ConnectDelayed(split, 1, fp.in.Node, fp.in.Port, fp.delay)
 		fbOut = fp.out
 	}
 	st.b.ConnectDelayed(fbOut.Node, fbOut.Port, join, 1, fl.delay)

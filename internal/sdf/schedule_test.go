@@ -1,0 +1,105 @@
+package sdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// chainGraph builds a -> b where a pushes 2 and b pops 1 (rep 1:2).
+func chainGraph(t *testing.T) *Graph {
+	t.Helper()
+	a := NewFilter("a", 1, 2, 0, 1, func(w *Work) { w.Out[0][0] = w.In[0][0]; w.Out[0][1] = w.In[0][0] })
+	b := NewFilter("b", 1, 1, 0, 1, func(w *Work) { w.Out[0][0] = w.In[0][0] })
+	g, err := Flatten("chain", Pipe("p", F(a), F(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestValidateScheduleAcceptsTopoOrder(t *testing.T) {
+	g := chainGraph(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSchedule(g, order); err != nil {
+		t.Errorf("topological order rejected: %v", err)
+	}
+}
+
+func TestValidateScheduleRejectsBadOrders(t *testing.T) {
+	g := chainGraph(t)
+	if err := ValidateSchedule(g, []NodeID{1, 0}); err == nil {
+		t.Error("consumer-before-producer order accepted")
+	}
+	if err := ValidateSchedule(g, []NodeID{0}); err == nil {
+		t.Error("truncated schedule accepted")
+	}
+	if err := ValidateSchedule(g, []NodeID{0, 0}); err == nil {
+		t.Error("repeated node accepted")
+	}
+}
+
+func TestWithDelayPrimesSlidingWindow(t *testing.T) {
+	// b peeks 3 while popping 1: without 2 delay tokens the steady
+	// iteration cannot fire.
+	a := NewFilter("a", 1, 1, 0, 1, func(w *Work) { w.Out[0][0] = w.In[0][0] })
+	b := NewFilter("b", 1, 1, 3, 1, func(w *Work) { w.Out[0][0] = w.In[0][0] + w.In[0][2] })
+	g, err := Flatten("win", Pipe("p", F(a), WithDelay(F(b), []Token{1, 2})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := g.Edges[0]
+	if len(e.Initial) != 2 {
+		t.Fatalf("delay channel carries %d initial tokens, want 2", len(e.Initial))
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSchedule(g, order); err != nil {
+		t.Errorf("primed window rejected: %v", err)
+	}
+
+	// The same graph without the delay must be caught by the validator.
+	g2, err := Flatten("win2", Pipe("p", F(a), F(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order2, err := g2.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSchedule(g2, order2); err == nil {
+		t.Error("unprimed sliding window accepted")
+	}
+}
+
+func TestWithDelayOnPrimaryInputRejected(t *testing.T) {
+	b := NewFilter("b", 1, 1, 2, 1, func(w *Work) { w.Out[0][0] = w.In[0][0] })
+	_, err := Flatten("bad", Pipe("p", WithDelay(F(b), []Token{0})))
+	if err == nil || !strings.Contains(err.Error(), "primary input") {
+		t.Errorf("delay on primary input not rejected: %v", err)
+	}
+}
+
+func TestWithDelayInsideSplitJoinBranch(t *testing.T) {
+	a := NewFilter("a", 1, 2, 0, 1, func(w *Work) { w.Out[0][0] = w.In[0][0]; w.Out[0][1] = w.In[0][0] })
+	win := NewFilter("win", 1, 1, 2, 1, func(w *Work) { w.Out[0][0] = w.In[0][0] + w.In[0][1] })
+	id := NewFilter("id", 1, 1, 0, 1, func(w *Work) { w.Out[0][0] = w.In[0][0] })
+	g, err := Flatten("sjwin", Pipe("p",
+		F(a),
+		SplitRRRR("sj", []int{1, 1}, []int{1, 1}, WithDelay(F(win), []Token{5}), F(id)),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSchedule(g, order); err != nil {
+		t.Errorf("branch delay rejected: %v", err)
+	}
+}

@@ -1,0 +1,60 @@
+package synth
+
+// rng is a tiny deterministic pseudo-random generator (splitmix64). The
+// generator is pinned here — not borrowed from math/rand — so that a given
+// seed produces the same corpus on every Go release, every platform and
+// every run: the differential harness's scenarios are part of the test
+// suite's identity. splitmix64 passes BigCrush and needs no state beyond
+// one word, which also makes Fork (independent sub-streams for nested
+// structures) trivial.
+type rng struct {
+	state uint64
+}
+
+// newRNG seeds a generator. Seed 0 is remapped so the all-zero state never
+// occurs.
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{state: seed}
+}
+
+// next returns the next 64 pseudo-random bits.
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// fork derives an independent generator whose stream does not overlap the
+// parent's for any practical length. Used to give each scenario of a corpus
+// its own seed so inserting a scenario never shifts the others.
+func (r *rng) fork() *rng {
+	return newRNG(r.next() ^ 0xD1B54A32D192ED03)
+}
+
+// intn returns a uniform int in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// rangeInt returns a uniform int in [lo, hi] (inclusive).
+func (r *rng) rangeInt(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.intn(hi-lo+1)
+}
+
+// float64 returns a uniform float in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// bool returns true with probability p.
+func (r *rng) bool(p float64) bool {
+	return r.float64() < p
+}

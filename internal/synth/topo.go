@@ -1,0 +1,104 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"streammap/internal/topology"
+)
+
+// TopoParams seeds one random hierarchical GPU topology.
+type TopoParams struct {
+	Seed uint64
+
+	// GPUs is the number of GPU leaves. Default 4.
+	GPUs int
+	// MaxFan bounds how many switches hang under any one node, so fan-outs
+	// come out asymmetric rather than degenerate. Default 3.
+	MaxFan int
+	// MaxDepth bounds switch nesting below the host. Default 3.
+	MaxDepth int
+
+	// Link parameter ranges; a bandwidth and latency are drawn uniformly
+	// per topology, modelling machines built from different PCIe
+	// generations. Defaults [4, 16] GB/s and [2, 20] µs.
+	MinBandwidthGBs, MaxBandwidthGBs float64
+	MinLatencyUS, MaxLatencyUS       float64
+}
+
+func (p TopoParams) withDefaults() TopoParams {
+	if p.GPUs <= 0 {
+		p.GPUs = 4
+	}
+	if p.MaxFan <= 0 {
+		p.MaxFan = 3
+	}
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 3
+	}
+	if p.MinBandwidthGBs <= 0 {
+		p.MinBandwidthGBs = 4
+	}
+	if p.MaxBandwidthGBs < p.MinBandwidthGBs {
+		p.MaxBandwidthGBs = 16
+	}
+	if p.MinLatencyUS <= 0 {
+		p.MinLatencyUS = 2
+	}
+	if p.MaxLatencyUS < p.MinLatencyUS {
+		p.MaxLatencyUS = 20
+	}
+	return p
+}
+
+// BuildTopology generates a random PCIe tree through topology.Builder:
+// a random forest of switches under the host (respecting MaxFan/MaxDepth),
+// GPUs attached to uniformly chosen nodes (the host included, modelling
+// root-complex-attached GPUs), and link parameters drawn from the
+// configured ranges. Identical parameters yield an identical tree.
+func BuildTopology(p TopoParams) (*topology.Tree, error) {
+	p = p.withDefaults()
+	r := newRNG(p.Seed)
+	b := topology.NewBuilder()
+
+	type attachPoint struct{ id, depth int }
+	points := []attachPoint{{b.Root(), 0}}
+	switchChildren := map[int]int{}
+
+	// More switches than GPUs is pointless; fewer makes flat trees — draw
+	// in between, tolerating rejected placements.
+	wantSwitches := r.rangeInt(0, 2*p.GPUs)
+	for i, added := 0, 0; i < 4*wantSwitches && added < wantSwitches; i++ {
+		parent := points[r.intn(len(points))]
+		if parent.depth >= p.MaxDepth || switchChildren[parent.id] >= p.MaxFan {
+			continue
+		}
+		sw := b.AddSwitch(parent.id, fmt.Sprintf("SW%d", added+1))
+		switchChildren[parent.id]++
+		points = append(points, attachPoint{sw, parent.depth + 1})
+		added++
+	}
+	for gi := 0; gi < p.GPUs; gi++ {
+		b.AddGPU(points[r.intn(len(points))].id)
+	}
+
+	// Quantize link parameters to tidy steps so topology keys (and golden
+	// outputs embedding them) stay readable.
+	bw := quantize(p.MinBandwidthGBs+(p.MaxBandwidthGBs-p.MinBandwidthGBs)*r.float64(), 0.5)
+	lat := quantize(p.MinLatencyUS+(p.MaxLatencyUS-p.MinLatencyUS)*r.float64(), 0.5)
+	b.SetLink(bw, lat)
+
+	t, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("synth: topology seed %d: %w", p.Seed, err)
+	}
+	return t, nil
+}
+
+func quantize(v, step float64) float64 {
+	q := math.Round(v/step) * step
+	if q < step {
+		q = step
+	}
+	return q
+}

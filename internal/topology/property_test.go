@@ -1,0 +1,181 @@
+package topology_test
+
+import (
+	"testing"
+
+	"streammap/internal/synth"
+	"streammap/internal/topology"
+)
+
+// endpoints returns Host plus every GPU index.
+func endpoints(t *topology.Tree) []int {
+	out := []int{topology.Host}
+	for g := 0; g < t.NumGPUs(); g++ {
+		out = append(out, g)
+	}
+	return out
+}
+
+// walkRoute re-derives the path a route claims: uplinks must ascend from
+// src's node parent by parent, downlinks must then descend to dst's node.
+func walkRoute(tr *topology.Tree, src, dst int, route []int) bool {
+	links := tr.Links()
+	cur := tr.EndpointNode(src)
+	i := 0
+	for ; i < len(route) && links[route[i]].Dir == topology.Up; i++ {
+		if links[route[i]].Child != cur {
+			return false
+		}
+		cur = tr.ParentOf(cur)
+	}
+	for ; i < len(route); i++ {
+		l := links[route[i]]
+		if l.Dir != topology.Down || tr.ParentOf(l.Child) != cur {
+			return false
+		}
+		cur = l.Child
+	}
+	return cur == tr.EndpointNode(dst)
+}
+
+// TestRouteProperties checks, over a family of random trees, the paper's
+// §3.2.1 routing machinery: every route is a contiguous
+// uplinks-then-downlinks tree path between its endpoints, link membership
+// agrees with Carries, DTList inverts Carries, and host-staged routes
+// decompose as Route(src, Host) ++ Route(Host, dst).
+func TestRouteProperties(t *testing.T) {
+	for seed := uint64(0); seed < 120; seed++ {
+		tr, err := synth.BuildTopology(synth.TopoParams{
+			Seed:     seed,
+			GPUs:     int(1 + seed%9),
+			MaxDepth: int(1 + seed%4),
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		eps := endpoints(tr)
+		for _, src := range eps {
+			for _, dst := range eps {
+				route := tr.Route(src, dst)
+				if src == dst {
+					if len(route) != 0 {
+						t.Errorf("seed %d: self route %d->%d not empty", seed, src, dst)
+					}
+					continue
+				}
+				if len(route) == 0 {
+					t.Errorf("seed %d: empty route %d->%d", seed, src, dst)
+					continue
+				}
+				if !walkRoute(tr, src, dst, route) {
+					t.Errorf("seed %d: route %d->%d = %v is not a contiguous path", seed, src, dst, route)
+				}
+				onRoute := map[int]bool{}
+				for _, id := range route {
+					if onRoute[id] {
+						t.Errorf("seed %d: route %d->%d repeats link %d", seed, src, dst, id)
+					}
+					onRoute[id] = true
+				}
+				for _, l := range tr.Links() {
+					if tr.Carries(l, src, dst) != onRoute[l.ID] {
+						t.Errorf("seed %d: link %d: Carries=%v but route membership=%v for %d->%d",
+							seed, l.ID, tr.Carries(l, src, dst), onRoute[l.ID], src, dst)
+					}
+				}
+
+				// Host staging decomposes into the two host legs.
+				via := tr.RouteViaHost(src, dst)
+				want := append(append([]int{}, tr.Route(src, topology.Host)...), tr.Route(topology.Host, dst)...)
+				if len(via) != len(want) {
+					t.Errorf("seed %d: via-host route %d->%d has %d links, want %d", seed, src, dst, len(via), len(want))
+				} else {
+					for i := range via {
+						if via[i] != want[i] {
+							t.Errorf("seed %d: via-host route %d->%d differs at %d", seed, src, dst, i)
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDTListProperties: dtlist(l) must be exactly the transfer pairs that
+// Carries reports for l — and therefore exactly the pairs whose Route
+// includes l.
+func TestDTListProperties(t *testing.T) {
+	for seed := uint64(0); seed < 60; seed++ {
+		tr, err := synth.BuildTopology(synth.TopoParams{Seed: 1000 + seed, GPUs: int(1 + seed%8)})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		eps := endpoints(tr)
+		for _, l := range tr.Links() {
+			want := map[topology.Pair]bool{}
+			for _, s := range eps {
+				for _, d := range eps {
+					if s != d && tr.Carries(l, s, d) {
+						want[topology.Pair{Src: s, Dst: d}] = true
+					}
+				}
+			}
+			got := tr.DTList(l)
+			if len(got) != len(want) {
+				t.Errorf("seed %d link %d: dtlist has %d pairs, want %d", seed, l.ID, len(got), len(want))
+				continue
+			}
+			seen := map[topology.Pair]bool{}
+			for _, pr := range got {
+				if !want[pr] {
+					t.Errorf("seed %d link %d: dtlist contains %v which the link does not carry", seed, l.ID, pr)
+				}
+				if seen[pr] {
+					t.Errorf("seed %d link %d: dtlist repeats %v", seed, l.ID, pr)
+				}
+				seen[pr] = true
+			}
+		}
+	}
+}
+
+// TestTreeStructure: every non-root node owns exactly one uplink and one
+// downlink, and every GPU's uplink route to the host touches each ancestor
+// once (the tree is well-formed under the exported accessors).
+func TestTreeStructure(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		tr, err := synth.BuildTopology(synth.TopoParams{Seed: 2000 + seed, GPUs: int(1 + seed%9)})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ups := map[int]int{}
+		downs := map[int]int{}
+		for _, l := range tr.Links() {
+			if l.Dir == topology.Up {
+				ups[l.Child]++
+			} else {
+				downs[l.Child]++
+			}
+		}
+		for node := 1; node < tr.NumNodes(); node++ {
+			if ups[node] != 1 || downs[node] != 1 {
+				t.Errorf("seed %d: node %d has %d uplinks and %d downlinks", seed, node, ups[node], downs[node])
+			}
+			if p := tr.ParentOf(node); p < 0 || p >= tr.NumNodes() {
+				t.Errorf("seed %d: node %d has out-of-range parent %d", seed, node, p)
+			}
+		}
+		if tr.ParentOf(0) != -1 {
+			t.Errorf("seed %d: root has a parent", seed)
+		}
+		for g := 0; g < tr.NumGPUs(); g++ {
+			hops := 0
+			for n := tr.EndpointNode(g); n != -1; n = tr.ParentOf(n) {
+				if hops++; hops > tr.NumNodes() {
+					t.Fatalf("seed %d: gpu %d does not reach the root", seed, g)
+				}
+			}
+		}
+	}
+}

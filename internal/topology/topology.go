@@ -201,6 +201,17 @@ func (t *Tree) Key() string {
 // NumGPUs returns the number of GPU leaves.
 func (t *Tree) NumGPUs() int { return len(t.gpuNode) }
 
+// NumNodes returns the number of tree nodes, host root included.
+func (t *Tree) NumNodes() int { return len(t.parent) }
+
+// ParentOf returns the parent of tree node `node`, or -1 for the root.
+// Together with EndpointNode it lets external validators (the synthetic
+// differential harness, property tests) walk a Route link by link.
+func (t *Tree) ParentOf(node int) int { return t.parent[node] }
+
+// EndpointNode maps an endpoint (a GPU index or Host) to its tree node.
+func (t *Tree) EndpointNode(endpoint int) int { return t.nodeOf(endpoint) }
+
 // NumLinks returns the number of directed links.
 func (t *Tree) NumLinks() int { return len(t.links) }
 
