@@ -1,0 +1,76 @@
+package streammap
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestArtifactQuickstart exercises the public artifact surface end to end,
+// exactly as the package comment advertises: compile, export, encode,
+// decode, execute without recompiling, and warm-start a service from disk.
+func TestArtifactQuickstart(t *testing.T) {
+	g, err := Flatten("toy", quickstartProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(g, Options{Topo: PairedTree(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := c.Artifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Format != ArtifactFormatVersion {
+		t.Errorf("decoded format %d, want %d", b.Format, ArtifactFormatVersion)
+	}
+	if b.Fingerprint != g.Fingerprint() {
+		t.Errorf("artifact fingerprint %016x != graph %016x", b.Fingerprint, g.Fingerprint())
+	}
+	res, err := b.Execute(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerFragmentUS <= 0 {
+		t.Errorf("decoded execution per-fragment %v", res.PerFragmentUS)
+	}
+
+	// Two-tier service: a second service over the same directory serves the
+	// graph without compiling.
+	dir := t.TempDir()
+	ctx := context.Background()
+	s1 := NewService(ServiceConfig{CacheDir: dir})
+	if _, err := s1.Compile(ctx, g, Options{Topo: PairedTree(2)}); err != nil {
+		t.Fatal(err)
+	}
+	// The disk write happens off the compile critical path; rendezvous with
+	// it before starting the second service.
+	for deadline := time.Now().Add(10 * time.Second); s1.Stats().DiskWrites == 0; {
+		if s1.Stats().DiskErrors > 0 || time.Now().After(deadline) {
+			t.Fatalf("artifact never reached disk: %+v", s1.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s2 := NewService(ServiceConfig{CacheDir: dir})
+	warm, err := s2.Compile(ctx, g, Options{Topo: PairedTree(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("warm start stats %+v", st)
+	}
+	if len(warm.Stages) != 0 {
+		t.Errorf("disk-served result ran pipeline stages: %v", warm.Stages)
+	}
+}

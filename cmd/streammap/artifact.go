@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"streammap/internal/artifact"
+	"streammap/internal/core"
+	"streammap/internal/gpusim"
+)
+
+// emitArtifact encodes the compilation and writes it to path ("-" or empty
+// means stdout).
+func emitArtifact(c *core.Compiled, path string) error {
+	a, err := c.Artifact()
+	if err != nil {
+		return err
+	}
+	data, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	if path == "" || path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// runExec decodes an artifact file and executes it on the simulator —
+// timing-only, over the structural twin embedded in the artifact — without
+// running any compilation pass.
+func runExec(path string, fragments int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	a, err := artifact.Decode(data)
+	if err != nil {
+		return err
+	}
+	res, err := a.Execute(fragments)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("artifact %s: format v%d, graph %s (fingerprint %016x)\n",
+		path, a.Format, a.Graph.Name, a.Fingerprint)
+	fmt.Printf("  %s on %d GPUs, %d partitions, B=%d iterations/fragment, mapped by %s (Tmax %.1f us)\n",
+		a.Options.Device.Name, len(a.Options.Topo.GPUNodes), len(a.Partitions),
+		a.Plan.FragmentIters, a.Assignment.Method, a.Assignment.Objective)
+	fmt.Printf("  fragments: %d, makespan %.1f us, steady state %.2f us/fragment\n",
+		fragments, res.MakespanUS, res.PerFragmentUS)
+	printGPUBusy(res)
+	return nil
+}
+
+// printGPUBusy renders the per-GPU utilization lines shared by the -exec
+// and -emit run reports.
+func printGPUBusy(res *gpusim.Result) {
+	for gi, busy := range res.GPUBusyUS {
+		fmt.Printf("  gpu%d busy: %.1f us (%.0f%%)\n", gi+1, busy, 100*busy/res.MakespanUS)
+	}
+}

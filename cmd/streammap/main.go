@@ -6,11 +6,17 @@
 // Usage:
 //
 //	streammap -app DES -n 8 -gpus 4 [-partitioner alg1|prev|single]
-//	          [-mapper ilp|prev] [-emit report|cuda|dot|run] [-fragments 64]
+//	          [-mapper ilp|prev] [-emit report|cuda|dot|run|artifact]
+//	          [-fragments 64] [-artifact-out file]
+//	streammap -exec file.artifact.json [-fragments 64]
 //	streammap -batch "DES:8:4,FFT:64:2,DES:8:4" [-batch-workers 8]
 //	streammap -batch all
 //	streammap -synth 50 [-synth-seed S] [-synth-filters 28] [-synth-gpus 8]
 //	          [-synth-check]
+//
+// -emit artifact serializes the compilation as a versioned, self-contained
+// artifact (to -artifact-out, default stdout); -exec decodes such a file
+// and executes it on the simulator without recompiling.
 //
 // Synth mode compiles a seeded corpus of randomly generated stream graphs
 // on randomly generated PCIe topologies through the compile service; with
@@ -22,6 +28,8 @@
 //	streammap -app FFT -n 256 -gpus 4 -emit report
 //	streammap -app DES -n 8 -gpus 2 -emit cuda > des.cu
 //	streammap -app DCT -n 14 -gpus 4 -emit run
+//	streammap -app DES -n 8 -gpus 4 -emit artifact -artifact-out des.artifact.json
+//	streammap -exec des.artifact.json -fragments 128
 //	streammap -batch all -gpus 4
 //	streammap -synth 100 -synth-seed 0xC0FFEE -synth-check
 package main
@@ -47,8 +55,10 @@ func main() {
 	gpus := flag.Int("gpus", 4, "number of GPUs (PCIe tree per Figure 3.3)")
 	partitioner := flag.String("partitioner", "alg1", "alg1 (paper), prev ([7], SM-only) or single (SPSG)")
 	mapper := flag.String("mapper", "ilp", "ilp (communication-aware) or prev (workload-only, via host)")
-	emit := flag.String("emit", "report", "report, cuda, dot or run")
-	fragments := flag.Int("fragments", 64, "fragments for -emit run")
+	emit := flag.String("emit", "report", "report, cuda, dot, run or artifact")
+	artifactOut := flag.String("artifact-out", "-", `output file for -emit artifact ("-" = stdout)`)
+	execFile := flag.String("exec", "", "execute a previously emitted artifact file (no compilation)")
+	fragments := flag.Int("fragments", 64, "fragments for -emit run and -exec")
 	device := flag.String("device", "m2090", "m2090 or c2070")
 	batch := flag.String("batch", "", `batch mode: comma-separated app[:n[:gpus]] specs, or "all"; compiles concurrently through the compile service`)
 	batchWorkers := flag.Int("batch-workers", 0, "concurrent compilations in batch mode (default GOMAXPROCS)")
@@ -58,6 +68,13 @@ func main() {
 	synthGPUs := flag.Int("synth-gpus", 8, "max GPUs per generated topology in -synth mode")
 	synthCheck := flag.Bool("synth-check", false, "run the serial-vs-pipeline differential harness on every generated scenario")
 	flag.Parse()
+
+	if *execFile != "" {
+		if err := runExec(*execFile, *fragments); err != nil {
+			fail("exec: %v", err)
+		}
+		return
+	}
 
 	if *synthN > 0 {
 		seed, err := parseSeed(*synthSeed)
@@ -139,6 +156,10 @@ func main() {
 		fmt.Print(src)
 	case "dot":
 		fmt.Print(codegen.Dot(c.Plan))
+	case "artifact":
+		if err := emitArtifact(c, *artifactOut); err != nil {
+			fail("artifact: %v", err)
+		}
 	case "run":
 		in := make([]sdf.Token, c.InputNeed(0, *fragments))
 		for i := range in {
@@ -151,9 +172,7 @@ func main() {
 		fmt.Print(codegen.Report(c.Plan))
 		fmt.Printf("  fragments: %d, makespan %.1f us, steady state %.2f us/fragment\n",
 			*fragments, res.MakespanUS, res.PerFragmentUS)
-		for gi, busy := range res.GPUBusyUS {
-			fmt.Printf("  gpu%d busy: %.1f us (%.0f%%)\n", gi+1, busy, 100*busy/res.MakespanUS)
-		}
+		printGPUBusy(res)
 		fmt.Printf("  output tokens: %d\n", len(res.Outputs[0]))
 	default:
 		fail("unknown emit mode %q", *emit)

@@ -1,0 +1,197 @@
+package artifact_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"streammap/internal/artifact"
+)
+
+func readGolden(t *testing.T) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "des4x2.artifact.json"))
+	if err != nil {
+		t.Fatalf("reading golden artifact: %v", err)
+	}
+	return data
+}
+
+// TestGoldenArtifactDecodes is the format-stability guardrail: the
+// checked-in artifact, written by an earlier build, must keep decoding and
+// executing. If a schema change breaks this test, bump FormatVersion and
+// regenerate the golden file (go run ./cmd/streammap -app DES -n 4 -gpus 2
+// -emit artifact -artifact-out internal/artifact/testdata/des4x2.artifact.json)
+// — never silently reinterpret old bytes.
+func TestGoldenArtifactDecodes(t *testing.T) {
+	a, err := artifact.Decode(readGolden(t))
+	if err != nil {
+		t.Fatalf("decoding golden artifact: %v", err)
+	}
+	if a.Format != artifact.FormatVersion {
+		t.Errorf("golden artifact format %d, want %d", a.Format, artifact.FormatVersion)
+	}
+	if a.Graph.Name != "DES-N4" {
+		t.Errorf("golden graph name %q", a.Graph.Name)
+	}
+	if len(a.Partitions) == 0 || len(a.Assignment.GPUOf) != len(a.Partitions) {
+		t.Fatalf("golden artifact inconsistent: %d partitions, %d assignments",
+			len(a.Partitions), len(a.Assignment.GPUOf))
+	}
+	res, err := a.Execute(16)
+	if err != nil {
+		t.Fatalf("executing golden artifact: %v", err)
+	}
+	if res.PerFragmentUS <= 0 || res.MakespanUS <= 0 {
+		t.Errorf("golden execution produced non-positive timing: %+v", res.PerFragmentUS)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, err := artifact.Decode(readGolden(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(e1, e2) {
+		t.Error("Encode is not deterministic")
+	}
+	b, err := artifact.Decode(e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(e1, e3) {
+		t.Error("Decode(Encode(a)).Encode() != Encode(a)")
+	}
+	if err := artifact.Equal(a, b); err != nil {
+		t.Errorf("decoded artifact not Equal: %v", err)
+	}
+}
+
+func TestDecodeRejectsVersionMismatch(t *testing.T) {
+	data := bytes.Replace(readGolden(t), []byte(`"format": 1`), []byte(`"format": 999`), 1)
+	_, err := artifact.Decode(data)
+	if err == nil {
+		t.Fatal("expected version-mismatch error")
+	}
+	if !errors.Is(err, artifact.ErrVersion) {
+		t.Errorf("error %v is not ErrVersion", err)
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	data := readGolden(t)
+	for _, cut := range []int{0, 1, len(data) / 2, len(data) - 2} {
+		if _, err := artifact.Decode(data[:cut]); err == nil {
+			t.Errorf("truncation at %d bytes not rejected", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptSections(t *testing.T) {
+	cases := []struct{ name, old, new string }{
+		{"garbage", "{", "<"},
+		{"negative scale", `"scale": 1`, `"scale": -4`},
+		{"empty partitions", `"partitions": [`, `"zzz": [`},
+	}
+	for _, c := range cases {
+		data := bytes.Replace(readGolden(t), []byte(c.old), []byte(c.new), 1)
+		if _, err := artifact.Decode(data); err == nil {
+			t.Errorf("%s not rejected", c.name)
+		}
+	}
+}
+
+func TestExecuteCancellable(t *testing.T) {
+	a, err := artifact.Decode(readGolden(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Even a tiny simulation (far fewer than one cancellation-check window
+	// of events) must notice an already-cancelled context.
+	if _, err := a.ExecuteCtx(ctx, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled execution returned %v, want context.Canceled", err)
+	}
+}
+
+func TestExecuteRejectsFingerprintMismatch(t *testing.T) {
+	a, err := artifact.Decode(readGolden(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Fingerprint++
+	if _, err := a.Execute(4); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("fingerprint mismatch not caught: %v", err)
+	}
+}
+
+// TestValidateCatchesSemanticCorruption mutates decoded artifacts in ways
+// plain JSON parsing cannot catch and demands Validate (and therefore both
+// the Execute and the FromArtifact paths) rejects each.
+func TestValidateCatchesSemanticCorruption(t *testing.T) {
+	decode := func() *artifact.Artifact {
+		a, err := artifact.Decode(readGolden(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	// Broken exact cover: drop a node from its partition.
+	a := decode()
+	for i := range a.Partitions {
+		if len(a.Partitions[i].Nodes) > 1 {
+			a.Partitions[i].Nodes = a.Partitions[i].Nodes[1:]
+			break
+		}
+	}
+	if err := a.Validate(); err == nil {
+		t.Error("missing node not rejected")
+	}
+
+	// Duplicated node across partitions.
+	a = decode()
+	a.Partitions[1].Nodes = append(a.Partitions[1].Nodes, a.Partitions[0].Nodes[0])
+	if err := a.Validate(); err == nil {
+		t.Error("doubly-owned node not rejected")
+	}
+
+	// Topo order that contradicts the PDG edges.
+	a = decode()
+	if len(a.PDG.Edges) == 0 {
+		t.Fatal("golden artifact has no PDG edges")
+	}
+	e := a.PDG.Edges[0]
+	pos := make([]int, len(a.PDG.Topo))
+	for i, pi := range a.PDG.Topo {
+		pos[pi] = i
+	}
+	a.PDG.Topo[pos[e.From]], a.PDG.Topo[pos[e.To]] = a.PDG.Topo[pos[e.To]], a.PDG.Topo[pos[e.From]]
+	if err := a.Validate(); err == nil {
+		t.Error("edge-violating topo order not rejected")
+	}
+
+	// Options/plan fragment-size disagreement.
+	a = decode()
+	a.Plan.FragmentIters++
+	if err := a.Validate(); err == nil {
+		t.Error("FragmentIters disagreement not rejected")
+	}
+}

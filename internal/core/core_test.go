@@ -32,7 +32,7 @@ func TestCompileDefaults(t *testing.T) {
 	if c.Options.FragmentIters != 512 {
 		t.Errorf("default B = %d", c.Options.FragmentIters)
 	}
-	if len(c.Plan.Parts) != len(c.Parts.Parts) {
+	if len(c.Plan.Kernels) != len(c.Parts.Parts) {
 		t.Errorf("plan/parts mismatch")
 	}
 	if len(c.Assign.GPUOf) != c.PDG.NumParts() {

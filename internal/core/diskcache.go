@@ -1,0 +1,102 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"streammap/internal/artifact"
+	"streammap/internal/driver"
+	"streammap/internal/sdf"
+)
+
+// The disk tier of the compile cache: a content-addressed store of encoded
+// compile artifacts under ServiceConfig.CacheDir. Entries are keyed by a
+// hash of (graph fingerprint, device, topology, normalized options) — the
+// same identity as the in-memory LRU — and written atomically
+// (temp file + rename), so concurrent services can share a directory and a
+// reader never observes a partial entry. Corrupt, truncated or
+// stale-version entries are treated as misses and overwritten by the next
+// successful compilation.
+
+// diskPath returns the content-addressed file for a cache key.
+func (s *Service) diskPath(key cacheKey) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%d|%s|%s|b=%d|p=%d|m=%d|ilp=%d|budget=%d|force=%v",
+		key.graph, key.device, key.topo, key.fragIters,
+		key.partitioner, key.mapper, key.ilpMax, key.ilpBudget, key.forceILP)))
+	return filepath.Join(s.cfg.CacheDir, hex.EncodeToString(sum[:16])+".artifact.json")
+}
+
+// loadDisk tries to serve a request from the disk tier. It returns
+// (nil, false) on any miss — no entry, unreadable file, corrupt or
+// version-mismatched encoding, fingerprint mismatch, or import failure —
+// never an error: the caller falls through to a full compilation, whose
+// result overwrites the bad entry.
+func (s *Service) loadDisk(key cacheKey, g *sdf.Graph, opts Options) (*Compiled, bool) {
+	if s.cfg.CacheDir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.diskPath(key))
+	if err != nil {
+		return nil, false
+	}
+	a, err := artifact.Decode(data)
+	if err != nil {
+		return nil, false // corrupt, truncated or stale version: miss
+	}
+	if a.Fingerprint != g.Fingerprint() {
+		return nil, false // hash collision or foreign file: miss
+	}
+	c, err := driver.FromArtifact(g, a, opts)
+	if err != nil {
+		return nil, false
+	}
+	return c, true
+}
+
+// storeDisk persists a compilation to the disk tier with an atomic
+// write-rename. Failures are recorded but non-fatal: the disk tier is an
+// optimization, never a correctness dependency.
+func (s *Service) storeDisk(key cacheKey, c *Compiled) {
+	if s.cfg.CacheDir == "" {
+		return
+	}
+	err := func() error {
+		if err := os.MkdirAll(s.cfg.CacheDir, 0o755); err != nil {
+			return err
+		}
+		a, err := c.Artifact()
+		if err != nil {
+			return err
+		}
+		data, err := a.Encode()
+		if err != nil {
+			return err
+		}
+		tmp, err := os.CreateTemp(s.cfg.CacheDir, ".artifact-*.tmp")
+		if err != nil {
+			return err
+		}
+		if _, err := tmp.Write(data); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := os.Rename(tmp.Name(), s.diskPath(key)); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		return nil
+	}()
+	if err != nil {
+		s.diskErrors.Add(1)
+		return
+	}
+	s.diskWrites.Add(1)
+}

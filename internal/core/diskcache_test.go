@@ -1,0 +1,219 @@
+package core_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"streammap/internal/core"
+	"streammap/internal/driver"
+	"streammap/internal/sdf"
+	"streammap/internal/topology"
+)
+
+func cacheGraph(t *testing.T, name string) *sdf.Graph {
+	t.Helper()
+	s := sdf.Pipe(name,
+		sdf.F(sdf.NewFilter("a", 4, 4, 0, 2000, func(w *sdf.Work) { copy(w.Out[0], w.In[0][:4]) })),
+		sdf.SplitDupRR("sj", 4, []int{4, 4},
+			sdf.F(sdf.NewFilter("b0", 4, 4, 0, 90000, func(w *sdf.Work) { copy(w.Out[0], w.In[0][:4]) })),
+			sdf.F(sdf.NewFilter("b1", 4, 4, 0, 90000, func(w *sdf.Work) { copy(w.Out[0], w.In[0][:4]) }))),
+		sdf.F(sdf.NewFilter("c", 8, 8, 0, 2000, func(w *sdf.Work) { copy(w.Out[0], w.In[0][:8]) })))
+	g, err := sdf.Flatten(name, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func cacheOpts() core.Options {
+	return core.Options{Topo: topology.PairedTree(2), Workers: 2}
+}
+
+// artifactFiles lists the cache entries on disk.
+func artifactFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.artifact.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// waitDiskWrites blocks until the service has persisted `writes` artifacts:
+// the disk store is written off the compile critical path, after waiters
+// are released, so tests must rendezvous with it.
+func waitDiskWrites(t *testing.T, s *core.Service, writes int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.Stats()
+		if st.DiskErrors > 0 {
+			t.Fatalf("disk write failed: %+v", st)
+		}
+		if st.DiskWrites >= writes {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("disk write did not complete: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestServiceWarmStartsFromDisk is the acceptance check for the disk tier:
+// a fresh Service pointed at a populated cache directory serves a
+// previously compiled graph without running any pipeline stage, observable
+// through ServiceStats (DiskHits, zero Misses) and through the empty
+// Stages provenance of the served result.
+func TestServiceWarmStartsFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	cold := core.NewService(core.ServiceConfig{CacheDir: dir})
+	c1, err := cold.Compile(ctx, cacheGraph(t, "warm"), cacheOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Stages) == 0 {
+		t.Fatal("cold compile carries no stage provenance")
+	}
+	waitDiskWrites(t, cold, 1)
+	if st := cold.Stats(); st.Misses != 1 || st.DiskWrites != 1 || st.DiskHits != 0 {
+		t.Fatalf("cold service stats %+v", st)
+	}
+	if n := len(artifactFiles(t, dir)); n != 1 {
+		t.Fatalf("%d artifacts on disk, want 1", n)
+	}
+
+	// A restarted service (fresh LRU, same directory, a fresh but equal
+	// graph value) must serve from disk without compiling.
+	warm := core.NewService(core.ServiceConfig{CacheDir: dir})
+	c2, err := warm.Compile(ctx, cacheGraph(t, "warm"), cacheOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := warm.Stats()
+	if st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("warm start did not come from disk: %+v", st)
+	}
+	if len(c2.Stages) != 0 {
+		t.Errorf("disk-served result claims stage provenance %v — a pipeline stage ran", c2.Stages)
+	}
+	if err := driver.Equivalent(c1, c2); err != nil {
+		t.Fatalf("disk-served result differs from cold compile: %v", err)
+	}
+	if err := driver.SameThroughput(c1, c2, 16); err != nil {
+		t.Fatalf("disk-served throughput differs: %v", err)
+	}
+
+	// Second request on the warm service hits the in-memory tier.
+	if _, err := warm.Compile(ctx, cacheGraph(t, "warm"), cacheOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.Stats(); st.Hits != 1 || st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("second warm request stats %+v", st)
+	}
+}
+
+// TestServiceDiskVersionMismatch: entries written by another format version
+// are misses, recompiled, and overwritten with the current version.
+func TestServiceDiskVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	s1 := core.NewService(core.ServiceConfig{CacheDir: dir})
+	if _, err := s1.Compile(ctx, cacheGraph(t, "ver"), cacheOpts()); err != nil {
+		t.Fatal(err)
+	}
+	waitDiskWrites(t, s1, 1)
+	files := artifactFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("%d artifacts on disk", len(files))
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := strings.Replace(string(data), `"format": 1`, `"format": 999`, 1)
+	if stale == string(data) {
+		t.Fatal("could not stamp a stale version")
+	}
+	if err := os.WriteFile(files[0], []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := core.NewService(core.ServiceConfig{CacheDir: dir})
+	if _, err := s2.Compile(ctx, cacheGraph(t, "ver"), cacheOpts()); err != nil {
+		t.Fatal(err)
+	}
+	waitDiskWrites(t, s2, 1)
+	if st := s2.Stats(); st.DiskHits != 0 || st.Misses != 1 || st.DiskWrites != 1 {
+		t.Fatalf("stale-version entry not recompiled+overwritten: %+v", st)
+	}
+	// The overwrite restored a current-version entry: a third service hits.
+	s3 := core.NewService(core.ServiceConfig{CacheDir: dir})
+	if _, err := s3.Compile(ctx, cacheGraph(t, "ver"), cacheOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if st := s3.Stats(); st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("overwritten entry not served: %+v", st)
+	}
+}
+
+// TestServiceDiskTruncatedRecovery: a truncated (crash-torn would be
+// impossible given write-rename, but operators do strange things) entry is
+// a miss, recompiled, and overwritten.
+func TestServiceDiskTruncatedRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	s1 := core.NewService(core.ServiceConfig{CacheDir: dir})
+	if _, err := s1.Compile(ctx, cacheGraph(t, "trunc"), cacheOpts()); err != nil {
+		t.Fatal(err)
+	}
+	waitDiskWrites(t, s1, 1)
+	files := artifactFiles(t, dir)
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := core.NewService(core.ServiceConfig{CacheDir: dir})
+	c, err := s2.Compile(ctx, cacheGraph(t, "trunc"), cacheOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDiskWrites(t, s2, 1)
+	if st := s2.Stats(); st.DiskHits != 0 || st.Misses != 1 || st.DiskWrites != 1 {
+		t.Fatalf("truncated entry not recompiled+overwritten: %+v", st)
+	}
+	if len(c.Stages) == 0 {
+		t.Error("recompiled result carries no stage provenance")
+	}
+	// The repaired entry decodes again.
+	repaired, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repaired) <= len(data)/3 {
+		t.Error("entry was not overwritten")
+	}
+}
+
+// TestServiceDiskDisabledByDefault: no CacheDir, no disk I/O.
+func TestServiceDiskDisabledByDefault(t *testing.T) {
+	s := core.NewService(core.ServiceConfig{})
+	if _, err := s.Compile(context.Background(), cacheGraph(t, "nodisk"), cacheOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.DiskWrites != 0 || st.DiskHits != 0 || st.DiskErrors != 0 {
+		t.Fatalf("disk counters moved without a CacheDir: %+v", st)
+	}
+}

@@ -20,6 +20,13 @@ type ServiceConfig struct {
 	// MaxConcurrent bounds compilations running at once; further requests
 	// queue (default GOMAXPROCS).
 	MaxConcurrent int
+	// CacheDir, when set, enables the second cache tier: a content-addressed
+	// on-disk store of encoded compile artifacts. LRU misses consult it
+	// before compiling, so a restarted service warm-starts from disk;
+	// successful compilations are written back atomically. Corrupt,
+	// truncated or format-version-mismatched entries are ignored and
+	// overwritten. Empty disables the tier.
+	CacheDir string
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
@@ -34,10 +41,13 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 
 // ServiceStats is a snapshot of a service's counters.
 type ServiceStats struct {
-	Hits      int64 // requests served from cache (including join-in-flight)
-	Misses    int64 // requests that ran a compilation
-	Evictions int64 // cache entries dropped by the LRU bound
-	Entries   int   // entries currently cached
+	Hits       int64 // requests served from the in-memory tier (incl. join-in-flight)
+	Misses     int64 // requests that ran a full compilation
+	Evictions  int64 // LRU entries dropped by the MaxEntries bound
+	DiskHits   int64 // requests served from the disk tier without compiling
+	DiskWrites int64 // artifacts persisted to the disk tier
+	DiskErrors int64 // failed disk-tier writes (the tier is best-effort)
+	Entries    int   // entries currently in the in-memory tier
 }
 
 // cacheKey identifies a compilation result: graph structure, device,
@@ -81,8 +91,11 @@ type entry struct {
 }
 
 // Service compiles many stream graphs concurrently, deduplicating identical
-// in-flight requests and caching results in an LRU keyed by (graph
-// fingerprint, device, topology, options). It is safe for concurrent use.
+// in-flight requests and caching results in two tiers keyed by (graph
+// fingerprint, device, topology, options): an in-memory LRU of live
+// results, and optionally (ServiceConfig.CacheDir) a content-addressed
+// on-disk store of encoded compile artifacts that survives restarts. It is
+// safe for concurrent use.
 //
 // The cache returns the same *Compiled to every caller with an equal key;
 // treat compiled results as immutable (copy the Plan before mutating it, as
@@ -99,9 +112,12 @@ type Service struct {
 	lru   *list.List // of *lruItem, most recent at front
 	byKey map[cacheKey]*list.Element
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	evictions  atomic.Int64
+	diskHits   atomic.Int64
+	diskWrites atomic.Int64
+	diskErrors atomic.Int64
 }
 
 type lruItem struct {
@@ -126,17 +142,25 @@ func (s *Service) Stats() ServiceStats {
 	entries := s.lru.Len()
 	s.mu.Unlock()
 	return ServiceStats{
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Evictions: s.evictions.Load(),
-		Entries:   entries,
+		Hits:       s.hits.Load(),
+		Misses:     s.misses.Load(),
+		Evictions:  s.evictions.Load(),
+		DiskHits:   s.diskHits.Load(),
+		DiskWrites: s.diskWrites.Load(),
+		DiskErrors: s.diskErrors.Load(),
+		Entries:    entries,
 	}
 }
 
 // Compile returns the compilation of g under opts, serving repeats from the
-// cache and joining concurrent duplicates onto one in-flight compilation.
-// Failed compilations are not cached.
+// two cache tiers — the in-memory LRU, then the on-disk artifact store —
+// and joining concurrent duplicates onto one in-flight compilation.
+// Failed compilations are not cached. Results served from disk carry empty
+// Stages provenance: no pipeline pass ran for them.
 func (s *Service) Compile(ctx context.Context, g *sdf.Graph, opts Options) (*Compiled, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	s.steadyMu.Lock()
 	var steadyErr error
 	if !g.HasSteady() {
@@ -166,7 +190,6 @@ func (s *Service) Compile(ctx context.Context, g *sdf.Graph, opts Options) (*Com
 	s.byKey[key] = el
 	s.evictLocked()
 	s.mu.Unlock()
-	s.misses.Add(1)
 
 	// The compilation runs detached from the requesting context: other
 	// callers may have joined this entry, and one caller's cancellation
@@ -174,12 +197,31 @@ func (s *Service) Compile(ctx context.Context, g *sdf.Graph, opts Options) (*Com
 	// own ctx; an abandoned compilation finishes and populates the cache.
 	go func() {
 		s.sem <- struct{}{}
-		e.c, e.err = driver.Compile(context.WithoutCancel(ctx), g, opts)
+		var persist *Compiled
+		if c, ok := s.loadDisk(key, g, opts); ok {
+			// Disk tier hit: the artifact is rehydrated (partitions
+			// re-extracted, estimates/PDG/assignment restored verbatim, plan
+			// reassembled) without running any pipeline stage.
+			s.diskHits.Add(1)
+			e.c = c
+		} else {
+			s.misses.Add(1)
+			e.c, e.err = driver.Compile(context.WithoutCancel(ctx), g, opts)
+			if e.err == nil {
+				persist = e.c
+			}
+		}
 		<-s.sem
 		if e.err != nil {
 			s.drop(key, el)
 		}
 		close(e.done)
+		// Persist after waiters are released: the disk tier is best-effort
+		// and must never sit on the compile critical path. Compiled results
+		// are immutable once published, so encoding after close is safe.
+		if persist != nil {
+			s.storeDisk(key, persist)
+		}
 	}()
 	select {
 	case <-e.done:

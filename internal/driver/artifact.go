@@ -1,0 +1,197 @@
+package driver
+
+import (
+	"fmt"
+	"reflect"
+
+	"streammap/internal/artifact"
+	"streammap/internal/mapping"
+	"streammap/internal/partition"
+	"streammap/internal/pdg"
+	"streammap/internal/pee"
+	"streammap/internal/sdf"
+)
+
+// Kind names are the stable wire spelling of the enum kinds; the integer
+// constants never enter an artifact, so reordering them cannot silently
+// change the format.
+
+// String returns the partitioner's stable wire name.
+func (k PartitionerKind) String() string {
+	switch k {
+	case Alg1:
+		return "alg1"
+	case PrevWorkPart:
+		return "prev"
+	case SinglePart:
+		return "single"
+	}
+	return fmt.Sprintf("PartitionerKind(%d)", int(k))
+}
+
+// ParsePartitionerKind inverts PartitionerKind.String.
+func ParsePartitionerKind(s string) (PartitionerKind, error) {
+	switch s {
+	case "alg1":
+		return Alg1, nil
+	case "prev":
+		return PrevWorkPart, nil
+	case "single":
+		return SinglePart, nil
+	}
+	return 0, fmt.Errorf("driver: unknown partitioner %q (want alg1, prev or single)", s)
+}
+
+// String returns the mapper's stable wire name.
+func (k MapperKind) String() string {
+	switch k {
+	case ILPMapper:
+		return "ilp"
+	case PrevWorkMap:
+		return "prev"
+	}
+	return fmt.Sprintf("MapperKind(%d)", int(k))
+}
+
+// ParseMapperKind inverts MapperKind.String.
+func ParseMapperKind(s string) (MapperKind, error) {
+	switch s {
+	case "ilp":
+		return ILPMapper, nil
+	case "prev":
+		return PrevWorkMap, nil
+	}
+	return 0, fmt.Errorf("driver: unknown mapper %q (want ilp or prev)", s)
+}
+
+// ExportOptions returns the normalized wire form of compile options — the
+// identity an artifact claims to have been compiled under. Artifact export
+// writes it; FromArtifact (and through it the disk cache) cross-checks it
+// against the request being served.
+func ExportOptions(opts Options) artifact.Options {
+	opts = opts.withDefaults()
+	mo := opts.MapOptions.Normalized()
+	return artifact.Options{
+		Device:        opts.Device,
+		Topo:          opts.Topo.Export(),
+		FragmentIters: opts.FragmentIters,
+		Partitioner:   opts.Partitioner.String(),
+		Mapper:        opts.Mapper.String(),
+		ILPMaxParts:   mo.ILPMaxParts,
+		ILPBudgetNS:   mo.TimeBudget.Nanoseconds(),
+		ForceILP:      mo.ForceILP,
+	}
+}
+
+// Artifact exports the compilation as a versioned, self-contained,
+// serializable artifact: the graph's structural description, the normalized
+// options, and every stage product (partitions with kernel parameters, PDG,
+// assignment with cost and link loads, plan parameters, profile, stage
+// timings) in wire form, with no reference into compiler internals. The
+// artifact round-trips through Encode/Decode and executes on the simulator
+// without recompiling.
+func (c *Compiled) Artifact() (*artifact.Artifact, error) {
+	parts, err := partition.ExportResult(c.Parts)
+	if err != nil {
+		return nil, err
+	}
+	opts := c.Options.withDefaults()
+	a := &artifact.Artifact{
+		Format:      artifact.FormatVersion,
+		Fingerprint: c.Graph.Fingerprint(),
+		Graph:       sdf.ExportGraph(c.Graph),
+		Options:     ExportOptions(opts),
+		Profile:     c.Prof.Export(),
+		Partitions:  parts,
+		PDG:         c.PDG.Export(),
+		Assignment:  c.Assign.Export(),
+		Plan: artifact.Plan{
+			FragmentIters: opts.FragmentIters,
+			ViaHost:       opts.Mapper == PrevWorkMap,
+		},
+	}
+	for _, s := range c.Stages {
+		a.Stages = append(a.Stages, artifact.Stage{Name: s.Name, DurationNS: s.Duration.Nanoseconds()})
+	}
+	return a, nil
+}
+
+// FromArtifact rebuilds a Compiled from a decoded artifact against the
+// caller's graph — the one carrying real work functions — without running
+// any pipeline stage: partitions are re-extracted (not re-partitioned),
+// estimates, PDG and assignment are restored verbatim, and the plan is
+// reassembled. Stages is empty on the result, which is the provenance
+// signal that nothing was recompiled.
+//
+// The graph must fingerprint to the artifact's compiled graph; opts are the
+// caller's options for the request being served (they must describe the
+// same compilation — the two-tier cache guarantees this by keying on them).
+func FromArtifact(g *sdf.Graph, a *artifact.Artifact, opts Options) (*Compiled, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if fp := g.Fingerprint(); fp != a.Fingerprint {
+		return nil, fmt.Errorf("driver: graph fingerprints to %016x, artifact was compiled from %016x", fp, a.Fingerprint)
+	}
+	opts = opts.withDefaults()
+	// The artifact must have been compiled under the options now being
+	// served: a misplaced or renamed cache entry for the same graph but a
+	// different fragment size, mapper or topology is rejected here, not
+	// silently returned as the wrong compilation.
+	if want, got := ExportOptions(opts), a.Options; !reflect.DeepEqual(want, got) {
+		return nil, fmt.Errorf("driver: artifact was compiled under different options (%+v) than requested (%+v)", got, want)
+	}
+	if !g.HasSteady() {
+		if err := g.Steady(); err != nil {
+			return nil, err
+		}
+	}
+	prof, err := pee.ImportProfile(opts.Device, a.Profile, g.NumNodes())
+	if err != nil {
+		return nil, err
+	}
+	parts, err := partition.ImportResult(g, a.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	dg, err := pdg.Import(g, parts.Parts, a.PDG)
+	if err != nil {
+		return nil, err
+	}
+	assign, err := mapping.ImportAssignment(a.Assignment)
+	if err != nil {
+		return nil, err
+	}
+	if len(assign.GPUOf) != len(parts.Parts) {
+		return nil, fmt.Errorf("driver: artifact assignment covers %d of %d partitions", len(assign.GPUOf), len(parts.Parts))
+	}
+	c := &Compiled{
+		Graph:   g,
+		Options: opts,
+		Prof:    prof,
+		Engine:  pee.NewEngine(g, prof),
+		Parts:   parts,
+		PDG:     dg,
+		Assign:  assign,
+	}
+	c.Problem = &mapping.Problem{
+		PDG:           dg,
+		Topo:          opts.Topo,
+		FragmentIters: opts.FragmentIters,
+		NumSMs:        opts.Device.NumSMs,
+		LaunchUS:      opts.Device.KernelLaunchUS,
+		ViaHost:       opts.Mapper == PrevWorkMap,
+		TimesUS:       fragmentTimes(parts.Parts, opts),
+	}
+	c.Plan = buildPlan(g, opts, prof, parts.Parts, dg, assign.GPUOf)
+	return c, nil
+}
+
+// EquivalentArtifacts is the artifact-level comparator paired with
+// Equivalent: it reports the first difference between two artifacts, and
+// nil when they are identical (including bit-identical float fields). It is
+// how round-trip fidelity — DecodeArtifact(Encode(c.Artifact())) ==
+// c.Artifact() — is machine-checked.
+func EquivalentArtifacts(a, b *artifact.Artifact) error {
+	return artifact.Equal(a, b)
+}

@@ -1,0 +1,286 @@
+package driver_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"streammap/internal/apps"
+	"streammap/internal/artifact"
+	"streammap/internal/driver"
+	"streammap/internal/gpusim"
+	"streammap/internal/mapping"
+	"streammap/internal/sdf"
+	"streammap/internal/topology"
+)
+
+// paperApps is the six-application benchmark suite at sizes small enough
+// for a full round-trip test per app.
+var paperApps = []struct {
+	name string
+	n    int
+	gpus int
+}{
+	{"DES", 4, 2},
+	{"FMRadio", 4, 4},
+	{"FFT", 16, 2},
+	{"DCT", 6, 4},
+	{"MatMul2", 3, 2},
+	{"BitonicRec", 8, 4},
+}
+
+func compileApp(t *testing.T, name string, n, gpus int) (*sdf.Graph, *driver.Compiled) {
+	t.Helper()
+	app, ok := apps.ByName(name)
+	if !ok {
+		t.Fatalf("unknown app %s", name)
+	}
+	g, err := apps.BuildGraph(app, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ILPMaxParts 8 keeps large instances on the deterministic local-search
+	// portfolio instead of a truncated (wall-clock-bound) ILP solve.
+	c, err := driver.Compile(context.Background(), g, driver.Options{
+		Topo:       topology.PairedTree(gpus),
+		MapOptions: mapping.Options{ILPMaxParts: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, c
+}
+
+// TestArtifactRoundTripPaperApps is the golden round-trip contract over the
+// paper's benchmark suite: DecodeArtifact(Encode(c.Artifact())) must be
+// Equivalent to the original — at artifact level, at Compiled level after
+// rehydration, and in bit-identical simulated throughput both through the
+// rehydrated plan and through Artifact.Execute's self-contained path.
+func TestArtifactRoundTripPaperApps(t *testing.T) {
+	for _, tc := range paperApps {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			g, c := compileApp(t, tc.name, tc.n, tc.gpus)
+
+			a, err := c.Artifact()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a.Stages) == 0 {
+				t.Error("compiled artifact carries no stage provenance")
+			}
+			data, err := a.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := artifact.Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := driver.EquivalentArtifacts(a, b); err != nil {
+				t.Fatalf("artifact round trip differs: %v", err)
+			}
+
+			// Rehydrate a Compiled from the decoded artifact and hold it to
+			// the same fidelity contract as the serial/pipeline pair.
+			rc, err := driver.FromArtifact(g, b, c.Options)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := driver.Equivalent(c, rc); err != nil {
+				t.Fatalf("rehydrated compilation differs: %v", err)
+			}
+			if len(rc.Stages) != 0 {
+				t.Errorf("rehydrated compilation claims stage provenance %v", rc.Stages)
+			}
+			const fragments = 24
+			if err := driver.SameThroughput(c, rc, fragments); err != nil {
+				t.Fatalf("rehydrated throughput differs: %v", err)
+			}
+
+			// The self-contained path (structural twin, no original graph)
+			// must be bit-identical too.
+			want, err := gpusim.RunTiming(c.Plan, fragments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := b.Execute(fragments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.PerFragmentUS != got.PerFragmentUS || want.MakespanUS != got.MakespanUS {
+				t.Fatalf("Artifact.Execute throughput (%v, %v) != original (%v, %v)",
+					got.PerFragmentUS, got.MakespanUS, want.PerFragmentUS, want.MakespanUS)
+			}
+		})
+	}
+}
+
+// TestArtifactExecuteWithFunctional checks the functional path: executing a
+// decoded artifact against the original graph produces the same outputs as
+// executing the original compilation.
+func TestArtifactExecuteWithFunctional(t *testing.T) {
+	g, c := compileApp(t, "FMRadio", 4, 2)
+	a, err := c.Artifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := artifact.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fragments = 2
+	mkIn := func() [][]sdf.Token {
+		ports := g.InputPorts()
+		ins := make([][]sdf.Token, len(ports))
+		for i := range ports {
+			n := c.InputNeed(i, fragments)
+			ins[i] = make([]sdf.Token, n)
+			for j := range ins[i] {
+				ins[i][j] = sdf.Token(j % 13)
+			}
+		}
+		return ins
+	}
+	want, err := c.Execute(mkIn(), fragments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ExecuteWith(g, mkIn(), fragments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Outputs) != len(want.Outputs) {
+		t.Fatalf("output port count %d vs %d", len(got.Outputs), len(want.Outputs))
+	}
+	for p := range want.Outputs {
+		if len(got.Outputs[p]) != len(want.Outputs[p]) {
+			t.Fatalf("port %d: %d tokens vs %d", p, len(got.Outputs[p]), len(want.Outputs[p]))
+		}
+		for i := range want.Outputs[p] {
+			if got.Outputs[p][i] != want.Outputs[p][i] {
+				t.Fatalf("port %d token %d differs", p, i)
+			}
+		}
+	}
+	if got.PerFragmentUS != want.PerFragmentUS {
+		t.Errorf("functional throughput %v != %v", got.PerFragmentUS, want.PerFragmentUS)
+	}
+
+	// Wrong graph is rejected up front.
+	other, oc := compileApp(t, "DES", 4, 2)
+	_ = oc
+	if _, err := b.ExecuteWith(other, mkIn(), fragments); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("foreign graph not rejected: %v", err)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts driver.Options
+		want string
+	}{
+		{"negative fragment iters", driver.Options{FragmentIters: -1}, "FragmentIters"},
+		{"negative workers", driver.Options{Workers: -2}, "Workers"},
+		{"unknown partitioner", driver.Options{Partitioner: driver.PartitionerKind(42)}, "partitioner"},
+		{"unknown mapper", driver.Options{Mapper: driver.MapperKind(9)}, "mapper"},
+	}
+	for _, tc := range cases {
+		err := tc.opts.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want mention of %q", tc.name, err, tc.want)
+		}
+		// The same rejection must happen at every compile entry point.
+		g, err2 := apps.BuildGraph(mustApp(t, "DES"), 4)
+		if err2 != nil {
+			t.Fatal(err2)
+		}
+		if _, cerr := driver.Compile(context.Background(), g, tc.opts); cerr == nil {
+			t.Errorf("%s: Compile accepted invalid options", tc.name)
+		}
+		if _, serr := driver.CompileSerial(g, tc.opts); serr == nil {
+			t.Errorf("%s: CompileSerial accepted invalid options", tc.name)
+		}
+	}
+	if err := (driver.Options{}).Validate(); err != nil {
+		t.Errorf("zero options must validate (defaults), got %v", err)
+	}
+}
+
+func TestExecuteValidatesInputsUpFront(t *testing.T) {
+	_, c := compileApp(t, "DES", 4, 1)
+	if _, err := c.Execute(nil, 4); err == nil || !strings.Contains(err.Error(), "input streams") {
+		t.Errorf("missing input streams not rejected descriptively: %v", err)
+	}
+	if _, err := c.Execute([][]sdf.Token{{}, {}}, 4); err == nil || !strings.Contains(err.Error(), "input streams") {
+		t.Errorf("excess input streams not rejected descriptively: %v", err)
+	}
+	if _, err := c.Execute([][]sdf.Token{{1, 2, 3}}, 4); err == nil || !strings.Contains(err.Error(), "tokens") {
+		t.Errorf("short input not rejected descriptively: %v", err)
+	}
+	if _, err := c.Execute([][]sdf.Token{{1}}, 0); err == nil || !strings.Contains(err.Error(), "fragments") {
+		t.Errorf("zero fragments not rejected: %v", err)
+	}
+}
+
+func TestExecuteCtxCancel(t *testing.T) {
+	_, c := compileApp(t, "DES", 4, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := make([]sdf.Token, c.InputNeed(0, 2))
+	if _, err := c.ExecuteCtx(ctx, [][]sdf.Token{in}, 2); err == nil {
+		t.Error("cancelled ExecuteCtx returned no error")
+	}
+}
+
+func mustApp(t *testing.T, name string) apps.App {
+	t.Helper()
+	app, ok := apps.ByName(name)
+	if !ok {
+		t.Fatalf("unknown app %s", name)
+	}
+	return app
+}
+
+// TestFromArtifactRejectsMismatches: a decoded artifact must describe the
+// compilation being served — wrong options (a misplaced cache entry) and
+// layout sections that disagree with the graph are rejected, not silently
+// returned.
+func TestFromArtifactRejectsMismatches(t *testing.T) {
+	g, c := compileApp(t, "DES", 4, 2)
+	a, err := c.Artifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same graph, different options: the entry is for another compilation.
+	b, err := artifact.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := c.Options
+	wrong.FragmentIters = c.Options.FragmentIters * 2
+	if _, err := driver.FromArtifact(g, b, wrong); err == nil || !strings.Contains(err.Error(), "options") {
+		t.Errorf("options mismatch not rejected: %v", err)
+	}
+
+	// A layout section that disagrees with the decoded subgraph.
+	b, err = artifact.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Partitions[0].Layout.PeakBytes++
+	if _, err := driver.FromArtifact(g, b, c.Options); err == nil || !strings.Contains(err.Error(), "layout") {
+		t.Errorf("corrupt layout not rejected: %v", err)
+	}
+}

@@ -94,6 +94,50 @@ func (o Options) withDefaults() Options {
 // value vs explicit default) share one cache entry.
 func Normalized(opts Options) Options { return opts.withDefaults() }
 
+// Validate reports nonsensical options with a descriptive error instead of
+// letting them fail deep inside a pipeline pass. Zero values are fine —
+// they select defaults — but negatives, unknown kinds, invalid devices and
+// malformed topologies are rejected here. Every withDefaults call site
+// (Compile, CompileSerial, the compile service) validates first.
+func (o Options) Validate() error {
+	if o.FragmentIters < 0 {
+		return fmt.Errorf("driver: FragmentIters %d is negative; it is B, the parent iterations per fragment (0 selects the default 512)", o.FragmentIters)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("driver: Workers %d is negative (0 selects GOMAXPROCS, 1 runs serially)", o.Workers)
+	}
+	switch o.Partitioner {
+	case Alg1, PrevWorkPart, SinglePart:
+	default:
+		return fmt.Errorf("driver: unknown partitioner kind %d (want Alg1, PrevWorkPart or SinglePart)", o.Partitioner)
+	}
+	switch o.Mapper {
+	case ILPMapper, PrevWorkMap:
+	default:
+		return fmt.Errorf("driver: unknown mapper kind %d (want ILPMapper or PrevWorkMap)", o.Mapper)
+	}
+	if o.MapOptions.ILPMaxParts < 0 {
+		return fmt.Errorf("driver: MapOptions.ILPMaxParts %d is negative (0 selects the default 24)", o.MapOptions.ILPMaxParts)
+	}
+	if o.MapOptions.TimeBudget < 0 {
+		return fmt.Errorf("driver: MapOptions.TimeBudget %v is negative (0 selects the default 10s)", o.MapOptions.TimeBudget)
+	}
+	if o.MapOptions.Workers < 0 {
+		return fmt.Errorf("driver: MapOptions.Workers %d is negative", o.MapOptions.Workers)
+	}
+	if o.Device.Name != "" {
+		if err := o.Device.Validate(); err != nil {
+			return err
+		}
+	}
+	if o.Topo != nil {
+		if err := o.Topo.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // StageMetric records one pass's wall-clock cost.
 type StageMetric struct {
 	Name     string
@@ -148,6 +192,9 @@ func pipeline() []stage {
 // The context cancels the run between stages and inside the parallel
 // passes.
 func Compile(ctx context.Context, g *sdf.Graph, opts Options) (*Compiled, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	if err := opts.Device.Validate(); err != nil {
 		return nil, err
@@ -234,20 +281,46 @@ func stageMap(ctx context.Context, c *Compiled) error {
 	return err
 }
 
-// stagePlan assembles the executable plan for the simulator and the code
-// generator.
+// stagePlan lowers the compilation to the simulator's self-contained
+// executable plan: plain kernel descriptions plus the dependence data, with
+// no reference back into the partitioner's or the estimation engine's
+// structures.
 func stagePlan(_ context.Context, c *Compiled) error {
-	c.Plan = &gpusim.Plan{
-		Graph:         c.Graph,
-		Machine:       gpusim.Machine{Device: c.Options.Device, Topo: c.Options.Topo},
-		Prof:          c.Prof,
-		PDG:           c.PDG,
-		Parts:         c.Parts.Parts,
-		GPUOf:         c.Assign.GPUOf,
-		FragmentIters: c.Options.FragmentIters,
-		ViaHost:       c.Options.Mapper == PrevWorkMap,
-	}
+	c.Plan = buildPlan(c.Graph, c.Options, c.Prof, c.Parts.Parts, c.PDG, c.Assign.GPUOf)
 	return nil
+}
+
+// buildPlan is the one place compiler structures are lowered to an
+// executable gpusim.Plan; Compile, CompileSerial and FromArtifact share it.
+func buildPlan(g *sdf.Graph, opts Options, prof *pee.Profile, parts []*partition.Partition, dg *pdg.PDG, gpuOf []int) *gpusim.Plan {
+	kernels := make([]*gpusim.Kernel, len(parts))
+	for i, p := range parts {
+		kernels[i] = &gpusim.Kernel{
+			Sub:          p.Sub,
+			Params:       gpusim.KernelParams{S: p.Est.Params.S, W: p.Est.Params.W, F: p.Est.Params.F},
+			SMBytes:      p.Est.SMBytes,
+			IOBytes:      p.Est.DBytes,
+			TUS:          p.Est.TUS,
+			ComputeBound: p.Est.ComputeBound(),
+		}
+	}
+	deps := make([]gpusim.Dep, len(dg.Edges))
+	for i, e := range dg.Edges {
+		deps[i] = gpusim.Dep{From: e.From, To: e.To, Bytes: e.Bytes}
+	}
+	return &gpusim.Plan{
+		Graph:           g,
+		Machine:         gpusim.Machine{Device: opts.Device, Topo: opts.Topo},
+		PerFiringCycles: prof.PerFiringCycles,
+		Kernels:         kernels,
+		Deps:            deps,
+		HostInBytes:     dg.HostInBytes,
+		HostOutBytes:    dg.HostOutBytes,
+		Order:           dg.Topo,
+		GPUOf:           gpuOf,
+		FragmentIters:   opts.FragmentIters,
+		ViaHost:         opts.Mapper == PrevWorkMap,
+	}
 }
 
 // fragmentTimes derives each partition's per-fragment busy-time estimate
@@ -267,9 +340,42 @@ func fragmentTimes(parts []*partition.Partition, opts Options) []float64 {
 	return out
 }
 
-// Execute runs the compiled plan on the simulator.
+// Execute runs the compiled plan on the simulator, moving real tokens
+// through the filters. The inputs slice is validated against the graph's
+// primary input ports up front, so a malformed call fails with a
+// descriptive error instead of deep inside the simulation.
 func (c *Compiled) Execute(inputs [][]sdf.Token, fragments int) (*gpusim.Result, error) {
-	return gpusim.Run(c.Plan, inputs, fragments)
+	return c.ExecuteCtx(context.Background(), inputs, fragments)
+}
+
+// ExecuteCtx is Execute under a context: cancellation aborts between
+// fragments of the functional pass and inside the timing event loop.
+func (c *Compiled) ExecuteCtx(ctx context.Context, inputs [][]sdf.Token, fragments int) (*gpusim.Result, error) {
+	if err := c.validateInputs(inputs, fragments); err != nil {
+		return nil, err
+	}
+	return gpusim.RunCtx(ctx, c.Plan, inputs, fragments)
+}
+
+// validateInputs checks the input streams against the graph's source ports
+// and the requested fragment count before any simulation state is built.
+func (c *Compiled) validateInputs(inputs [][]sdf.Token, fragments int) error {
+	if fragments <= 0 {
+		return fmt.Errorf("driver: Execute: fragments must be positive, got %d", fragments)
+	}
+	ports := c.Graph.InputPorts()
+	if len(inputs) != len(ports) {
+		return fmt.Errorf("driver: Execute: %d input streams supplied, but graph %s has %d primary input port(s)",
+			len(inputs), c.Graph.Name, len(ports))
+	}
+	for i := range ports {
+		need := c.InputNeed(i, fragments)
+		if int64(len(inputs[i])) < need {
+			return fmt.Errorf("driver: Execute: input %d has %d tokens, need %d (%d per iteration x B=%d x %d fragments)",
+				i, len(inputs[i]), need, c.Graph.PortTokens(ports[i], true), c.Options.FragmentIters, fragments)
+		}
+	}
+	return nil
 }
 
 // InputNeed returns the number of tokens required on primary input port idx

@@ -3,7 +3,6 @@ package driver
 import (
 	"fmt"
 
-	"streammap/internal/gpusim"
 	"streammap/internal/mapping"
 	"streammap/internal/partition"
 	"streammap/internal/pdg"
@@ -17,6 +16,9 @@ import (
 // assignment cost and simulated throughput, and BenchmarkCompile measures
 // the pipeline's speedup against it.
 func CompileSerial(g *sdf.Graph, opts Options) (*Compiled, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	if err := opts.Device.Validate(); err != nil {
 		return nil, err
@@ -75,16 +77,7 @@ func CompileSerial(g *sdf.Graph, opts Options) (*Compiled, error) {
 		return nil, err
 	}
 
-	plan := &gpusim.Plan{
-		Graph:         g,
-		Machine:       gpusim.Machine{Device: opts.Device, Topo: opts.Topo},
-		Prof:          prof,
-		PDG:           dg,
-		Parts:         parts.Parts,
-		GPUOf:         assign.GPUOf,
-		FragmentIters: opts.FragmentIters,
-		ViaHost:       opts.Mapper == PrevWorkMap,
-	}
+	plan := buildPlan(g, opts, prof, parts.Parts, dg, assign.GPUOf)
 	return &Compiled{
 		Graph:   g,
 		Options: opts,

@@ -55,13 +55,13 @@ func Fig41(cfg Config) (*Table, *Fig41Result, error) {
 			return nil, fmt.Errorf("fig4.1 %s N=%d: %w", app.Name, n, err)
 		}
 		var pts []Fig41Point
-		for _, part := range c.Parts.Parts {
-			meas := gpusim.MeasureKernel(part, c.Prof)
+		for _, k := range c.Plan.Kernels {
+			meas := gpusim.MeasureKernel(k, c.Plan.Machine.Device, c.Plan.PerFiringCycles)
 			pts = append(pts, Fig41Point{
 				App:         app.Name,
 				N:           n,
-				Partition:   part.Set.String(),
-				EstimatedUS: part.Est.TUS,
+				Partition:   k.Sub.Set.String(),
+				EstimatedUS: k.TUS,
 				MeasuredUS:  meas.PerExecUS,
 			})
 		}

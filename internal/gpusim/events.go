@@ -2,6 +2,7 @@ package gpusim
 
 import (
 	"container/heap"
+	"context"
 	"math"
 
 	"streammap/internal/topology"
@@ -97,6 +98,7 @@ func (q *readyQueue) Pop() interface{} {
 
 // timingInput is everything the engine needs, precomputed by Run.
 type timingInput struct {
+	ctx       context.Context
 	topo      *topology.Tree
 	fragments int
 	numParts  int
@@ -127,8 +129,9 @@ type timingOutput struct {
 	makespan  float64
 }
 
-// simulateTiming runs the event loop.
-func simulateTiming(in timingInput) timingOutput {
+// simulateTiming runs the event loop, checking the context periodically so
+// long simulations are cancellable.
+func simulateTiming(in timingInput) (timingOutput, error) {
 	t := in.topo
 	NF := in.fragments
 	P := in.numParts
@@ -250,7 +253,15 @@ func simulateTiming(in timingInput) timingOutput {
 		resolve(kernelKey{p, 0}, 0)
 	}
 
+	popped := 0
 	for events.Len() > 0 {
+		// Check on the first pop (so an already-cancelled context aborts
+		// even tiny simulations) and then every 4096 events.
+		if popped++; popped%4096 == 1 {
+			if err := in.ctx.Err(); err != nil {
+				return timingOutput{}, err
+			}
+		}
 		e := heap.Pop(&events).(simEvent)
 		switch e.kind {
 		case evKernelDone:
@@ -306,5 +317,5 @@ func simulateTiming(in timingInput) timingOutput {
 	for _, fe := range fragEnd {
 		out.makespan = math.Max(out.makespan, fe)
 	}
-	return out
+	return out, nil
 }

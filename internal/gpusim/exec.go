@@ -1,12 +1,10 @@
 package gpusim
 
 import (
+	"context"
 	"fmt"
 
 	"streammap/internal/gpu"
-	"streammap/internal/partition"
-	"streammap/internal/pdg"
-	"streammap/internal/pee"
 	"streammap/internal/sdf"
 	"streammap/internal/topology"
 )
@@ -17,15 +15,39 @@ type Machine struct {
 	Topo   *topology.Tree
 }
 
-// Plan is an executable mapping: partitions (aligned with the PDG's
-// indexing), their GPU assignment, and the pipelining parameters.
+// Dep is one inter-kernel data dependency: Bytes per parent-graph
+// steady-state iteration flow from kernel From to kernel To.
+type Dep struct {
+	From  int   `json:"from"`
+	To    int   `json:"to"`
+	Bytes int64 `json:"bytes"`
+}
+
+// Plan is an executable mapping: kernels, their data dependencies, their GPU
+// assignment and the pipelining parameters. It is self-contained — built
+// from plain data plus the stream graph, with no reference into the
+// compiler's internal structures — so a decoded compile artifact can be
+// lowered to a Plan and executed without recompiling.
 type Plan struct {
 	Graph   *sdf.Graph
 	Machine Machine
-	Prof    *pee.Profile
-	PDG     *pdg.PDG
-	Parts   []*partition.Partition
-	GPUOf   []int
+
+	// PerFiringCycles is the profile annotation (cycles for one firing of
+	// each filter by a single thread), indexed by parent-graph node id.
+	PerFiringCycles []float64
+
+	Kernels []*Kernel
+	// Deps lists inter-kernel traffic; whether a dep crosses GPUs (and which
+	// links it loads) is resolved against GPUOf at run time.
+	Deps []Dep
+	// HostInBytes / HostOutBytes give each kernel's primary I/O per parent
+	// iteration.
+	HostInBytes  []int64
+	HostOutBytes []int64
+	// Order is a topological order of the kernels.
+	Order []int
+	// GPUOf assigns each kernel to a GPU.
+	GPUOf []int
 
 	// FragmentIters is B: parent-graph iterations per fragment.
 	FragmentIters int
@@ -40,21 +62,151 @@ type Result struct {
 	PerFragmentUS float64   // steady-state time per fragment
 	GPUBusyUS     []float64 // accumulated kernel time per GPU
 	LinkBusyUS    []float64 // accumulated occupancy per directed link
-	KernelUS      []float64 // per partition: one fragment's kernel time
+	KernelUS      []float64 // per kernel: one fragment's kernel time
 	FragmentEndUS []float64 // completion time of each fragment
 	Outputs       [][]sdf.Token
 }
 
-// portSource describes where a partition input port's data comes from.
+// KernelSpec is the wire form of one Kernel: the node set standing in for
+// the extracted subgraph, which ImportPlan re-derives from the graph.
+type KernelSpec struct {
+	Nodes        []int        `json:"nodes"` // parent-graph node ids
+	Params       KernelParams `json:"params"`
+	SMBytes      int64        `json:"smBytes"`
+	IOBytes      int64        `json:"ioBytes"`
+	TUS          float64      `json:"tUS"`
+	ComputeBound bool         `json:"computeBound"`
+}
+
+// PlanSpec is the explicit export/import form of a Plan: plain data with no
+// pointers into live structures. Machine and graph are supplied separately
+// at import time.
+type PlanSpec struct {
+	Kernels         []KernelSpec `json:"kernels"`
+	Deps            []Dep        `json:"deps,omitempty"`
+	HostInBytes     []int64      `json:"hostInBytes"`
+	HostOutBytes    []int64      `json:"hostOutBytes"`
+	Order           []int        `json:"order"`
+	GPUOf           []int        `json:"gpuOf"`
+	FragmentIters   int          `json:"fragmentIters"`
+	ViaHost         bool         `json:"viaHost,omitempty"`
+	PerFiringCycles []float64    `json:"perFiringCycles"`
+}
+
+// Export returns the plan's wire form.
+func (p *Plan) Export() PlanSpec {
+	spec := PlanSpec{
+		Deps:            append([]Dep(nil), p.Deps...),
+		HostInBytes:     append([]int64(nil), p.HostInBytes...),
+		HostOutBytes:    append([]int64(nil), p.HostOutBytes...),
+		Order:           append([]int(nil), p.Order...),
+		GPUOf:           append([]int(nil), p.GPUOf...),
+		FragmentIters:   p.FragmentIters,
+		ViaHost:         p.ViaHost,
+		PerFiringCycles: append([]float64(nil), p.PerFiringCycles...),
+	}
+	for _, k := range p.Kernels {
+		ks := KernelSpec{
+			Params:       k.Params,
+			SMBytes:      k.SMBytes,
+			IOBytes:      k.IOBytes,
+			TUS:          k.TUS,
+			ComputeBound: k.ComputeBound,
+		}
+		for _, m := range k.Sub.Set.Members() {
+			ks.Nodes = append(ks.Nodes, int(m))
+		}
+		spec.Kernels = append(spec.Kernels, ks)
+	}
+	return spec
+}
+
+// ImportPlan rebuilds an executable Plan from its wire form against a graph
+// (which must have, or be able to compute, a steady state) and a machine.
+// Subgraphs are re-extracted deterministically from the node sets; nothing
+// is re-estimated.
+func ImportPlan(g *sdf.Graph, m Machine, spec PlanSpec) (*Plan, error) {
+	if !g.HasSteady() {
+		if err := g.Steady(); err != nil {
+			return nil, err
+		}
+	}
+	P := len(spec.Kernels)
+	if P == 0 {
+		return nil, fmt.Errorf("gpusim: import: no kernels")
+	}
+	if len(spec.GPUOf) != P || len(spec.Order) != P || len(spec.HostInBytes) != P || len(spec.HostOutBytes) != P {
+		return nil, fmt.Errorf("gpusim: import: inconsistent plan sizes (%d kernels, %d gpuOf, %d order, %d/%d host I/O)",
+			P, len(spec.GPUOf), len(spec.Order), len(spec.HostInBytes), len(spec.HostOutBytes))
+	}
+	if len(spec.PerFiringCycles) != g.NumNodes() {
+		return nil, fmt.Errorf("gpusim: import: %d per-firing costs for %d nodes", len(spec.PerFiringCycles), g.NumNodes())
+	}
+	plan := &Plan{
+		Graph:           g,
+		Machine:         m,
+		PerFiringCycles: append([]float64(nil), spec.PerFiringCycles...),
+		Deps:            append([]Dep(nil), spec.Deps...),
+		HostInBytes:     append([]int64(nil), spec.HostInBytes...),
+		HostOutBytes:    append([]int64(nil), spec.HostOutBytes...),
+		Order:           append([]int(nil), spec.Order...),
+		GPUOf:           append([]int(nil), spec.GPUOf...),
+		FragmentIters:   spec.FragmentIters,
+		ViaHost:         spec.ViaHost,
+	}
+	seenInOrder := make([]bool, P)
+	orderPos := make([]int, P)
+	for i, pi := range spec.Order {
+		if pi < 0 || pi >= P || seenInOrder[pi] {
+			return nil, fmt.Errorf("gpusim: import: Order is not a permutation of the kernels")
+		}
+		seenInOrder[pi] = true
+		orderPos[pi] = i
+	}
+	for pi, gi := range spec.GPUOf {
+		if gi < 0 || gi >= m.Topo.NumGPUs() {
+			return nil, fmt.Errorf("gpusim: import: kernel %d assigned to gpu %d of %d", pi, gi, m.Topo.NumGPUs())
+		}
+	}
+	for _, d := range spec.Deps {
+		if d.From < 0 || d.From >= P || d.To < 0 || d.To >= P {
+			return nil, fmt.Errorf("gpusim: import: dep %d->%d out of range", d.From, d.To)
+		}
+		if orderPos[d.From] >= orderPos[d.To] {
+			return nil, fmt.Errorf("gpusim: import: Order places kernel %d after its consumer %d", d.From, d.To)
+		}
+	}
+	for i, ks := range spec.Kernels {
+		set, err := sdf.NodeSetOf(g.NumNodes(), ks.Nodes)
+		if err != nil {
+			return nil, fmt.Errorf("gpusim: import: kernel %d: %w", i, err)
+		}
+		sub, err := g.Extract(set)
+		if err != nil {
+			return nil, fmt.Errorf("gpusim: import: kernel %d: %w", i, err)
+		}
+		plan.Kernels = append(plan.Kernels, &Kernel{
+			Sub:          sub,
+			Params:       ks.Params,
+			SMBytes:      ks.SMBytes,
+			IOBytes:      ks.IOBytes,
+			TUS:          ks.TUS,
+			ComputeBound: ks.ComputeBound,
+		})
+	}
+	return plan, nil
+}
+
+// portSource describes where a kernel input port's data comes from.
 type portSource struct {
 	hostIdx int        // >= 0: index into the application's input streams
 	edge    sdf.EdgeID // valid when hostIdx < 0: parent cut edge
 }
 
-// portSink describes where a partition output port's data goes.
+// portSink describes where a kernel output port's data goes.
 type portSink struct {
 	hostIdx  int // >= 0: index into the application's output streams
-	consumer int // valid when hostIdx < 0: consuming partition index
+	consumer int // valid when hostIdx < 0: consuming kernel index
 	feedIdx  int // input-port index at the consumer's interpreter
 }
 
@@ -63,25 +215,38 @@ type portSink struct {
 // execution times are input-invariant, §4.0.2), so throughput experiments
 // can run many fragments cheaply. Outputs is nil in the result.
 func RunTiming(plan *Plan, fragments int) (*Result, error) {
-	return run(plan, nil, fragments, false)
+	return run(context.Background(), plan, nil, fragments, false)
+}
+
+// RunTimingCtx is RunTiming under a context; cancellation aborts the event
+// loop.
+func RunTimingCtx(ctx context.Context, plan *Plan, fragments int) (*Result, error) {
+	return run(ctx, plan, nil, fragments, false)
 }
 
 // Run executes `fragments` fragments of the plan: functionally (real tokens
 // through real filter code) and temporally (discrete-event pipeline with
 // per-link contention). inputs are indexed per Plan.Graph.InputPorts().
 func Run(plan *Plan, inputs [][]sdf.Token, fragments int) (*Result, error) {
-	return run(plan, inputs, fragments, true)
+	return run(context.Background(), plan, inputs, fragments, true)
 }
 
-func run(plan *Plan, inputs [][]sdf.Token, fragments int, functional bool) (*Result, error) {
+// RunCtx is Run under a context: cancellation aborts between fragments of
+// the functional pass and inside the timing event loop.
+func RunCtx(ctx context.Context, plan *Plan, inputs [][]sdf.Token, fragments int) (*Result, error) {
+	return run(ctx, plan, inputs, fragments, true)
+}
+
+func run(ctx context.Context, plan *Plan, inputs [][]sdf.Token, fragments int, functional bool) (*Result, error) {
 	if fragments <= 0 {
 		return nil, fmt.Errorf("gpusim: fragments must be positive")
 	}
 	g := plan.Graph
-	P := len(plan.Parts)
-	if P == 0 || P != plan.PDG.NumParts() || len(plan.GPUOf) != P {
-		return nil, fmt.Errorf("gpusim: inconsistent plan (%d parts, pdg %d, gpuOf %d)",
-			P, plan.PDG.NumParts(), len(plan.GPUOf))
+	P := len(plan.Kernels)
+	if P == 0 || len(plan.GPUOf) != P || len(plan.Order) != P ||
+		len(plan.HostInBytes) != P || len(plan.HostOutBytes) != P {
+		return nil, fmt.Errorf("gpusim: inconsistent plan (%d kernels, %d gpuOf, %d order)",
+			P, len(plan.GPUOf), len(plan.Order))
 	}
 	B := plan.FragmentIters
 	if B <= 0 {
@@ -103,19 +268,19 @@ func run(plan *Plan, inputs [][]sdf.Token, fragments int, functional bool) (*Res
 
 	// Wire up interpreters and port routing (functional mode only).
 	interps := make([]*sdf.Interp, P)
-	srcs := make([][]portSource, P)     // per partition, per interp input index
-	sinks := make([][]portSink, P)      // per partition, per interp output index
-	edgeDest := map[sdf.EdgeID][2]int{} // parent cut edge -> (consumer part, feed idx)
-	for pi, part := range plan.Parts {
+	srcs := make([][]portSource, P)     // per kernel, per interp input index
+	sinks := make([][]portSink, P)      // per kernel, per interp output index
+	edgeDest := map[sdf.EdgeID][2]int{} // parent cut edge -> (consumer kernel, feed idx)
+	for pi, k := range plan.Kernels {
 		if !functional {
 			break
 		}
-		it, err := sdf.NewInterp(part.Sub.Sub)
+		it, err := sdf.NewInterp(k.Sub.Sub)
 		if err != nil {
 			return nil, fmt.Errorf("gpusim: partition %d: %w", pi, err)
 		}
 		interps[pi] = it
-		cutIn := part.Sub.CutInPorts()
+		cutIn := k.Sub.CutInPorts()
 		for idx, port := range it.InputPorts() {
 			if eid, ok := cutIn[port]; ok {
 				srcs[pi] = append(srcs[pi], portSource{hostIdx: -1, edge: eid})
@@ -125,7 +290,7 @@ func run(plan *Plan, inputs [][]sdf.Token, fragments int, functional bool) (*Res
 					it.Feed(idx, init)
 				}
 			} else {
-				parentPort := sdf.PortRef{Node: part.Sub.NodeOf[port.Node], Port: port.Port}
+				parentPort := sdf.PortRef{Node: k.Sub.NodeOf[port.Node], Port: port.Port}
 				hi, ok := hostInIdx[parentPort]
 				if !ok {
 					return nil, fmt.Errorf("gpusim: partition %d input port %v matches no source", pi, port)
@@ -134,11 +299,11 @@ func run(plan *Plan, inputs [][]sdf.Token, fragments int, functional bool) (*Res
 			}
 		}
 	}
-	for pi, part := range plan.Parts {
+	for pi, k := range plan.Kernels {
 		if !functional {
 			break
 		}
-		cutOut := part.Sub.CutOutPorts()
+		cutOut := k.Sub.CutOutPorts()
 		for _, port := range interps[pi].OutputPorts() {
 			if eid, ok := cutOut[port]; ok {
 				dst, ok := edgeDest[eid]
@@ -147,7 +312,7 @@ func run(plan *Plan, inputs [][]sdf.Token, fragments int, functional bool) (*Res
 				}
 				sinks[pi] = append(sinks[pi], portSink{hostIdx: -1, consumer: dst[0], feedIdx: dst[1]})
 			} else {
-				parentPort := sdf.PortRef{Node: part.Sub.NodeOf[port.Node], Port: port.Port}
+				parentPort := sdf.PortRef{Node: k.Sub.NodeOf[port.Node], Port: port.Port}
 				ho, ok := hostOutIdx[parentPort]
 				if !ok {
 					return nil, fmt.Errorf("gpusim: partition %d output port %v matches no sink", pi, port)
@@ -170,18 +335,21 @@ func run(plan *Plan, inputs [][]sdf.Token, fragments int, functional bool) (*Res
 
 	// Static per-fragment kernel times.
 	kernelUS := make([]float64, P)
-	for pi, part := range plan.Parts {
-		execs := int64(B) * part.Sub.Scale
-		kernelUS[pi] = KernelFragmentUS(part, plan.Prof, execs)
+	for pi, k := range plan.Kernels {
+		execs := int64(B) * k.Sub.Scale
+		kernelUS[pi] = KernelFragmentUS(k, plan.Machine.Device, plan.PerFiringCycles, execs)
 	}
 
 	outputs := make([][]sdf.Token, len(gOut))
 
-	// --- functional pass: fragment-major, partitions in topo order ---
+	// --- functional pass: fragment-major, kernels in topo order ---
 	for n := 0; functional && n < fragments; n++ {
-		for _, pi := range plan.PDG.Topo {
-			part := plan.Parts[pi]
-			execs := int64(B) * part.Sub.Scale
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("gpusim: cancelled at fragment %d: %w", n, err)
+		}
+		for _, pi := range plan.Order {
+			k := plan.Kernels[pi]
+			execs := int64(B) * k.Sub.Scale
 			it := interps[pi]
 			for idx, src := range srcs[pi] {
 				if src.hostIdx >= 0 {
@@ -207,6 +375,7 @@ func run(plan *Plan, inputs [][]sdf.Token, fragments int, functional bool) (*Res
 
 	// --- temporal pass: event-driven pipeline simulation ---
 	ti := timingInput{
+		ctx:       ctx,
 		topo:      plan.Machine.Topo,
 		fragments: fragments,
 		numParts:  P,
@@ -219,10 +388,10 @@ func run(plan *Plan, inputs [][]sdf.Token, fragments int, functional bool) (*Res
 		hostOut:   make([]int64, P),
 		viaHost:   plan.ViaHost,
 	}
-	for pos, pi := range plan.PDG.Topo {
+	for pos, pi := range plan.Order {
 		ti.topoIdx[pi] = pos
 	}
-	for _, e := range plan.PDG.Edges {
+	for _, e := range plan.Deps {
 		if plan.GPUOf[e.From] == plan.GPUOf[e.To] {
 			ti.inLocal[e.To] = append(ti.inLocal[e.To], e.From)
 		} else {
@@ -230,10 +399,13 @@ func run(plan *Plan, inputs [][]sdf.Token, fragments int, functional bool) (*Res
 		}
 	}
 	for pi := 0; pi < P; pi++ {
-		ti.hostIn[pi] = plan.PDG.HostInBytes[pi] * int64(B)
-		ti.hostOut[pi] = plan.PDG.HostOutBytes[pi] * int64(B)
+		ti.hostIn[pi] = plan.HostInBytes[pi] * int64(B)
+		ti.hostOut[pi] = plan.HostOutBytes[pi] * int64(B)
 	}
-	tout := simulateTiming(ti)
+	tout, err := simulateTiming(ti)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		MakespanUS:    tout.makespan,

@@ -2,6 +2,7 @@ package gpusim_test
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"streammap/internal/core"
@@ -158,9 +159,9 @@ func TestViaHostSlowerOrEqualThanP2P(t *testing.T) {
 
 func TestMeasureKernelDeterministic(t *testing.T) {
 	c := compile(t, hotSJ(), 1, core.Alg1, core.ILPMapper)
-	for _, part := range c.Parts.Parts {
-		a := gpusim.MeasureKernel(part, c.Prof)
-		b := gpusim.MeasureKernel(part, c.Prof)
+	for _, k := range c.Plan.Kernels {
+		a := gpusim.MeasureKernel(k, c.Plan.Machine.Device, c.Plan.PerFiringCycles)
+		b := gpusim.MeasureKernel(k, c.Plan.Machine.Device, c.Plan.PerFiringCycles)
 		if a != b {
 			t.Errorf("MeasureKernel not deterministic: %+v vs %+v", a, b)
 		}
@@ -178,9 +179,9 @@ func TestMeasurementCorrelatesWithEstimate(t *testing.T) {
 	// check relative error across the partitions of a mixed app.
 	c := compile(t, hotSJ(), 1, core.Alg1, core.ILPMapper)
 	var pred, meas []float64
-	for _, part := range c.Parts.Parts {
-		pred = append(pred, part.Est.TUS)
-		meas = append(meas, gpusim.MeasureKernel(part, c.Prof).PerExecUS)
+	for _, k := range c.Plan.Kernels {
+		pred = append(pred, k.TUS)
+		meas = append(meas, gpusim.MeasureKernel(k, c.Plan.Machine.Device, c.Plan.PerFiringCycles).PerExecUS)
 	}
 	for i := range pred {
 		ratio := meas[i] / pred[i]
@@ -195,15 +196,16 @@ func TestMeasurementCorrelatesWithEstimate(t *testing.T) {
 
 func TestKernelFragmentScaling(t *testing.T) {
 	c := compile(t, hotSJ(), 1, core.Alg1, core.ILPMapper)
-	part := c.Parts.Parts[0]
-	d := c.Prof.Device
-	one := gpusim.KernelFragmentUS(part, c.Prof, 1)
+	k := c.Plan.Kernels[0]
+	d := c.Plan.Machine.Device
+	pf := c.Plan.PerFiringCycles
+	one := gpusim.KernelFragmentUS(k, d, pf, 1)
 	// Enough executions to need multiple waves: time grows.
-	many := gpusim.KernelFragmentUS(part, c.Prof, int64(part.Est.Params.W*d.NumSMs*4))
+	many := gpusim.KernelFragmentUS(k, d, pf, int64(k.Params.W*d.NumSMs*4))
 	if many <= one {
 		t.Errorf("4-wave fragment (%v) should cost more than 1 execution (%v)", many, one)
 	}
-	if gpusim.KernelFragmentUS(part, c.Prof, 0) != 0 {
+	if gpusim.KernelFragmentUS(k, d, pf, 0) != 0 {
 		t.Errorf("zero executions should cost 0")
 	}
 }
@@ -285,5 +287,33 @@ func TestDeviceScalingG1VsG2(t *testing.T) {
 	ratio := t1 / t2
 	if ratio < 1.05 || ratio > 1.6 {
 		t.Errorf("C2070/M2090 slowdown = %v, want within (1.05, 1.6)", ratio)
+	}
+}
+
+func TestPlanExportImportRoundTrip(t *testing.T) {
+	// The plan's wire form must reconstruct an execution-identical plan:
+	// Export -> ImportPlan -> Export is a fixed point, and the imported
+	// plan's simulated timing is bit-identical to the original's.
+	c := compile(t, hotSJ(), 2, core.Alg1, core.ILPMapper)
+	spec := c.Plan.Export()
+	plan2, err := gpusim.ImportPlan(c.Graph, c.Plan.Machine, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, plan2.Export()) {
+		t.Fatal("Export(ImportPlan(Export(p))) != Export(p)")
+	}
+	const fragments = 8
+	want, err := gpusim.RunTiming(c.Plan, fragments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := gpusim.RunTiming(plan2, fragments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.PerFragmentUS != got.PerFragmentUS || want.MakespanUS != got.MakespanUS {
+		t.Fatalf("imported plan timing (%v, %v) != original (%v, %v)",
+			got.PerFragmentUS, got.MakespanUS, want.PerFragmentUS, want.MakespanUS)
 	}
 }

@@ -15,15 +15,50 @@
 //     execution and transfers exactly as in Figure 3.5, while the filters'
 //     real work functions produce real output data for end-to-end
 //     verification.
+//
+// The package deliberately has no reference into the compiler's internals:
+// a Plan is built from plain kernel descriptions (subgraph, selected
+// parameters, I/O bytes) plus the profile annotation, not from the
+// partitioner's or the estimation engine's live structures. That is what
+// lets a serialized compile artifact (package artifact) execute here
+// without recompiling.
 package gpusim
 
 import (
 	"hash/fnv"
 	"math"
 
-	"streammap/internal/partition"
-	"streammap/internal/pee"
+	"streammap/internal/gpu"
+	"streammap/internal/sdf"
 )
+
+// KernelParams are the kernel launch parameters the estimation engine
+// selected: S compute threads per execution, W concurrent executions per SM,
+// F data-transfer threads.
+type KernelParams struct {
+	S int `json:"s"`
+	W int `json:"w"`
+	F int `json:"f"`
+}
+
+// Kernel is one partition lowered to an executable kernel description —
+// everything the simulator needs, decoupled from the compiler structures
+// that produced it.
+type Kernel struct {
+	// Sub is the partition's extracted subgraph (filters, rates, schedule
+	// order and the mapping back to the parent graph).
+	Sub *sdf.Subgraph
+	// Params are the selected launch parameters.
+	Params KernelParams
+	// SMBytes is the shared-memory footprint of one execution.
+	SMBytes int64
+	// IOBytes is the kernel's I/O traffic per execution (the model's D).
+	IOBytes int64
+	// TUS is the estimated per-execution time, carried for reports.
+	TUS float64
+	// ComputeBound records the estimator's compute/IO classification.
+	ComputeBound bool
+}
 
 // KernelTiming is the simulated "profiler report" for one kernel.
 type KernelTiming struct {
@@ -48,32 +83,31 @@ func hashUnit(name string, stream uint64) float64 {
 	return float64(h.Sum64()%1_000_000) / 1_000_000
 }
 
-// MeasureKernel simulates one wave of the kernel built from the partition
-// with its selected parameters on the device: the ground truth against which
-// the estimation engine is validated (Figure 4.1).
-func MeasureKernel(part *partition.Partition, prof *pee.Profile) KernelTiming {
-	d := prof.Device
-	p := part.Est.Params
-	name := part.Sub.Sub.Name
+// MeasureKernel simulates one wave of the kernel on the device: the ground
+// truth against which the estimation engine is validated (Figure 4.1).
+// perFiringCycles is the profile annotation, indexed by parent-graph node id.
+func MeasureKernel(k *Kernel, d gpu.Device, perFiringCycles []float64) KernelTiming {
+	p := k.Params
+	name := k.Sub.Sub.Name
 
 	// Compute side: firings of each filter spread over min(f_i, S) threads,
 	// whole warps executing in SIMT lockstep => ceil instead of the model's
 	// smooth division, plus a small scheduling jitter.
 	var tcomp float64
-	for _, n := range part.Sub.Sub.Nodes {
-		f := part.Sub.Sub.Rep(n.ID)
+	for _, n := range k.Sub.Sub.Nodes {
+		f := k.Sub.Sub.Rep(n.ID)
 		sUsed := int64(p.S)
 		if f < sUsed {
 			sUsed = f
 		}
 		rounds := (f + sUsed - 1) / sUsed
-		perFiring := prof.PerFiringCycles[part.Sub.NodeOf[n.ID]]
+		perFiring := perFiringCycles[k.Sub.NodeOf[n.ID]]
 		tcomp += float64(rounds) * perFiring
 	}
 	tcomp *= 1 + 0.04*hashUnit(name, 1)
 
 	// Data-transfer side: W executions' worth of I/O moved by F threads.
-	D := float64(part.Est.DBytes) * float64(p.W)
+	D := float64(k.IOBytes) * float64(p.W)
 	tokens := D / 4
 	tdt := d.GMCyclesPerTokenPerF * tokens / float64(p.F)
 	tdt *= 1 + 0.06*hashUnit(name, 2)
@@ -102,13 +136,12 @@ func MeasureKernel(part *partition.Partition, prof *pee.Profile) KernelTiming {
 // KernelFragmentUS returns the simulated wall time for one kernel invocation
 // covering `execs` subgraph executions: blocks of W executions spread over
 // the device's SMs in waves.
-func KernelFragmentUS(part *partition.Partition, prof *pee.Profile, execs int64) float64 {
+func KernelFragmentUS(k *Kernel, d gpu.Device, perFiringCycles []float64, execs int64) float64 {
 	if execs <= 0 {
 		return 0
 	}
-	d := prof.Device
-	t := MeasureKernel(part, prof)
-	w := int64(part.Est.Params.W)
+	t := MeasureKernel(k, d, perFiringCycles)
+	w := int64(k.Params.W)
 	blocks := (execs + w - 1) / w
 	waves := (blocks + int64(d.NumSMs) - 1) / int64(d.NumSMs)
 	return d.KernelLaunchUS + float64(waves)*t.TexecUS

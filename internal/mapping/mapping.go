@@ -368,6 +368,11 @@ type Options struct {
 	Workers int
 }
 
+// Normalized returns the options with every default filled in; artifact
+// export bakes normalized options into the wire form so a zero-value
+// request and its explicit-default twin export identically.
+func (o Options) Normalized() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
 	if o.ILPMaxParts == 0 {
 		o.ILPMaxParts = 24

@@ -1,0 +1,74 @@
+package pdg
+
+import (
+	"fmt"
+
+	"streammap/internal/artifact"
+	"streammap/internal/partition"
+	"streammap/internal/sdf"
+)
+
+// Export returns the PDG's wire form (package pdg's explicit export/import
+// form).
+func (p *PDG) Export() artifact.PDG {
+	out := artifact.PDG{
+		WorkUS:       append([]float64(nil), p.WorkUS...),
+		HostInBytes:  append([]int64(nil), p.HostInBytes...),
+		HostOutBytes: append([]int64(nil), p.HostOutBytes...),
+		Topo:         append([]int(nil), p.Topo...),
+	}
+	for _, e := range p.Edges {
+		ae := artifact.PDGEdge{From: e.From, To: e.To, Bytes: e.Bytes}
+		for _, eid := range e.StreamCut {
+			ae.StreamCut = append(ae.StreamCut, int(eid))
+		}
+		out.Edges = append(out.Edges, ae)
+	}
+	return out
+}
+
+// Import rebuilds a PDG from its wire form over an already-imported
+// partitioning. Edges, workloads and host I/O are restored verbatim; only
+// the topological order is re-verified (it must be a valid order of the
+// restored edges).
+func Import(g *sdf.Graph, parts []*partition.Partition, a artifact.PDG) (*PDG, error) {
+	P := len(parts)
+	if len(a.WorkUS) != P || len(a.HostInBytes) != P || len(a.HostOutBytes) != P || len(a.Topo) != P {
+		return nil, fmt.Errorf("pdg: import: sections sized %d/%d/%d/%d for %d partitions",
+			len(a.WorkUS), len(a.HostInBytes), len(a.HostOutBytes), len(a.Topo), P)
+	}
+	p := &PDG{
+		Graph:        g,
+		Parts:        parts,
+		WorkUS:       append([]float64(nil), a.WorkUS...),
+		HostInBytes:  append([]int64(nil), a.HostInBytes...),
+		HostOutBytes: append([]int64(nil), a.HostOutBytes...),
+		Topo:         append([]int(nil), a.Topo...),
+	}
+	for _, ae := range a.Edges {
+		if ae.From < 0 || ae.From >= P || ae.To < 0 || ae.To >= P {
+			return nil, fmt.Errorf("pdg: import: edge %d->%d out of range", ae.From, ae.To)
+		}
+		e := Edge{From: ae.From, To: ae.To, Bytes: ae.Bytes}
+		for _, eid := range ae.StreamCut {
+			e.StreamCut = append(e.StreamCut, sdf.EdgeID(eid))
+		}
+		p.Edges = append(p.Edges, e)
+	}
+	// The stored order must topologically sort the stored edges.
+	pos := make([]int, P)
+	seen := make([]bool, P)
+	for i, pi := range p.Topo {
+		if pi < 0 || pi >= P || seen[pi] {
+			return nil, fmt.Errorf("pdg: import: topo order is not a permutation")
+		}
+		seen[pi] = true
+		pos[pi] = i
+	}
+	for _, e := range p.Edges {
+		if pos[e.From] >= pos[e.To] {
+			return nil, fmt.Errorf("pdg: import: stored order places %d after its consumer %d", e.From, e.To)
+		}
+	}
+	return p, nil
+}

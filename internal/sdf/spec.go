@@ -1,0 +1,145 @@
+package sdf
+
+import "fmt"
+
+// This file is the sdf package's explicit export/import form: a plain-data
+// structural description of a graph that survives serialization. The spec
+// captures exactly the fields Fingerprint hashes, so
+// ImportGraph(ExportGraph(g)).Fingerprint() == g.Fingerprint().
+//
+// Work-function closures are not serializable; an imported graph is a
+// structural twin — schedulable, estimatable and timing-simulable, but its
+// filters carry no Work body, so it cannot run functionally. Callers that
+// need functional execution supply the original graph (fingerprint-checked)
+// instead.
+
+// PortSpec is the wire form of one input port's rates.
+type PortSpec struct {
+	Pop  int `json:"pop"`
+	Peek int `json:"peek"`
+}
+
+// FilterSpec is the wire form of a Filter (minus the work closure).
+type FilterSpec struct {
+	Name     string     `json:"name"`
+	Kind     int        `json:"kind"`
+	Ops      int64      `json:"ops"`
+	ZeroCopy bool       `json:"zeroCopy,omitempty"`
+	Inputs   []PortSpec `json:"inputs,omitempty"`
+	Outputs  []int      `json:"outputs,omitempty"`
+	Init     []Token    `json:"init,omitempty"`
+}
+
+// NodeSpec is the wire form of one placed node.
+type NodeSpec struct {
+	Filter FilterSpec `json:"filter"`
+	Pipe   int        `json:"pipe"`
+}
+
+// EdgeSpec is the wire form of one channel.
+type EdgeSpec struct {
+	Src     int     `json:"src"`
+	SrcPort int     `json:"srcPort"`
+	Dst     int     `json:"dst"`
+	DstPort int     `json:"dstPort"`
+	Push    int     `json:"push"`
+	Pop     int     `json:"pop"`
+	Peek    int     `json:"peek"`
+	Initial []Token `json:"initial,omitempty"`
+}
+
+// GraphSpec is the wire form of a whole graph.
+type GraphSpec struct {
+	Name  string     `json:"name"`
+	Nodes []NodeSpec `json:"nodes"`
+	Edges []EdgeSpec `json:"edges"`
+}
+
+// ExportGraph returns the graph's structural wire form.
+func ExportGraph(g *Graph) GraphSpec {
+	spec := GraphSpec{Name: g.Name}
+	for _, n := range g.Nodes {
+		f := n.Filter
+		fs := FilterSpec{
+			Name:     f.Name,
+			Kind:     int(f.Kind),
+			Ops:      f.Ops,
+			ZeroCopy: f.ZeroCopy,
+			Outputs:  append([]int(nil), f.Outputs...),
+			Init:     append([]Token(nil), f.Init...),
+		}
+		for _, in := range f.Inputs {
+			fs.Inputs = append(fs.Inputs, PortSpec{Pop: in.Pop, Peek: in.Peek})
+		}
+		spec.Nodes = append(spec.Nodes, NodeSpec{Filter: fs, Pipe: n.Pipe})
+	}
+	for _, e := range g.Edges {
+		spec.Edges = append(spec.Edges, EdgeSpec{
+			Src: int(e.Src), SrcPort: e.SrcPort,
+			Dst: int(e.Dst), DstPort: e.DstPort,
+			Push: e.Push, Pop: e.Pop, Peek: e.Peek,
+			Initial: append([]Token(nil), e.Initial...),
+		})
+	}
+	return spec
+}
+
+// ImportGraph rebuilds a structural twin from a wire form: same topology,
+// rates, costs and steady state (and therefore the same fingerprint), with
+// nil work functions.
+func ImportGraph(spec GraphSpec) (*Graph, error) {
+	b := NewBuilder(spec.Name)
+	for i, ns := range spec.Nodes {
+		fs := ns.Filter
+		f := &Filter{
+			Name:     fs.Name,
+			Kind:     Kind(fs.Kind),
+			Ops:      fs.Ops,
+			ZeroCopy: fs.ZeroCopy,
+			Outputs:  append([]int(nil), fs.Outputs...),
+			Init:     append([]Token(nil), fs.Init...),
+		}
+		for _, in := range fs.Inputs {
+			f.Inputs = append(f.Inputs, InRate{Pop: in.Pop, Peek: in.Peek})
+		}
+		if id := b.AddNode(f, ns.Pipe); int(id) != i {
+			return nil, fmt.Errorf("sdf: import: node %d assigned id %d", i, id)
+		}
+	}
+	for i, es := range spec.Edges {
+		if es.Src < 0 || es.Src >= len(spec.Nodes) || es.Dst < 0 || es.Dst >= len(spec.Nodes) {
+			return nil, fmt.Errorf("sdf: import: edge %d has out-of-range endpoint", i)
+		}
+		src, dst := spec.Nodes[es.Src].Filter, spec.Nodes[es.Dst].Filter
+		if es.SrcPort < 0 || es.SrcPort >= len(src.Outputs) || es.DstPort < 0 || es.DstPort >= len(dst.Inputs) {
+			return nil, fmt.Errorf("sdf: import: edge %d references a missing port", i)
+		}
+		// ConnectDelayed derives the rates from the filter declarations, so a
+		// spec whose edge rates disagree with its filters must be rejected
+		// here, not silently corrected.
+		if es.Push != src.Outputs[es.SrcPort] || es.Pop != dst.Inputs[es.DstPort].Pop || es.Peek != dst.Inputs[es.DstPort].Peek {
+			return nil, fmt.Errorf("sdf: import: edge %d rates (%d,%d,%d) disagree with its filter declarations",
+				i, es.Push, es.Pop, es.Peek)
+		}
+		b.ConnectDelayed(NodeID(es.Src), es.SrcPort, NodeID(es.Dst), es.DstPort, es.Initial)
+	}
+	// Builder.Graph re-validates the wired structure and solves the balance
+	// equations, so the twin has the same steady state as the original.
+	return b.Graph()
+}
+
+// NodeSetOf builds a NodeSet over a graph of `size` nodes from explicit
+// member ids, rejecting out-of-range or duplicate entries.
+func NodeSetOf(size int, ids []int) (NodeSet, error) {
+	set := NewNodeSet(size)
+	for _, id := range ids {
+		if id < 0 || id >= size {
+			return NodeSet{}, fmt.Errorf("sdf: node id %d out of range [0,%d)", id, size)
+		}
+		if set.Has(NodeID(id)) {
+			return NodeSet{}, fmt.Errorf("sdf: duplicate node id %d", id)
+		}
+		set.Add(NodeID(id))
+	}
+	return set, nil
+}

@@ -1,0 +1,91 @@
+package sdf
+
+import "testing"
+
+// specGraph builds a graph exercising every serialized feature: multi-rate
+// edges, peeking (sliding window) with priming delay tokens, filter state,
+// zero-copy flags and pipeline grouping.
+func specGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder("spec")
+	src := &Filter{Name: "src", Outputs: []int{3}, Ops: 7, Kind: KindSource}
+	win := &Filter{Name: "win", Inputs: []InRate{{Pop: 1, Peek: 4}}, Outputs: []int{2}, Ops: 11,
+		Init: []Token{1, 2}}
+	zc := &Filter{Name: "zc", Inputs: []InRate{{Pop: 2, Peek: 2}}, Outputs: []int{2}, Ops: 1, ZeroCopy: true}
+	sink := &Filter{Name: "sink", Inputs: []InRate{{Pop: 6, Peek: 6}}, Ops: 5, Kind: KindSink}
+	n0 := b.AddNode(src, 0)
+	n1 := b.AddNode(win, 0)
+	n2 := b.AddNode(zc, -1)
+	n3 := b.AddNode(sink, 1)
+	b.ConnectDelayed(n0, 0, n1, 0, []Token{9, 8, 7})
+	b.Connect(n1, 0, n2, 0)
+	b.Connect(n2, 0, n3, 0)
+	g, err := b.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGraphSpecRoundTripPreservesFingerprint(t *testing.T) {
+	g := specGraph(t)
+	twin, err := ImportGraph(ExportGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Fingerprint() != twin.Fingerprint() {
+		t.Fatalf("fingerprint %016x != twin %016x", g.Fingerprint(), twin.Fingerprint())
+	}
+	if twin.NumNodes() != g.NumNodes() || twin.NumEdges() != g.NumEdges() {
+		t.Fatalf("twin shape %d/%d vs %d/%d", twin.NumNodes(), twin.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for _, n := range g.Nodes {
+		if g.Rep(n.ID) != twin.Rep(n.ID) {
+			t.Errorf("node %d: rep %d != twin %d", n.ID, g.Rep(n.ID), twin.Rep(n.ID))
+		}
+		if twin.Nodes[n.ID].Pipe != n.Pipe {
+			t.Errorf("node %d: pipe differs", n.ID)
+		}
+	}
+}
+
+func TestImportGraphRejectsCorruptSpecs(t *testing.T) {
+	base := ExportGraph(specGraph(t))
+
+	bad := base
+	bad.Edges = append([]EdgeSpec(nil), base.Edges...)
+	bad.Edges[0].Push = 999
+	if _, err := ImportGraph(bad); err == nil {
+		t.Error("mismatched edge rate not rejected")
+	}
+
+	bad = base
+	bad.Edges = append([]EdgeSpec(nil), base.Edges...)
+	bad.Edges[0].Dst = 99
+	if _, err := ImportGraph(bad); err == nil {
+		t.Error("out-of-range endpoint not rejected")
+	}
+
+	bad = base
+	bad.Edges = append([]EdgeSpec(nil), base.Edges...)
+	bad.Edges[0].SrcPort = 5
+	if _, err := ImportGraph(bad); err == nil {
+		t.Error("missing port not rejected")
+	}
+}
+
+func TestNodeSetOf(t *testing.T) {
+	set, err := NodeSetOf(8, []int{1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 3 || !set.Has(3) || set.Has(2) {
+		t.Errorf("bad set %v", set)
+	}
+	if _, err := NodeSetOf(4, []int{4}); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+	if _, err := NodeSetOf(4, []int{1, 1}); err == nil {
+		t.Error("duplicate id accepted")
+	}
+}

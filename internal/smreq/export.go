@@ -1,0 +1,109 @@
+package smreq
+
+import (
+	"fmt"
+
+	"streammap/internal/artifact"
+	"streammap/internal/sdf"
+)
+
+// kindNames maps BufferKind to its stable wire name. Wire names, not the
+// integer constants, go into artifacts so reordering the enum cannot
+// silently change the format.
+var kindNames = map[BufferKind]string{
+	Internal:   "internal",
+	PrimaryIn:  "in",
+	PrimaryOut: "out",
+	State:      "state",
+}
+
+// Export returns the layout's wire form (package smreq's explicit
+// export/import form).
+func Export(l *Layout) artifact.SMLayout {
+	out := artifact.SMLayout{
+		PeakBytes:    l.PeakBytes,
+		MaxLiveBytes: l.MaxLiveBytes,
+	}
+	for _, id := range l.Schedule {
+		out.Schedule = append(out.Schedule, int(id))
+	}
+	for _, b := range l.Buffers {
+		out.Buffers = append(out.Buffers, artifact.SMBuffer{
+			Kind:   kindNames[b.Kind],
+			Edge:   int(b.Edge),
+			Node:   int(b.Port.Node),
+			Port:   b.Port.Port,
+			Bytes:  b.Bytes,
+			Copies: b.Copies,
+			Start:  b.Start,
+			End:    b.End,
+			Offset: b.Offset,
+		})
+	}
+	return out
+}
+
+// Equal reports (as an error) the first difference between two layouts.
+// partition.Import uses it to hold an artifact's serialized layout to the
+// one a fresh analysis of the decoded subgraph produces, so the
+// "inspectable" wire data can never disagree with what code generation
+// would actually use.
+func Equal(a, b *Layout) error {
+	if a.PeakBytes != b.PeakBytes || a.MaxLiveBytes != b.MaxLiveBytes {
+		return fmt.Errorf("peak %d/%d != %d/%d", a.PeakBytes, a.MaxLiveBytes, b.PeakBytes, b.MaxLiveBytes)
+	}
+	if len(a.Schedule) != len(b.Schedule) {
+		return fmt.Errorf("schedule length %d != %d", len(a.Schedule), len(b.Schedule))
+	}
+	for i := range a.Schedule {
+		if a.Schedule[i] != b.Schedule[i] {
+			return fmt.Errorf("schedule step %d: node %d != %d", i, a.Schedule[i], b.Schedule[i])
+		}
+	}
+	if len(a.Buffers) != len(b.Buffers) {
+		return fmt.Errorf("buffer count %d != %d", len(a.Buffers), len(b.Buffers))
+	}
+	for i := range a.Buffers {
+		if a.Buffers[i] != b.Buffers[i] {
+			return fmt.Errorf("buffer %d: %+v != %+v", i, a.Buffers[i], b.Buffers[i])
+		}
+	}
+	return nil
+}
+
+// Import rebuilds a Layout from its wire form verbatim — offsets and the
+// peak are trusted, not re-allocated, so the decoded layout is exactly the
+// one the code generator saw.
+func Import(a artifact.SMLayout) (*Layout, error) {
+	l := &Layout{
+		PeakBytes:    a.PeakBytes,
+		MaxLiveBytes: a.MaxLiveBytes,
+	}
+	for _, id := range a.Schedule {
+		l.Schedule = append(l.Schedule, sdf.NodeID(id))
+	}
+	for i, b := range a.Buffers {
+		var kind BufferKind
+		found := false
+		for k, name := range kindNames {
+			if name == b.Kind {
+				kind, found = k, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("smreq: import: buffer %d has unknown kind %q", i, b.Kind)
+		}
+		l.Buffers = append(l.Buffers, Buffer{
+			Kind:   kind,
+			Edge:   sdf.EdgeID(b.Edge),
+			Port:   sdf.PortRef{Node: sdf.NodeID(b.Node), Port: b.Port},
+			Bytes:  b.Bytes,
+			Copies: b.Copies,
+			Start:  b.Start,
+			End:    b.End,
+			Offset: b.Offset,
+		})
+	}
+	return l, nil
+}

@@ -1,0 +1,74 @@
+package synth
+
+import (
+	"context"
+	"testing"
+
+	"streammap/internal/artifact"
+	"streammap/internal/driver"
+	"streammap/internal/gpusim"
+)
+
+// TestArtifactRoundTripCorpus widens the artifact round-trip contract from
+// the six paper apps to a 50-scenario generated corpus: for every scenario,
+// DecodeArtifact(Encode(c.Artifact())) must be Equivalent — at artifact
+// level and after rehydration — and must produce bit-identical simulated
+// throughput through Artifact.Execute's self-contained path.
+func TestArtifactRoundTripCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus round trip in -short mode")
+	}
+	scenarios, err := Corpus(CorpusParams{Seed: 0xA27, Scenarios: 50, MaxFilters: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			g, err := sc.BuildGraph()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := driver.Compile(context.Background(), g, sc.Opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := c.Artifact()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := a.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := artifact.Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := driver.EquivalentArtifacts(a, b); err != nil {
+				t.Fatalf("artifact round trip differs: %v", err)
+			}
+			rc, err := driver.FromArtifact(g, b, sc.Opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := driver.Equivalent(c, rc); err != nil {
+				t.Fatalf("rehydrated compilation differs: %v", err)
+			}
+			const fragments = 12
+			want, err := gpusim.RunTiming(c.Plan, fragments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := b.Execute(fragments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.PerFragmentUS != got.PerFragmentUS || want.MakespanUS != got.MakespanUS {
+				t.Fatalf("Artifact.Execute throughput (%v, %v) != original (%v, %v)",
+					got.PerFragmentUS, got.MakespanUS, want.PerFragmentUS, want.MakespanUS)
+			}
+		})
+	}
+}

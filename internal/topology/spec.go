@@ -1,0 +1,100 @@
+package topology
+
+import "fmt"
+
+// Spec is the explicit export/import form of a Tree: plain data, no
+// pointers, stable under serialization. Two trees built from equal specs
+// route and cost transfers identically (Export/Import round-trips Key()).
+type Spec struct {
+	// Parents is the parent index per tree node, -1 for the host root at
+	// index 0. Nodes are listed in construction order, so Parents[i] < i.
+	Parents []int `json:"parents"`
+	// Names holds the per-node display names ("host", "SW1", "gpu3", ...).
+	Names []string `json:"names"`
+	// GPUNodes maps each dense GPU index to its tree node.
+	GPUNodes []int `json:"gpuNodes"`
+
+	BandwidthGBs float64 `json:"bandwidthGBs"`
+	LatencyUS    float64 `json:"latencyUS"`
+}
+
+// Export returns the tree's wire form.
+func (t *Tree) Export() Spec {
+	return Spec{
+		Parents:      append([]int(nil), t.parent...),
+		Names:        append([]string(nil), t.name...),
+		GPUNodes:     append([]int(nil), t.gpuNode...),
+		BandwidthGBs: t.BandwidthGBs,
+		LatencyUS:    t.LatencyUS,
+	}
+}
+
+// Import rebuilds a Tree from its wire form, re-deriving every internal
+// index (links, gpu lookup) rather than trusting the input.
+func Import(s Spec) (*Tree, error) {
+	n := len(s.Parents)
+	if n == 0 {
+		return nil, fmt.Errorf("topology: import: empty tree")
+	}
+	if len(s.Names) != n {
+		return nil, fmt.Errorf("topology: import: %d names for %d nodes", len(s.Names), n)
+	}
+	if s.Parents[0] != -1 {
+		return nil, fmt.Errorf("topology: import: node 0 must be the root (parent -1, got %d)", s.Parents[0])
+	}
+	for i := 1; i < n; i++ {
+		if s.Parents[i] < 0 || s.Parents[i] >= i {
+			return nil, fmt.Errorf("topology: import: node %d has parent %d (must be an earlier node)", i, s.Parents[i])
+		}
+	}
+	if len(s.GPUNodes) == 0 {
+		return nil, fmt.Errorf("topology: import: no GPUs")
+	}
+	seen := map[int]bool{}
+	for gi, node := range s.GPUNodes {
+		if node <= 0 || node >= n {
+			return nil, fmt.Errorf("topology: import: gpu %d at out-of-range node %d", gi, node)
+		}
+		if seen[node] {
+			return nil, fmt.Errorf("topology: import: node %d hosts two GPUs", node)
+		}
+		seen[node] = true
+	}
+	t := &Tree{
+		parent:       append([]int(nil), s.Parents...),
+		name:         append([]string(nil), s.Names...),
+		gpuNode:      append([]int(nil), s.GPUNodes...),
+		BandwidthGBs: s.BandwidthGBs,
+		LatencyUS:    s.LatencyUS,
+	}
+	t.finalize()
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// finalize derives the lookup tables and directed links from the parent
+// vector; shared by Builder.Build and Import.
+func (t *Tree) finalize() {
+	n := len(t.parent)
+	t.gpuOf = make([]int, n)
+	for i := range t.gpuOf {
+		t.gpuOf[i] = -1
+	}
+	for gi, node := range t.gpuNode {
+		t.gpuOf[node] = gi
+	}
+	t.links = nil
+	t.upLink = make([]int, n)
+	t.downLink = make([]int, n)
+	t.upLink[0], t.downLink[0] = -1, -1
+	for node := 1; node < n; node++ {
+		up := Link{ID: len(t.links), Child: node, Dir: Up}
+		t.links = append(t.links, up)
+		t.upLink[node] = up.ID
+		down := Link{ID: len(t.links), Child: node, Dir: Down}
+		t.links = append(t.links, down)
+		t.downLink[node] = down.ID
+	}
+}

@@ -1,0 +1,64 @@
+package topology
+
+import "testing"
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, tree := range []*Tree{FourGPUTree(), PairedTree(1), PairedTree(7)} {
+		twin, err := Import(tree.Export())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if twin.Key() != tree.Key() {
+			t.Fatalf("key %q != twin %q", tree.Key(), twin.Key())
+		}
+		if twin.NumGPUs() != tree.NumGPUs() || twin.NumLinks() != tree.NumLinks() {
+			t.Fatalf("shape differs after round trip")
+		}
+		// Routes (order included) must be identical for every endpoint pair.
+		endpoints := []int{Host}
+		for g := 0; g < tree.NumGPUs(); g++ {
+			endpoints = append(endpoints, g)
+		}
+		for _, s := range endpoints {
+			for _, d := range endpoints {
+				a, b := tree.Route(s, d), twin.Route(s, d)
+				if len(a) != len(b) {
+					t.Fatalf("route %d->%d: %v vs %v", s, d, a, b)
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("route %d->%d: %v vs %v", s, d, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSpecImportRejectsCorrupt(t *testing.T) {
+	base := FourGPUTree().Export()
+
+	bad := base
+	bad.Parents = append([]int(nil), base.Parents...)
+	bad.Parents[3] = 7 // forward reference
+	if _, err := Import(bad); err == nil {
+		t.Error("forward parent accepted")
+	}
+
+	bad = base
+	bad.GPUNodes = append([]int(nil), base.GPUNodes...)
+	bad.GPUNodes[1] = bad.GPUNodes[0] // duplicate gpu node
+	if _, err := Import(bad); err == nil {
+		t.Error("duplicate gpu node accepted")
+	}
+
+	bad = base
+	bad.Names = base.Names[:2]
+	if _, err := Import(bad); err == nil {
+		t.Error("name/parent length mismatch accepted")
+	}
+
+	if _, err := Import(Spec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+}

@@ -120,25 +120,7 @@ func (b *Builder) Build() (*Tree, error) {
 	if len(t.gpuNode) == 0 {
 		return nil, fmt.Errorf("topology: no GPUs")
 	}
-	n := len(t.parent)
-	t.gpuOf = make([]int, n)
-	for i := range t.gpuOf {
-		t.gpuOf[i] = -1
-	}
-	for gi, node := range t.gpuNode {
-		t.gpuOf[node] = gi
-	}
-	t.upLink = make([]int, n)
-	t.downLink = make([]int, n)
-	t.upLink[0], t.downLink[0] = -1, -1
-	for node := 1; node < n; node++ {
-		up := Link{ID: len(t.links), Child: node, Dir: Up}
-		t.links = append(t.links, up)
-		t.upLink[node] = up.ID
-		down := Link{ID: len(t.links), Child: node, Dir: Down}
-		t.links = append(t.links, down)
-		t.downLink[node] = down.ID
-	}
+	t.finalize()
 	return t, nil
 }
 

@@ -27,6 +27,23 @@
 //	svc := streammap.NewService(streammap.ServiceConfig{})
 //	c, err := svc.Compile(ctx, g, opts) // safe from any number of goroutines
 //
+// Compilations export as versioned, self-contained artifacts that outlive
+// the process: Compiled.Artifact() captures partitions, kernel parameters,
+// the partition dependence graph, the assignment with its cost and link
+// loads, and the executable plan in a stable encoding keyed by the graph
+// fingerprint and normalized options. An artifact encodes to deterministic
+// bytes, decodes on any machine, and executes on the simulator without
+// recompiling:
+//
+//	a, err := c.Artifact()
+//	data, err := a.Encode()                  // persist / ship
+//	b, err := streammap.DecodeArtifact(data) // later, elsewhere
+//	res, err := b.Execute(64)                // timing run, no compilation
+//
+// Setting ServiceConfig.CacheDir turns the compile service's cache into
+// two tiers — the in-memory LRU in front of a content-addressed on-disk
+// artifact store — so a restarted service warm-starts from disk.
+//
 // CompileCtx is the cancellable form of Compile. See the examples
 // directory for complete programs and DESIGN.md for the architecture.
 package streammap
@@ -34,8 +51,10 @@ package streammap
 import (
 	"context"
 
+	"streammap/internal/artifact"
 	"streammap/internal/core"
 	"streammap/internal/gpu"
+	"streammap/internal/gpusim"
 	"streammap/internal/sdf"
 	"streammap/internal/topology"
 )
@@ -146,7 +165,32 @@ func CompileCtx(ctx context.Context, g *Graph, opts Options) (*Compiled, error) 
 // NewService returns a concurrent compile service: many goroutines may
 // Compile through it at once; identical in-flight requests are deduplicated
 // and results cached in an LRU keyed by (graph fingerprint, device,
-// topology, options).
+// topology, options), backed — when ServiceConfig.CacheDir is set — by a
+// content-addressed on-disk artifact store that survives restarts.
 func NewService(cfg ServiceConfig) *Service {
 	return core.NewService(cfg)
+}
+
+// Compile artifacts.
+type (
+	// Artifact is a versioned, self-contained, serializable compilation
+	// result: everything needed to execute or inspect a compiled mapping,
+	// with no reference into compiler internals. Obtain one with
+	// Compiled.Artifact, persist it with Encode, and run it — without
+	// recompiling — with Execute (timing) or ExecuteWith (functional,
+	// against the original graph).
+	Artifact = artifact.Artifact
+	// Result is the outcome of a simulated pipelined multi-GPU run.
+	Result = gpusim.Result
+)
+
+// ArtifactFormatVersion is the wire-format version this build encodes and
+// decodes. DecodeArtifact rejects artifacts from other versions.
+const ArtifactFormatVersion = artifact.FormatVersion
+
+// DecodeArtifact parses and validates an encoded compile artifact. It
+// rejects truncated or corrupt input and artifacts written by other format
+// versions.
+func DecodeArtifact(data []byte) (*Artifact, error) {
+	return artifact.Decode(data)
 }
