@@ -7,7 +7,7 @@
 //
 //	streammap -app DES -n 8 -gpus 4 [-partitioner alg1|prev|single]
 //	          [-mapper ilp|prev] [-emit report|cuda|dot|run|artifact]
-//	          [-fragments 64] [-artifact-out file]
+//	          [-fragments 64] [-artifact-out file] [-stats]
 //	streammap -exec file.artifact.json [-fragments 64]
 //	streammap -batch "DES:8:4,FFT:64:2,DES:8:4" [-batch-workers 8]
 //	streammap -batch all
@@ -17,6 +17,10 @@
 // -emit artifact serializes the compilation as a versioned, self-contained
 // artifact (to -artifact-out, default stdout); -exec decodes such a file
 // and executes it on the simulator without recompiling.
+//
+// -stats prints the estimation engine's memo counters (queries, hits,
+// misses, hit rate, hash collisions) and the per-stage wall-clock of the
+// compilation before the emitted output.
 //
 // Synth mode compiles a seeded corpus of randomly generated stream graphs
 // on randomly generated PCIe topologies through the compile service; with
@@ -67,6 +71,7 @@ func main() {
 	synthFilters := flag.Int("synth-filters", 28, "max filters per generated graph in -synth mode")
 	synthGPUs := flag.Int("synth-gpus", 8, "max GPUs per generated topology in -synth mode")
 	synthCheck := flag.Bool("synth-check", false, "run the serial-vs-pipeline differential harness on every generated scenario")
+	stats := flag.Bool("stats", false, "print estimation-engine cache counters and per-stage timings after compiling")
 	flag.Parse()
 
 	if *execFile != "" {
@@ -141,6 +146,17 @@ func main() {
 	c, err := core.Compile(g, opts)
 	if err != nil {
 		fail("compile: %v", err)
+	}
+
+	if *stats {
+		fmt.Printf("estimation engine: %s\n", c.Engine.Stats())
+		for _, s := range c.Stages {
+			if s.Info != "" {
+				fmt.Printf("stage %-9s %10.2fms  %s\n", s.Name, float64(s.Duration.Microseconds())/1e3, s.Info)
+			} else {
+				fmt.Printf("stage %-9s %10.2fms\n", s.Name, float64(s.Duration.Microseconds())/1e3)
+			}
+		}
 	}
 
 	switch *emit {

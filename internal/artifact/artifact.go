@@ -148,10 +148,13 @@ type Plan struct {
 	ViaHost       bool `json:"viaHost,omitempty"`
 }
 
-// Stage records one compile pass's wall-clock provenance.
+// Stage records one compile pass's wall-clock provenance. Info carries
+// optional pass detail (the partition pass reports the estimation engine's
+// cache counters); absent in older artifacts, which decode unchanged.
 type Stage struct {
 	Name       string `json:"name"`
 	DurationNS int64  `json:"durationNS"`
+	Info       string `json:"info,omitempty"`
 }
 
 // Artifact is a complete, self-contained compilation result.

@@ -111,7 +111,7 @@ func (c *Compiled) Artifact() (*artifact.Artifact, error) {
 		},
 	}
 	for _, s := range c.Stages {
-		a.Stages = append(a.Stages, artifact.Stage{Name: s.Name, DurationNS: s.Duration.Nanoseconds()})
+		a.Stages = append(a.Stages, artifact.Stage{Name: s.Name, DurationNS: s.Duration.Nanoseconds(), Info: s.Info})
 	}
 	return a, nil
 }

@@ -138,10 +138,13 @@ func (o Options) Validate() error {
 	return nil
 }
 
-// StageMetric records one pass's wall-clock cost.
+// StageMetric records one pass's wall-clock cost plus optional provenance
+// detail (the partition pass reports the estimation engine's cache
+// counters).
 type StageMetric struct {
 	Name     string
 	Duration time.Duration
+	Info     string
 }
 
 // Compiled is the full result of the mapping flow.
@@ -216,7 +219,12 @@ func Compile(ctx context.Context, g *sdf.Graph, opts Options) (*Compiled, error)
 		if err := s.run(ctx, c); err != nil {
 			return nil, err
 		}
-		c.Stages = append(c.Stages, StageMetric{Name: s.name, Duration: time.Since(start)})
+		m := StageMetric{Name: s.name, Duration: time.Since(start)}
+		if s.name == "partition" && c.Engine != nil {
+			// Try-Merge scoring provenance: how hard the engine worked.
+			m.Info = c.Engine.Stats().String()
+		}
+		c.Stages = append(c.Stages, m)
 	}
 	return c, nil
 }

@@ -150,11 +150,12 @@ func Greedy(p *Problem) *Assignment {
 	for i := range gpuOf {
 		gpuOf[i] = -1
 	}
+	ev := newEvaluator(p)
 	for _, pi := range order {
 		best, bestObj := 0, math.Inf(1)
 		for k := 0; k < p.Topo.NumGPUs(); k++ {
 			gpuOf[pi] = k
-			obj := evalPartial(p, gpuOf)
+			obj := ev.objective(gpuOf)
 			if obj < bestObj {
 				best, bestObj = k, obj
 			}
@@ -164,55 +165,89 @@ func Greedy(p *Problem) *Assignment {
 	return Evaluate(p, gpuOf, "greedy")
 }
 
-// evalPartial evaluates ignoring unassigned partitions (-1).
-func evalPartial(p *Problem, gpuOf []int) float64 {
-	tmp := make([]int, len(gpuOf))
-	copy(tmp, gpuOf)
-	// Place unassigned partitions on a phantom "GPU 0" with no cost by
-	// skipping them: emulate by temporarily assigning and subtracting is
-	// messy; instead evaluate a reduced problem inline.
-	t := p.Topo
-	g := t.NumGPUs()
-	gpuT := make([]float64, g)
-	loads := make([]int64, t.NumLinks())
-	B := int64(p.FragmentIters)
-	for i, k := range tmp {
-		if k >= 0 {
-			gpuT[k] += p.PartTimeUS(i)
-		}
+// evaluator computes the exact objective of an assignment with zero
+// allocation per call: per-GPU time and per-link load buffers are reused,
+// partition times are read from a precomputed table, and routes come from
+// the topology's route cache. It performs bit for bit the same float
+// arithmetic, in the same order, as Evaluate — candidate scans score with
+// objective and only the accepted assignment is re-scored by Evaluate for
+// its fully populated form.
+//
+// Unassigned partitions (gpuOf[i] == -1) and the transfers touching them
+// are skipped, which also subsumes the old evalPartial. Not safe for
+// concurrent use; each local-search descent owns one.
+type evaluator struct {
+	p     *Problem
+	times []float64 // PartTimeUS table
+	gpuT  []float64
+	loads []int64
+}
+
+func newEvaluator(p *Problem) *evaluator {
+	ev := &evaluator{
+		p:     p,
+		times: make([]float64, p.PDG.NumParts()),
+		gpuT:  make([]float64, p.Topo.NumGPUs()),
+		loads: make([]int64, p.Topo.NumLinks()),
 	}
-	add := func(route []int, bytes int64) {
-		for _, l := range route {
-			loads[l] += bytes
+	for i := range ev.times {
+		ev.times[i] = p.PartTimeUS(i)
+	}
+	return ev
+}
+
+// objective returns Evaluate(p, gpuOf, ...).Objective without building an
+// Assignment, skipping partitions assigned -1.
+func (ev *evaluator) objective(gpuOf []int) float64 {
+	p, t := ev.p, ev.p.Topo
+	for i := range ev.gpuT {
+		ev.gpuT[i] = 0
+	}
+	for i := range ev.loads {
+		ev.loads[i] = 0
+	}
+	B := int64(p.FragmentIters)
+	for i, k := range gpuOf {
+		if k >= 0 {
+			ev.gpuT[k] += ev.times[i]
 		}
 	}
 	for _, e := range p.PDG.Edges {
-		gs, gd := tmp[e.From], tmp[e.To]
+		gs, gd := gpuOf[e.From], gpuOf[e.To]
 		if gs < 0 || gd < 0 || gs == gd {
 			continue
 		}
+		bytes := e.Bytes * B
+		var route []int
 		if p.ViaHost {
-			add(t.RouteViaHost(gs, gd), e.Bytes*B)
+			route = t.RouteViaHost(gs, gd)
 		} else {
-			add(t.Route(gs, gd), e.Bytes*B)
+			route = t.Route(gs, gd)
+		}
+		for _, l := range route {
+			ev.loads[l] += bytes
 		}
 	}
-	for i, k := range tmp {
+	for i, k := range gpuOf {
 		if k < 0 {
 			continue
 		}
 		if hb := p.PDG.HostInBytes[i] * B; hb > 0 {
-			add(t.Route(topology.Host, k), hb)
+			for _, l := range t.Route(topology.Host, k) {
+				ev.loads[l] += hb
+			}
 		}
 		if hb := p.PDG.HostOutBytes[i] * B; hb > 0 {
-			add(t.Route(k, topology.Host), hb)
+			for _, l := range t.Route(k, topology.Host) {
+				ev.loads[l] += hb
+			}
 		}
 	}
 	obj := 0.0
-	for _, v := range gpuT {
-		obj = math.Max(obj, v)
+	for _, gt := range ev.gpuT {
+		obj = math.Max(obj, gt)
 	}
-	for _, load := range loads {
+	for _, load := range ev.loads {
 		if load > 0 {
 			obj = math.Max(obj, t.LatencyUS+float64(load)/(t.BandwidthGBs*1e3))
 		}
@@ -237,8 +272,17 @@ func localSearchCtx(ctx context.Context, p *Problem, workers int, greedy *Assign
 	n := p.PDG.NumParts()
 	g := p.Topo.NumGPUs()
 
+	// Candidates are scored with the reusable evaluator (identical floats,
+	// no allocation, cached routes); only accepted improvements re-run the
+	// full Evaluate, so cur is always a completely populated assignment.
 	descend := func(gpuOf []int) *Assignment {
+		ev := newEvaluator(p)
 		cur := Evaluate(p, gpuOf, "local")
+		cand := append([]int(nil), cur.GPUOf...)
+		accept := func() {
+			cur = Evaluate(p, cand, "local")
+			copy(cand, cur.GPUOf)
+		}
 		for {
 			if ctx.Err() != nil {
 				return cur
@@ -250,11 +294,12 @@ func localSearchCtx(ctx context.Context, p *Problem, workers int, greedy *Assign
 					if k == cur.GPUOf[i] {
 						continue
 					}
-					cand := append([]int(nil), cur.GPUOf...)
 					cand[i] = k
-					if e := Evaluate(p, cand, "local"); e.Objective < cur.Objective-1e-9 {
-						cur = e
+					if ev.objective(cand) < cur.Objective-1e-9 {
+						accept()
 						improved = true
+					} else {
+						cand[i] = cur.GPUOf[i]
 					}
 				}
 			}
@@ -264,11 +309,12 @@ func localSearchCtx(ctx context.Context, p *Problem, workers int, greedy *Assign
 					if cur.GPUOf[i] == cur.GPUOf[j] {
 						continue
 					}
-					cand := append([]int(nil), cur.GPUOf...)
 					cand[i], cand[j] = cand[j], cand[i]
-					if e := Evaluate(p, cand, "local"); e.Objective < cur.Objective-1e-9 {
-						cur = e
+					if ev.objective(cand) < cur.Objective-1e-9 {
+						accept()
 						improved = true
+					} else {
+						cand[i], cand[j] = cur.GPUOf[i], cur.GPUOf[j]
 					}
 				}
 			}

@@ -287,3 +287,65 @@ func TestEncodeFeasibleQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestEvaluatorMatchesEvaluate pins the local search's allocation-free
+// scorer against the full Evaluate: identical objectives (bit for bit) on
+// every assignment of a brute-forceable instance, with and without via-host
+// staging, plus the partial (-1) form against placements Greedy explores.
+func TestEvaluatorMatchesEvaluate(t *testing.T) {
+	p := synth(t,
+		[]float64{9, 7, 5, 3, 2},
+		[]pdg.Edge{{From: 0, To: 1, Bytes: 4096}, {From: 1, To: 2, Bytes: 128}, {From: 2, To: 3, Bytes: 65536}, {From: 3, To: 4, Bytes: 512}},
+		[]int64{2048, 0, 0, 0, 0}, []int64{0, 0, 0, 0, 4096}, 4)
+	for _, viaHost := range []bool{false, true} {
+		q := *p
+		q.ViaHost = viaHost
+		ev := newEvaluator(&q)
+		n := q.PDG.NumParts()
+		g := q.Topo.NumGPUs()
+		gpuOf := make([]int, n)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == n {
+				want := Evaluate(&q, gpuOf, "ref").Objective
+				if got := ev.objective(gpuOf); got != want {
+					t.Fatalf("viaHost=%v %v: evaluator %v != Evaluate %v", viaHost, gpuOf, got, want)
+				}
+				return
+			}
+			for k := 0; k < g; k++ {
+				gpuOf[i] = k
+				rec(i + 1)
+			}
+		}
+		rec(0)
+	}
+	// Partial assignments: every proper prefix placed, the rest -1.
+	ev := newEvaluator(p)
+	n := p.PDG.NumParts()
+	for placed := 0; placed < n; placed++ {
+		gpuOf := make([]int, n)
+		for i := range gpuOf {
+			if i <= placed {
+				gpuOf[i] = i % p.Topo.NumGPUs()
+			} else {
+				gpuOf[i] = -1
+			}
+		}
+		obj := ev.objective(gpuOf)
+		if math.IsNaN(obj) || obj < 0 {
+			t.Fatalf("partial objective invalid: %v", obj)
+		}
+		// A partial objective never exceeds the same placement completed on
+		// GPU 0 arbitrarily (monotonicity sanity, not exactness).
+		full := append([]int(nil), gpuOf...)
+		for i := range full {
+			if full[i] < 0 {
+				full[i] = 0
+			}
+		}
+		if ev.objective(full) < obj-1e-12 {
+			t.Fatalf("completing a placement lowered the objective: %v -> %v", obj, ev.objective(full))
+		}
+	}
+}

@@ -100,15 +100,17 @@ func (p *partitioner) prewarmSingletons() {
 
 // prewarmUnions speculatively scores candidate union sets, skipping sets the
 // engine has already memoized and — mirroring tryMergeSets — sets that are
-// not convex (the serial scan never estimates those either).
+// not convex (the serial scan never estimates those either). Dedup is by
+// 64-bit hash: a collision merely skips a speculative warm-up, which the
+// serial commit scan then scores on demand.
 func (p *partitioner) prewarmUnions(sets []sdf.NodeSet) {
 	if p.workers <= 1 || len(sets) == 0 {
 		return
 	}
-	seen := make(map[string]bool, len(sets))
+	seen := make(map[uint64]bool, len(sets))
 	todo := sets[:0:0]
 	for _, s := range sets {
-		k := s.Key()
+		k := s.Hash()
 		if seen[k] || p.eng.Cached(s) {
 			continue
 		}
@@ -116,7 +118,7 @@ func (p *partitioner) prewarmUnions(sets []sdf.NodeSet) {
 		todo = append(todo, s)
 	}
 	p.scatter(len(todo), func(i int) {
-		if p.g.IsConvex(todo[i]) {
+		if p.isConvex(todo[i]) {
 			p.eng.EstimateSet(todo[i])
 		}
 	})
@@ -145,9 +147,11 @@ func (p *partitioner) windowsOfChain(chain []sdf.NodeID) ([]*Partition, error) {
 			if err != nil {
 				return nil, err
 			}
-			union := cur.Set.Clone()
+			union := p.borrowSet()
+			union.CopyFrom(cur.Set)
 			union.Add(chain[j])
 			merged := p.tryMergeSets(union, cur.TWus()+single.TWus())
+			p.returnSet(union)
 			if merged == nil {
 				break
 			}

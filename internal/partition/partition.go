@@ -19,21 +19,34 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"streammap/internal/pee"
 	"streammap/internal/sdf"
 )
 
-// Partition is one selected kernel-to-be.
+// Partition is one selected kernel-to-be. During partitioning Sub stays nil
+// — the workload comparison needs only the estimate and the granularity
+// scale, so candidates are scored without materializing subgraphs — and the
+// partitioner extracts every surviving partition once at the end. External
+// constructors (artifact import) populate Sub directly.
 type Partition struct {
 	Set sdf.NodeSet
 	Sub *sdf.Subgraph
 	Est *pee.Estimate
+
+	scale    int64       // Extract's Scale, known without extracting
+	boundary sdf.NodeSet // nodes adjacent to Set, outside it (partitioner-internal)
 }
 
 // TWus is the partition's estimated execution time per parent-graph
 // steady-state iteration, in microseconds.
-func (p *Partition) TWus() float64 { return p.Est.TUS * float64(p.Sub.Scale) }
+func (p *Partition) TWus() float64 {
+	if p.Sub != nil {
+		return p.Est.TUS * float64(p.Sub.Scale)
+	}
+	return p.Est.TUS * float64(p.scale)
+}
 
 // ComputeBound reports the compute/IO classification driving phase 3.
 func (p *Partition) ComputeBound() bool { return p.Est.ComputeBound() }
@@ -68,6 +81,39 @@ type partitioner struct {
 
 	parts    []*Partition // live partitions (nil holes compacted lazily)
 	assigned []int        // node -> index into parts, -1 if none
+
+	// Scratch pools: candidate unions are built in borrowed NodeSets and
+	// convexity checks reuse traversal buffers, so the Try-Merge scan
+	// allocates only for accepted merges. sync.Pools because the speculative
+	// scorers (parallel.go) run on worker goroutines.
+	setPool    sync.Pool // sdf.NodeSet of capacity NumNodes
+	convexPool sync.Pool // *sdf.ConvexChecker
+	idScratch  []sdf.NodeID
+}
+
+// borrowSet returns an empty scratch set of graph capacity.
+func (p *partitioner) borrowSet() sdf.NodeSet {
+	if v := p.setPool.Get(); v != nil {
+		s := v.(sdf.NodeSet)
+		s.Reset()
+		return s
+	}
+	return sdf.NewNodeSet(p.g.NumNodes())
+}
+
+func (p *partitioner) returnSet(s sdf.NodeSet) { p.setPool.Put(s) }
+
+// isConvex runs the convexity check with pooled traversal buffers.
+func (p *partitioner) isConvex(set sdf.NodeSet) bool {
+	var c *sdf.ConvexChecker
+	if v := p.convexPool.Get(); v != nil {
+		c = v.(*sdf.ConvexChecker)
+	} else {
+		c = p.g.NewConvexChecker()
+	}
+	ok := c.IsConvex(set)
+	p.convexPool.Put(c)
+	return ok
 }
 
 // Run executes Algorithm 1 over the profiled graph serially.
@@ -103,6 +149,19 @@ func (p *partitioner) run() (*Result, error) {
 	}
 	res.Parts = p.compact()
 
+	// Candidates were scored without materializing subgraphs; extract the
+	// survivors once, now that the selection is final.
+	for _, pt := range res.Parts {
+		if pt.Sub != nil {
+			continue
+		}
+		sub, err := p.g.Extract(pt.Set)
+		if err != nil {
+			return nil, err
+		}
+		pt.Sub = sub
+	}
+
 	if err := validate(p.g, res.Parts); err != nil {
 		return nil, err
 	}
@@ -121,62 +180,75 @@ func (p *partitioner) phase1() error {
 	return p.phase1Pipelines()
 }
 
-// makePartition estimates a node set and wraps it; infeasible sets return an
-// error.
+// makePartition estimates a node set and wraps it (no subgraph extraction;
+// see Partition); infeasible sets return an error. The set is referenced,
+// not copied — callers passing scratch sets must pass a durable clone.
 func (p *partitioner) makePartition(set sdf.NodeSet) (*Partition, error) {
 	est, err := p.eng.EstimateSet(set)
 	if err != nil {
 		return nil, err
 	}
-	sub, err := p.g.Extract(set)
-	if err != nil {
-		return nil, err
-	}
-	return &Partition{Set: set, Sub: sub, Est: est}, nil
+	return &Partition{Set: set, Est: est, scale: p.eng.ScaleOf(set)}, nil
 }
 
 // tryMergeSets evaluates the merge criterion on a candidate union given the
 // combined TW of its constituents. It returns the merged partition when the
-// merge is profitable, nil otherwise.
+// merge is profitable, nil otherwise. union is borrowed scratch: the
+// returned partition owns an independent clone, so callers recycle union
+// either way.
 func (p *partitioner) tryMergeSets(union sdf.NodeSet, combinedTW float64) *Partition {
-	if !p.g.IsConvex(union) {
+	if !p.isConvex(union) {
 		return nil
 	}
 	est, err := p.eng.EstimateSet(union)
 	if err != nil {
 		return nil // SM violation or unschedulable: merge rejected
 	}
-	sub, err := p.g.Extract(union)
-	if err != nil {
+	scale := p.eng.ScaleOf(union)
+	if est.TUS*float64(scale) >= combinedTW {
 		return nil
 	}
-	m := &Partition{Set: union, Sub: sub, Est: est}
-	if m.TWus() >= combinedTW {
-		return nil
-	}
-	return m
+	return &Partition{Set: union.Clone(), Est: est, scale: scale}
 }
 
-// connected reports whether an edge links the two sets.
-func (p *partitioner) connected(a, b sdf.NodeSet) bool {
-	for _, e := range p.g.Edges {
-		if (a.Has(e.Src) && b.Has(e.Dst)) || (b.Has(e.Src) && a.Has(e.Dst)) {
-			return true
+// connected reports whether an edge links the two partitions: some node of
+// b lies on a's incrementally maintained boundary.
+func (p *partitioner) connected(a, b *Partition) bool {
+	return a.boundary.Intersects(b.Set)
+}
+
+// computeBoundary fills pt.boundary: every node adjacent (either direction)
+// to a member but outside the set.
+func (p *partitioner) computeBoundary(pt *Partition) {
+	if pt.boundary.Cap() == 0 {
+		pt.boundary = sdf.NewNodeSet(p.g.NumNodes())
+	} else {
+		pt.boundary.Reset()
+	}
+	pt.Set.ForEach(func(m sdf.NodeID) {
+		for _, v := range p.g.Succ(m) {
+			if !pt.Set.Has(v) {
+				pt.boundary.Add(v)
+			}
 		}
-	}
-	return false
+		for _, v := range p.g.Pred(m) {
+			if !pt.Set.Has(v) {
+				pt.boundary.Add(v)
+			}
+		}
+	})
 }
 
-// install replaces the partitions at the given indices with the merged one.
+// install replaces the partitions at the given indices with the merged one,
+// deriving the new partition's boundary bitset.
 func (p *partitioner) install(merged *Partition, victims ...int) int {
 	for _, v := range victims {
 		p.parts[v] = nil
 	}
+	p.computeBoundary(merged)
 	p.parts = append(p.parts, merged)
 	idx := len(p.parts) - 1
-	for _, n := range merged.Set.Members() {
-		p.assigned[n] = idx
-	}
+	merged.Set.ForEach(func(n sdf.NodeID) { p.assigned[n] = idx })
 	return idx
 }
 
@@ -187,6 +259,7 @@ func (p *partitioner) addSingleton(id sdf.NodeID) (int, error) {
 		return -1, fmt.Errorf("partition: node %d (%s) does not fit on the device alone: %w",
 			id, p.g.Nodes[id].Filter.Name, err)
 	}
+	p.computeBoundary(part)
 	p.parts = append(p.parts, part)
 	idx := len(p.parts) - 1
 	p.assigned[id] = idx
@@ -247,9 +320,11 @@ func (p *partitioner) phase1Pipelines() error {
 				if err != nil {
 					return err
 				}
-				union := curP.Set.Clone()
+				union := p.borrowSet()
+				union.CopyFrom(curP.Set)
 				union.Add(chain[j])
 				merged := p.tryMergeSets(union, curP.TWus()+single.TWus())
+				p.returnSet(union)
 				if merged == nil {
 					break
 				}
@@ -311,7 +386,7 @@ func (p *partitioner) phase2Remaining() error {
 		for {
 			mergedAny := false
 			curP := p.parts[cur]
-			neighbors := p.unassignedNeighbors(curP.Set)
+			neighbors := p.unassignedNeighbors(curP)
 			if p.workers > 1 {
 				cands := make([]sdf.NodeSet, 0, len(neighbors))
 				for _, k := range neighbors {
@@ -326,9 +401,12 @@ func (p *partitioner) phase2Remaining() error {
 				if err != nil {
 					return err
 				}
-				union := p.parts[cur].Set.Clone()
+				union := p.borrowSet()
+				union.CopyFrom(p.parts[cur].Set)
 				union.Add(k)
-				if merged := p.tryMergeSets(union, p.parts[cur].TWus()+single.TWus()); merged != nil {
+				merged := p.tryMergeSets(union, p.parts[cur].TWus()+single.TWus())
+				p.returnSet(union)
+				if merged != nil {
 					cur = p.install(merged, cur)
 					mergedAny = true
 				}
@@ -341,18 +419,16 @@ func (p *partitioner) phase2Remaining() error {
 	return nil
 }
 
-func (p *partitioner) unassignedNeighbors(set sdf.NodeSet) []sdf.NodeID {
-	seen := map[sdf.NodeID]bool{}
-	var out []sdf.NodeID
-	for _, m := range set.Members() {
-		for _, v := range append(p.g.Succ(m), p.g.Pred(m)...) {
-			if !set.Has(v) && p.assigned[v] == -1 && !seen[v] {
-				seen[v] = true
-				out = append(out, v)
-			}
+// unassignedNeighbors returns the still-unassigned nodes on the partition's
+// boundary, ascending (boundary iteration order).
+func (p *partitioner) unassignedNeighbors(pt *Partition) []sdf.NodeID {
+	out := p.idScratch[:0]
+	pt.boundary.ForEach(func(v sdf.NodeID) {
+		if p.assigned[v] == -1 {
+			out = append(out, v)
 		}
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	})
+	p.idScratch = out
 	return out
 }
 
@@ -392,7 +468,7 @@ func (p *partitioner) phase3BoundMerging() error {
 							continue
 						}
 						a, b := p.parts[ci], p.parts[pi]
-						if p.connected(a.Set, b.Set) {
+						if p.connected(a, b) {
 							unions = append(unions, a.Set.Union(b.Set))
 						}
 					}
@@ -414,10 +490,15 @@ func (p *partitioner) phase3BoundMerging() error {
 						continue
 					}
 					a, b := p.parts[ci], p.parts[pi]
-					if !p.connected(a.Set, b.Set) {
+					if !p.connected(a, b) {
 						continue
 					}
-					if merged := p.tryMergeSets(a.Set.Union(b.Set), a.TWus()+b.TWus()); merged != nil {
+					union := p.borrowSet()
+					union.CopyFrom(a.Set)
+					union.UnionWith(b.Set)
+					merged := p.tryMergeSets(union, a.TWus()+b.TWus())
+					p.returnSet(union)
+					if merged != nil {
 						p.install(merged, ci, pi)
 						mergedAny = true
 						break
@@ -485,8 +566,13 @@ func (p *partitioner) phase4Simultaneous() error {
 						continue
 					}
 					a, b, c := p.parts[ci], p.parts[qi], p.parts[ri]
-					union := a.Set.Union(b.Set).Union(c.Set)
-					if merged := p.tryMergeSets(union, a.TWus()+b.TWus()+c.TWus()); merged != nil {
+					union := p.borrowSet()
+					union.CopyFrom(a.Set)
+					union.UnionWith(b.Set)
+					union.UnionWith(c.Set)
+					merged := p.tryMergeSets(union, a.TWus()+b.TWus()+c.TWus())
+					p.returnSet(union)
+					if merged != nil {
 						p.install(merged, ci, qi, ri)
 						mergedAny = true
 						break
@@ -521,22 +607,22 @@ func (p *partitioner) phase4Simultaneous() error {
 	return nil
 }
 
-// neighborPartitions returns indices of partitions adjacent to parts[ci].
+// neighborPartitions returns indices of partitions adjacent to parts[ci],
+// ascending, read off the partition's boundary bitset.
 func (p *partitioner) neighborPartitions(ci int) []int {
-	seen := map[int]bool{}
 	var out []int
-	set := p.parts[ci].Set
-	for _, m := range set.Members() {
-		for _, v := range append(p.g.Succ(m), p.g.Pred(m)...) {
-			if set.Has(v) {
-				continue
-			}
-			if idx := p.assigned[v]; idx >= 0 && idx != ci && !seen[idx] && p.parts[idx] != nil {
-				seen[idx] = true
-				out = append(out, idx)
+	p.parts[ci].boundary.ForEach(func(v sdf.NodeID) {
+		idx := p.assigned[v]
+		if idx < 0 || idx == ci || p.parts[idx] == nil {
+			return
+		}
+		for _, seen := range out {
+			if seen == idx {
+				return
 			}
 		}
-	}
+		out = append(out, idx)
+	})
 	sort.Ints(out)
 	return out
 }

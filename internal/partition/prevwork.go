@@ -27,12 +27,10 @@ func PrevWork(g *sdf.Graph, eng *pee.Engine, d gpu.Device) (*Result, error) {
 		assigned[i] = -1
 	}
 	fits := func(set sdf.NodeSet) bool {
-		sub, err := g.Extract(set)
-		if err != nil {
-			return false
-		}
 		// The previous work requires at least one execution to fit in SM.
-		est, err := pee.EstimateSubgraph(sub, eng.Prof)
+		// The engine's memoized view path scores the candidate without
+		// extracting it (same estimate as EstimateSubgraph∘Extract).
+		est, err := eng.EstimateSet(set)
 		if err != nil {
 			return false
 		}
@@ -96,7 +94,12 @@ func PrevWork(g *sdf.Graph, eng *pee.Engine, d gpu.Device) (*Result, error) {
 }
 
 func adjacentToSet(g *sdf.Graph, set sdf.NodeSet, id sdf.NodeID) bool {
-	for _, v := range append(g.Succ(id), g.Pred(id)...) {
+	for _, v := range g.Succ(id) {
+		if set.Has(v) {
+			return true
+		}
+	}
+	for _, v := range g.Pred(id) {
 		if set.Has(v) {
 			return true
 		}

@@ -1,0 +1,66 @@
+package pee
+
+// Forced-collision test for the memo's word-compare fallback: with the hash
+// function pinned to a constant, every set lands in one bucket, so only the
+// NodeSet.Equal scan keeps entries apart. Distinct sets must still return
+// their own estimates and the collision counter must advance.
+
+import (
+	"testing"
+
+	"streammap/internal/gpu"
+	"streammap/internal/sdf"
+)
+
+func TestMemoCollisionFallback(t *testing.T) {
+	orig := setHash
+	setHash = func(sdf.NodeSet) uint64 { return 42 }
+	defer func() { setHash = orig }()
+
+	g, err := sdf.Flatten("p", sdf.Pipe("p",
+		sdf.F(work("a", 4, 10)),
+		sdf.F(work("b", 4, 20)),
+		sdf.F(work("c", 4, 30))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g, ProfileGraph(g, gpu.M2090()))
+
+	sets := []sdf.NodeSet{
+		sdf.SingletonSet(g.NumNodes(), 0),
+		sdf.SingletonSet(g.NumNodes(), 1),
+		sdf.SingletonSet(g.NumNodes(), 2),
+	}
+	ests := make([]*Estimate, len(sets))
+	for i, s := range sets {
+		est, err := e.EstimateSet(s)
+		if err != nil {
+			t.Fatalf("set %v: %v", s, err)
+		}
+		ests[i] = est
+	}
+	// All three hashed to bucket 42: inserts 2 and 3 are collisions.
+	if st := e.Stats(); st.Collisions != 2 {
+		t.Fatalf("collisions = %d, want 2", st.Collisions)
+	}
+	// Re-querying must hit the right entry despite the shared bucket.
+	for i, s := range sets {
+		est, err := e.EstimateSet(s)
+		if err != nil {
+			t.Fatalf("requery set %v: %v", s, err)
+		}
+		if est != ests[i] {
+			t.Fatalf("set %v returned a different entry on re-query", s)
+		}
+	}
+	// The three filters have different Ops, so their compute times must
+	// differ — shared entries would indicate misattribution.
+	if ests[0] == ests[1] || ests[1] == ests[2] ||
+		ests[0].TcompUS == ests[1].TcompUS || ests[1].TcompUS == ests[2].TcompUS {
+		t.Fatalf("distinct sets share estimates under forced collisions: %+v %+v %+v",
+			ests[0], ests[1], ests[2])
+	}
+	if st := e.Stats(); st.Queries != 6 || st.Misses != 3 || st.Hits() != 3 {
+		t.Fatalf("stats %+v, want 6 queries / 3 misses / 3 hits", e.Stats())
+	}
+}

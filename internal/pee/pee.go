@@ -120,144 +120,239 @@ func (e *Estimate) ComputeBound() bool { return e.TcompUS >= e.TdtUS }
 const memoShards = 64
 
 // Engine estimates subgraphs against one profile, memoizing by node set.
-// It is safe for concurrent use: the memo is sharded by a hash of the set
-// key and the counters are atomic, so the partitioner's worker pool and
+// It is safe for concurrent use: the memo is sharded by the set's 64-bit
+// hash and the counters are atomic, so the partitioner's worker pool and
 // core.Service can share one engine per graph.
+//
+// The hot path is allocation-lean: queries key on sdf.NodeSet.Hash (no
+// string key is built), hits return after a word-compare against the stored
+// set, and misses score the candidate through a pooled sdf.SubView instead
+// of materializing the subgraph with Extract.
 type Engine struct {
-	Graph   *sdf.Graph
-	Prof    *Profile
-	shards  [memoShards]memoShard
-	queries atomic.Int64
-	misses  atomic.Int64
+	Graph *sdf.Graph
+	Prof  *Profile
+
+	// Tables derived once in NewEngine so the per-candidate sweep indexes
+	// plain slices instead of calling into the graph.
+	rep []int64 // parent repetition vector, indexed by node id
+
+	shards     [memoShards]memoShard
+	queries    atomic.Int64
+	misses     atomic.Int64
+	collisions atomic.Int64
+
+	scratch sync.Pool // *estScratch
 }
 
 type memoShard struct {
-	mu   sync.RWMutex
-	memo map[string]*memoEntry
+	mu sync.RWMutex
+	// memo buckets entries by set hash; a bucket with more than one entry is
+	// a hash collision, disambiguated by the word-compare in lookup.
+	memo map[uint64][]*memoEntry
 }
 
 type memoEntry struct {
+	set sdf.NodeSet // owned clone; the collision-safe identity
 	est *Estimate
 	err error
 }
 
-// NewEngine returns an estimation engine for the profiled graph.
+// estScratch is the per-goroutine scoring workspace: the subgraph view plus
+// the sweep's candidate buffers.
+type estScratch struct {
+	view  sdf.SubView
+	costs []nodeCost
+	sVals []int
+}
+
+// setHash is the memo hash function, a var so the collision-fallback test
+// can force every set into one bucket.
+var setHash = sdf.NodeSet.Hash
+
+// NewEngine returns an estimation engine for the profiled graph. The graph
+// must have a steady state (ProfileGraph's precondition too): the engine
+// snapshots the repetition vector for the scoring hot path.
 func NewEngine(g *sdf.Graph, prof *Profile) *Engine {
 	e := &Engine{Graph: g, Prof: prof}
-	for i := range e.shards {
-		e.shards[i].memo = map[string]*memoEntry{}
+	e.rep = make([]int64, g.NumNodes())
+	for _, n := range g.Nodes {
+		e.rep[n.ID] = g.Rep(n.ID)
 	}
+	for i := range e.shards {
+		e.shards[i].memo = map[uint64][]*memoEntry{}
+	}
+	e.scratch.New = func() interface{} { return &estScratch{} }
 	return e
 }
 
-// Stats returns (queries, cache misses) for instrumentation. Under serial
-// use the counts are exact; under concurrent use two goroutines racing on
-// the same uncached set may both count a miss.
-func (e *Engine) Stats() (int, int) { return int(e.queries.Load()), int(e.misses.Load()) }
+// Stats is the engine's instrumentation snapshot. Under serial use the
+// counts are exact; under concurrent use two goroutines racing on the same
+// uncached set may both count a miss.
+type Stats struct {
+	Queries    int64 // EstimateSet calls
+	Misses     int64 // queries that computed a fresh estimate
+	Collisions int64 // memo inserts whose 64-bit hash bucket was occupied
+}
 
-// shardOf hashes a memo key to its shard (FNV-1a).
-func shardOf(key string) int {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= 1099511628211
+// Hits returns the memoized-query count.
+func (s Stats) Hits() int64 { return s.Queries - s.Misses }
+
+// HitRate returns hits/queries in [0,1] (0 when no queries ran).
+func (s Stats) HitRate() float64 {
+	if s.Queries == 0 {
+		return 0
 	}
-	return int(h % memoShards)
+	return float64(s.Hits()) / float64(s.Queries)
+}
+
+// String renders the snapshot for reports and stage provenance.
+func (s Stats) String() string {
+	return fmt.Sprintf("queries=%d hits=%d misses=%d hitRate=%.3f collisions=%d",
+		s.Queries, s.Hits(), s.Misses, s.HitRate(), s.Collisions)
+}
+
+// Stats returns the engine's instrumentation counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Queries:    e.queries.Load(),
+		Misses:     e.misses.Load(),
+		Collisions: e.collisions.Load(),
+	}
+}
+
+// ScaleOf returns the granularity scale Extract would record for set: the
+// gcd of the members' parent repetition counts (parent reps = Scale * sub
+// reps). It reads the engine's precomputed repetition table and allocates
+// nothing, letting the partitioner compare workloads without extracting.
+func (e *Engine) ScaleOf(set sdf.NodeSet) int64 {
+	var g int64
+	set.ForEach(func(id sdf.NodeID) {
+		a, b := g, e.rep[id]
+		for b != 0 {
+			a, b = b, a%b
+		}
+		g = a
+	})
+	if g == 0 {
+		return 1
+	}
+	return g
+}
+
+// lookup scans a bucket for the entry matching set exactly.
+func bucketFind(bucket []*memoEntry, set sdf.NodeSet) *memoEntry {
+	for _, m := range bucket {
+		if m.set.Equal(set) {
+			return m
+		}
+	}
+	return nil
 }
 
 // Cached reports whether the verdict for set is already memoized, without
 // counting a query. Speculative scorers use it to skip warm candidates.
 func (e *Engine) Cached(set sdf.NodeSet) bool {
-	key := set.Key()
-	sh := &e.shards[shardOf(key)]
+	h := setHash(set)
+	sh := &e.shards[h%memoShards]
 	sh.mu.RLock()
-	_, ok := sh.memo[key]
+	m := bucketFind(sh.memo[h], set)
 	sh.mu.RUnlock()
-	return ok
+	return m != nil
 }
 
 // EstimateSet estimates the partition given as a node set of the parent
-// graph.
+// graph. The hit path performs no allocation.
 func (e *Engine) EstimateSet(set sdf.NodeSet) (*Estimate, error) {
 	e.queries.Add(1)
-	key := set.Key()
-	sh := &e.shards[shardOf(key)]
+	h := setHash(set)
+	sh := &e.shards[h%memoShards]
 	sh.mu.RLock()
-	m, ok := sh.memo[key]
+	m := bucketFind(sh.memo[h], set)
 	sh.mu.RUnlock()
-	if ok {
+	if m != nil {
 		return m.est, m.err
 	}
-	// Compute outside the lock; EstimateSubgraph is deterministic, so a
-	// concurrent duplicate computation yields an identical entry and the
-	// first writer wins.
-	var entry *memoEntry
-	sub, err := e.Graph.Extract(set)
-	if err != nil {
-		entry = &memoEntry{nil, err}
-	} else {
-		est, err := EstimateSubgraph(sub, e.Prof)
-		entry = &memoEntry{est, err}
-	}
+	// Compute outside the lock; scoring is deterministic, so a concurrent
+	// duplicate computation yields an identical entry and the first writer
+	// wins.
+	sc := e.scratch.Get().(*estScratch)
+	est, err := e.estimateInto(sc, set)
+	e.scratch.Put(sc)
+	entry := &memoEntry{set: set.Clone(), est: est, err: err}
 	sh.mu.Lock()
-	if prev, ok := sh.memo[key]; ok {
+	if prev := bucketFind(sh.memo[h], set); prev != nil {
 		sh.mu.Unlock()
 		return prev.est, prev.err
 	}
-	sh.memo[key] = entry
+	if len(sh.memo[h]) > 0 {
+		e.collisions.Add(1)
+	}
+	sh.memo[h] = append(sh.memo[h], entry)
 	sh.mu.Unlock()
 	e.misses.Add(1)
 	return entry.est, entry.err
 }
 
-// EstimateSubgraph runs parameter selection and the performance model for
-// one subgraph.
-func EstimateSubgraph(s *sdf.Subgraph, prof *Profile) (*Estimate, error) {
-	d := prof.Device
-	lay, err := smreq.Analyze(s)
-	if err != nil {
-		return nil, err
+// estimateInto scores one candidate set through the view path, reusing the
+// scratch workspace. It reproduces EstimateSubgraph∘Extract bit for bit:
+// the same member order drives the same cost summation, the same SM and I/O
+// byte totals feed the same parameter sweep, and the same infeasibility
+// conditions yield the same errors.
+func (e *Engine) estimateInto(sc *estScratch, set sdf.NodeSet) (*Estimate, error) {
+	if set.Len() == 0 {
+		return nil, fmt.Errorf("sdf: Extract: empty set")
 	}
-	smBytes := lay.PeakBytes
-	dBytes := s.IOBytesPerIteration()
+	sc.view.Fill(e.Graph, set)
+	return estimateView(&sc.view, e.Prof, sc)
+}
 
+// nodeCost is one member's contribution to Tcomp: t_i in cycles and the
+// firing rate that bounds its intra-execution parallelism.
+type nodeCost struct {
+	cycles float64 // t_i = f_i * perFiring
+	f      int64
+}
+
+// appendCandidates accumulates one member's candidate S value: its firing
+// rate when it fits in a block, else the largest warp-aligned S.
+func appendCandidates(sVals []int, f int64, d gpu.Device) []int {
+	if f < int64(d.MaxThreadsPerBlock) {
+		return append(sVals, int(f))
+	}
+	return append(sVals, d.MaxThreadsPerBlock-d.WarpSize)
+}
+
+// finishCandidates adds the warp-multiple candidates, then sorts,
+// deduplicates and range-filters in place — the same candidate set the
+// older map-backed construction produced, without the per-call map.
+func finishCandidates(sVals []int, d gpu.Device) []int {
+	sVals = append(sVals, 1)
+	for s := d.WarpSize; s <= d.MaxThreadsPerBlock/2; s *= 2 {
+		sVals = append(sVals, s)
+	}
+	sort.Ints(sVals)
+	out := sVals[:0]
+	for i, v := range sVals {
+		if v < 1 || v >= d.MaxThreadsPerBlock {
+			continue
+		}
+		if i > 0 && sVals[i-1] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// sweep runs the parameter selection (S, W, F) and performance model over
+// the prepared cost table. It is the shared core of EstimateSubgraph and
+// the engine's view-based scoring.
+func sweep(prof *Profile, costs []nodeCost, sVals []int, smBytes, dBytes int64) (*Estimate, error) {
+	d := prof.Device
 	maxW := int(d.SharedMemPerSM / smBytes)
 	if maxW < 1 {
 		return nil, fmt.Errorf("%w: need %d bytes, have %d", ErrInfeasible, smBytes, d.SharedMemPerSM)
 	}
-
-	// t_i in cycles and candidate S values: Tcomp only changes at distinct
-	// firing rates; warp multiples additionally help Tdb.
-	type nodeCost struct {
-		cycles float64 // t_i = f_i * perFiring
-		f      int64
-	}
-	costs := make([]nodeCost, 0, s.Sub.NumNodes())
-	candS := map[int]bool{1: true}
-	for _, n := range s.Sub.Nodes {
-		f := s.Sub.Rep(n.ID)
-		parent := s.NodeOf[n.ID]
-		costs = append(costs, nodeCost{
-			cycles: float64(f) * prof.PerFiringCycles[parent],
-			f:      f,
-		})
-		if f < int64(d.MaxThreadsPerBlock) {
-			candS[int(f)] = true
-		} else {
-			candS[d.MaxThreadsPerBlock-d.WarpSize] = true
-		}
-	}
-	for s := d.WarpSize; s <= d.MaxThreadsPerBlock/2; s *= 2 {
-		candS[s] = true
-	}
-	sVals := make([]int, 0, len(candS))
-	for v := range candS {
-		if v >= 1 && v < d.MaxThreadsPerBlock {
-			sVals = append(sVals, v)
-		}
-	}
-	sort.Ints(sVals)
-
 	tcomp := func(S int) float64 {
 		var c float64
 		for _, nc := range costs {
@@ -310,6 +405,55 @@ func EstimateSubgraph(s *sdf.Subgraph, prof *Profile) (*Estimate, error) {
 	}
 	best.LaunchUS = d.KernelLaunchUS
 	return &best, nil
+}
+
+// estimateView scores the induced subgraph a view describes, reusing the
+// scratch buffers. Member order equals the extracted subgraph's node order
+// (both ascend by parent id), so the cost summation — and with it every
+// float of the model — matches EstimateSubgraph on the extracted form.
+func estimateView(v *sdf.SubView, prof *Profile, sc *estScratch) (*Estimate, error) {
+	d := prof.Device
+	smBytes, err := smreq.PeakBytesView(v)
+	if err != nil {
+		return nil, err
+	}
+	dBytes := v.IOBytesPerIteration()
+
+	costs := sc.costs[:0]
+	sVals := sc.sVals[:0]
+	for i, pid := range v.Members() {
+		f := v.RepAt(i)
+		costs = append(costs, nodeCost{cycles: float64(f) * prof.PerFiringCycles[pid], f: f})
+		sVals = appendCandidates(sVals, f, d)
+	}
+	sVals = finishCandidates(sVals, d)
+	sc.costs, sc.sVals = costs, sVals
+	return sweep(prof, costs, sVals, smBytes, dBytes)
+}
+
+// EstimateSubgraph runs parameter selection and the performance model for
+// one materialized subgraph. The engine's memoized path scores views
+// instead (same numbers, no extraction); this entry point remains for
+// callers that already hold a Subgraph.
+func EstimateSubgraph(s *sdf.Subgraph, prof *Profile) (*Estimate, error) {
+	d := prof.Device
+	lay, err := smreq.Analyze(s)
+	if err != nil {
+		return nil, err
+	}
+	smBytes := lay.PeakBytes
+	dBytes := s.IOBytesPerIteration()
+
+	costs := make([]nodeCost, 0, s.Sub.NumNodes())
+	var sVals []int
+	for _, n := range s.Sub.Nodes {
+		f := s.Sub.Rep(n.ID)
+		parent := s.NodeOf[n.ID]
+		costs = append(costs, nodeCost{cycles: float64(f) * prof.PerFiringCycles[parent], f: f})
+		sVals = appendCandidates(sVals, f, d)
+	}
+	sVals = finishCandidates(sVals, d)
+	return sweep(prof, costs, sVals, smBytes, dBytes)
 }
 
 // Sample is one calibration observation: a kernel run with known parameters

@@ -134,9 +134,12 @@ func TestEngineMemoizes(t *testing.T) {
 	if _, err := e.EstimateSet(set.Clone()); err != nil {
 		t.Fatal(err)
 	}
-	q, m := e.Stats()
-	if q != 2 || m != 1 {
-		t.Errorf("queries=%d misses=%d, want 2/1", q, m)
+	st := e.Stats()
+	if st.Queries != 2 || st.Misses != 1 {
+		t.Errorf("queries=%d misses=%d, want 2/1", st.Queries, st.Misses)
+	}
+	if st.Hits() != 1 || st.HitRate() != 0.5 {
+		t.Errorf("hits=%d hitRate=%v, want 1/0.5", st.Hits(), st.HitRate())
 	}
 }
 

@@ -2,7 +2,6 @@ package sdf
 
 import (
 	"fmt"
-	"sort"
 )
 
 // NodeID identifies a node within its Graph; IDs are dense 0..len(Nodes)-1.
@@ -62,6 +61,8 @@ type Graph struct {
 	Edges []*Edge
 
 	rep []int64 // repetition vector; nil until Steady succeeds
+
+	adjCache adjPointer // lazily built CSR adjacency index (csr.go)
 }
 
 // NumNodes returns the node count.
@@ -136,57 +137,20 @@ func (g *Graph) PortTokens(ref PortRef, input bool) int64 {
 }
 
 // InEdges returns the ids of edges entering node id (unconnected ports
-// skipped).
-func (g *Graph) InEdges(id NodeID) []EdgeID {
-	var es []EdgeID
-	for _, e := range g.Nodes[id].in {
-		if e != -1 {
-			es = append(es, e)
-		}
-	}
-	return es
-}
+// skipped). The slice aliases the graph's CSR index; callers must not write
+// to it (appends are safe: the slice is capacity-clamped).
+func (g *Graph) InEdges(id NodeID) []EdgeID { return g.adj().inEdgesOf(id) }
 
-// OutEdges returns the ids of edges leaving node id.
-func (g *Graph) OutEdges(id NodeID) []EdgeID {
-	var es []EdgeID
-	for _, e := range g.Nodes[id].out {
-		if e != -1 {
-			es = append(es, e)
-		}
-	}
-	return es
-}
+// OutEdges returns the ids of edges leaving node id. Aliasing as InEdges.
+func (g *Graph) OutEdges(id NodeID) []EdgeID { return g.adj().outEdgesOf(id) }
 
-// Succ returns the distinct successor node ids of id, ascending.
-func (g *Graph) Succ(id NodeID) []NodeID { return g.neighbors(id, true) }
+// Succ returns the distinct successor node ids of id, ascending. The slice
+// aliases the graph's CSR index; callers must not write to it.
+func (g *Graph) Succ(id NodeID) []NodeID { return g.adj().succOf(id) }
 
-// Pred returns the distinct predecessor node ids of id, ascending.
-func (g *Graph) Pred(id NodeID) []NodeID { return g.neighbors(id, false) }
-
-func (g *Graph) neighbors(id NodeID, forward bool) []NodeID {
-	seen := map[NodeID]bool{}
-	var out []NodeID
-	var edges []EdgeID
-	if forward {
-		edges = g.OutEdges(id)
-	} else {
-		edges = g.InEdges(id)
-	}
-	for _, eid := range edges {
-		e := g.Edges[eid]
-		other := e.Dst
-		if !forward {
-			other = e.Src
-		}
-		if !seen[other] {
-			seen[other] = true
-			out = append(out, other)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+// Pred returns the distinct predecessor node ids of id, ascending. Aliasing
+// as Succ.
+func (g *Graph) Pred(id NodeID) []NodeID { return g.adj().predOf(id) }
 
 // TopoOrder returns a topological ordering of all nodes, treating edges that
 // carry enough initial tokens for a full steady-state iteration as absent

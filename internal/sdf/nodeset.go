@@ -1,6 +1,7 @@
 package sdf
 
 import (
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -42,16 +43,7 @@ func (s NodeSet) Has(id NodeID) bool {
 func (s NodeSet) Len() int {
 	c := 0
 	for _, w := range s.words {
-		c += popcount(w)
-	}
-	return c
-}
-
-func popcount(w uint64) int {
-	c := 0
-	for w != 0 {
-		w &= w - 1
-		c++
+		c += bits.OnesCount64(w)
 	}
 	return c
 }
@@ -60,6 +52,16 @@ func popcount(w uint64) int {
 func (s NodeSet) Clone() NodeSet {
 	return NodeSet{words: append([]uint64(nil), s.words...), n: s.n}
 }
+
+// Reset empties the set in place.
+func (s NodeSet) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// CopyFrom overwrites s with the contents of t (same capacity assumed).
+func (s NodeSet) CopyFrom(t NodeSet) { copy(s.words, t.words) }
 
 // UnionWith adds all members of t (same capacity assumed).
 func (s NodeSet) UnionWith(t NodeSet) {
@@ -98,25 +100,51 @@ func (s NodeSet) Equal(t NodeSet) bool {
 	return true
 }
 
-// Members returns the member ids in ascending order.
-func (s NodeSet) Members() []NodeID {
-	var out []NodeID
+// Hash returns a 64-bit identity of the set's contents: a splitmix64-style
+// mix of every word plus the capacity. Equal sets hash equally; distinct
+// sets collide only with ordinary 64-bit-hash probability, so callers using
+// it as a map key must keep a word-compare fallback (see pee's memo).
+func (s NodeSet) Hash() uint64 {
+	h := uint64(s.n)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+	for _, w := range s.words {
+		h ^= w
+		h ^= h >> 30
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+		h *= 0x94D049BB133111EB
+		h ^= h >> 31
+	}
+	return h
+}
+
+// ForEach calls fn for each member in ascending order.
+func (s NodeSet) ForEach(fn func(NodeID)) {
 	for i, w := range s.words {
 		for w != 0 {
-			b := w & (-w)
-			bit := 0
-			for b != 1 {
-				b >>= 1
-				bit++
-			}
-			out = append(out, NodeID(i*64+bit))
+			fn(NodeID(i*64 + bits.TrailingZeros64(w)))
 			w &= w - 1
 		}
 	}
-	return out
 }
 
-// Key returns a canonical string key (for memoization maps).
+// AppendMembers appends the member ids in ascending order to dst and returns
+// the extended slice (allocation-free when dst has capacity).
+func (s NodeSet) AppendMembers(dst []NodeID) []NodeID {
+	for i, w := range s.words {
+		for w != 0 {
+			dst = append(dst, NodeID(i*64+bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Members returns the member ids in ascending order.
+func (s NodeSet) Members() []NodeID { return s.AppendMembers(nil) }
+
+// Key returns a canonical string key (for memoization maps). The scoring hot
+// path keys on Hash instead; Key survives as the collision-free reference
+// identity used by differential tests.
 func (s NodeSet) Key() string {
 	var b strings.Builder
 	for _, w := range s.words {
@@ -172,77 +200,104 @@ func (g *Graph) IsConnected(set NodeSet) bool {
 	if len(ms) <= 1 {
 		return len(ms) == 1
 	}
+	adj := g.adj()
 	seen := NewNodeSet(len(g.Nodes))
 	stack := []NodeID{ms[0]}
 	seen.Add(ms[0])
 	count := 1
+	visit := func(v NodeID) {
+		if set.Has(v) && !seen.Has(v) {
+			seen.Add(v)
+			count++
+			stack = append(stack, v)
+		}
+	}
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, v := range append(g.Succ(u), g.Pred(u)...) {
-			if set.Has(v) && !seen.Has(v) {
-				seen.Add(v)
-				count++
+		for _, v := range adj.succOf(u) {
+			visit(v)
+		}
+		for _, v := range adj.predOf(u) {
+			visit(v)
+		}
+	}
+	return count == len(ms)
+}
+
+// ConvexChecker answers IsConvex queries against one graph while reusing its
+// traversal buffers, so repeated checks (the partitioner's Try-Merge scan)
+// allocate nothing. Not safe for concurrent use; pool one per goroutine.
+type ConvexChecker struct {
+	g              *Graph
+	fromSet, toSet NodeSet
+	stack          []NodeID
+}
+
+// NewConvexChecker returns a reusable checker for g.
+func (g *Graph) NewConvexChecker() *ConvexChecker {
+	n := len(g.Nodes)
+	return &ConvexChecker{g: g, fromSet: NewNodeSet(n), toSet: NewNodeSet(n)}
+}
+
+// IsConvex reports whether set is convex in c's graph; see Graph.IsConvex.
+func (c *ConvexChecker) IsConvex(set NodeSet) bool {
+	// An external node x violates convexity iff x is reachable from the set
+	// and the set is reachable from x. Compute "reachable from set" forward
+	// and "reaches set" backward over external nodes only at the boundary.
+	adj := c.g.adj()
+	c.fromSet.Reset() // external nodes reachable from some member
+	c.toSet.Reset()   // external nodes that reach some member
+	stack := c.stack[:0]
+	set.ForEach(func(m NodeID) {
+		for _, v := range adj.succOf(m) {
+			if !set.Has(v) && !c.fromSet.Has(v) {
+				c.fromSet.Add(v)
+				stack = append(stack, v)
+			}
+		}
+	})
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj.succOf(u) {
+			if set.Has(v) {
+				continue // re-entry is detected via toSet below
+			}
+			if !c.fromSet.Has(v) {
+				c.fromSet.Add(v)
 				stack = append(stack, v)
 			}
 		}
 	}
-	return count == len(ms)
+	set.ForEach(func(m NodeID) {
+		for _, v := range adj.predOf(m) {
+			if !set.Has(v) && !c.toSet.Has(v) {
+				c.toSet.Add(v)
+				stack = append(stack, v)
+			}
+		}
+	})
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj.predOf(u) {
+			if set.Has(v) {
+				continue
+			}
+			if !c.toSet.Has(v) {
+				c.toSet.Add(v)
+				stack = append(stack, v)
+			}
+		}
+	}
+	c.stack = stack[:0]
+	return !c.fromSet.Intersects(c.toSet)
 }
 
 // IsConvex reports whether set is convex in g: no path between two members
 // passes through a non-member (the partition validity condition of the
 // paper, footnote to Algorithm 1).
 func (g *Graph) IsConvex(set NodeSet) bool {
-	// An external node x violates convexity iff x is reachable from the set
-	// and the set is reachable from x. Compute "reachable from set" forward
-	// and "reaches set" backward over external nodes only at the boundary.
-	n := len(g.Nodes)
-	fromSet := NewNodeSet(n) // external nodes reachable from some member
-	var stack []NodeID
-	for _, m := range set.Members() {
-		for _, v := range g.Succ(m) {
-			if !set.Has(v) && !fromSet.Has(v) {
-				fromSet.Add(v)
-				stack = append(stack, v)
-			}
-		}
-	}
-	for len(stack) > 0 {
-		u := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, v := range g.Succ(u) {
-			if set.Has(v) {
-				continue // re-entry is detected via toSet below
-			}
-			if !fromSet.Has(v) {
-				fromSet.Add(v)
-				stack = append(stack, v)
-			}
-		}
-	}
-	toSet := NewNodeSet(n) // external nodes that reach some member
-	stack = stack[:0]
-	for _, m := range set.Members() {
-		for _, v := range g.Pred(m) {
-			if !set.Has(v) && !toSet.Has(v) {
-				toSet.Add(v)
-				stack = append(stack, v)
-			}
-		}
-	}
-	for len(stack) > 0 {
-		u := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, v := range g.Pred(u) {
-			if set.Has(v) {
-				continue
-			}
-			if !toSet.Has(v) {
-				toSet.Add(v)
-				stack = append(stack, v)
-			}
-		}
-	}
-	return !fromSet.Intersects(toSet)
+	return g.NewConvexChecker().IsConvex(set)
 }

@@ -196,3 +196,99 @@ func TestChainWindowsConvexQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestNodeSetInPlaceOps(t *testing.T) {
+	a := NewNodeSet(150)
+	a.Add(3)
+	a.Add(77)
+	a.Add(149)
+	b := NewNodeSet(150)
+	b.CopyFrom(a)
+	if !b.Equal(a) {
+		t.Fatalf("CopyFrom: %v != %v", b, a)
+	}
+	b.Add(10)
+	if a.Has(10) {
+		t.Fatal("CopyFrom aliases source")
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Reset left %d members", b.Len())
+	}
+	got := a.AppendMembers(nil)
+	want := []NodeID{3, 77, 149}
+	if len(got) != len(want) {
+		t.Fatalf("AppendMembers = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendMembers[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	var walked []NodeID
+	a.ForEach(func(id NodeID) { walked = append(walked, id) })
+	if len(walked) != 3 || walked[0] != 3 || walked[2] != 149 {
+		t.Fatalf("ForEach order = %v", walked)
+	}
+	// AppendMembers into a prefilled slice keeps the prefix.
+	pre := a.AppendMembers([]NodeID{42})
+	if pre[0] != 42 || len(pre) != 4 {
+		t.Fatalf("AppendMembers with prefix = %v", pre)
+	}
+}
+
+func TestNodeSetHash(t *testing.T) {
+	a := NewNodeSet(200)
+	b := NewNodeSet(200)
+	for _, id := range []NodeID{0, 64, 128, 199} {
+		a.Add(id)
+		b.Add(id)
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal sets hash differently")
+	}
+	b.Remove(64)
+	if a.Hash() == b.Hash() {
+		t.Fatal("distinct sets share a hash (astronomically unlikely)")
+	}
+	// Hash must cover capacity too: {} over n=64 vs n=128 are different sets.
+	if NewNodeSet(64).Hash() == NewNodeSet(128).Hash() {
+		t.Fatal("empty sets of different capacity share a hash")
+	}
+	// Sanity: distinct singletons spread over many buckets.
+	buckets := map[uint64]bool{}
+	for i := 0; i < 200; i++ {
+		buckets[SingletonSet(200, NodeID(i)).Hash()%64] = true
+	}
+	if len(buckets) < 32 {
+		t.Fatalf("singleton hashes hit only %d of 64 buckets", len(buckets))
+	}
+}
+
+func BenchmarkNodeSetLen(b *testing.B) {
+	s := NewNodeSet(1024)
+	for i := 0; i < 1024; i += 3 {
+		s.Add(NodeID(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += s.Len()
+	}
+	_ = total
+}
+
+func BenchmarkNodeSetHash(b *testing.B) {
+	s := NewNodeSet(1024)
+	for i := 0; i < 1024; i += 7 {
+		s.Add(NodeID(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var h uint64
+	for i := 0; i < b.N; i++ {
+		h ^= s.Hash()
+	}
+	_ = h
+}

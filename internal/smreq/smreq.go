@@ -117,6 +117,64 @@ func AnalyzeShared(s *sdf.Subgraph) (*Layout, error) {
 	return lay, nil
 }
 
+// PeakBytesView computes Analyze(...).PeakBytes for the induced subgraph a
+// SubView describes, without extracting it: the static allocation's SM
+// requirement is the plain sum of all buffer sizes, so no schedule positions
+// or offsets are needed — only the cycle check Analyze performs via
+// TopoOrder. It allocates nothing and returns bit-identical bytes (and the
+// same error condition, with TopoOrder's message) as Analyze on the
+// materialized subgraph; the estimation engine's hot path runs on it.
+func PeakBytesView(v *sdf.SubView) (int64, error) {
+	if !v.Acyclic() {
+		// Mirrors Analyze's error for an unschedulable subgraph: TopoOrder's
+		// message over the extracted graph's name (parent name + set).
+		return 0, fmt.Errorf("smreq: sdf: graph %s%s has a cycle without sufficient initial tokens",
+			v.G.Name, v.Set.String())
+	}
+	g := v.G
+	var total int64
+	for i, pid := range v.Members() {
+		n := g.Nodes[pid]
+		f := n.Filter
+		rep := v.RepAt(i)
+		// Internal out-edges, attributed to their producer; primary outputs.
+		for p := range f.Outputs {
+			eid := n.Out(p)
+			if eid != -1 && v.Has(g.Edges[eid].Dst) {
+				e := g.Edges[eid]
+				var bytes int64
+				if !f.ZeroCopy {
+					// EdgeBytes on the sub: rep(src) * push, in bytes.
+					bytes = rep * int64(e.Push) * sdf.TokenBytes
+				}
+				if e.Peek > e.Pop || len(e.Initial) > 0 {
+					extra := int64(e.Peek-e.Pop) * sdf.TokenBytes
+					if int64(len(e.Initial))*sdf.TokenBytes > extra {
+						extra = int64(len(e.Initial)) * sdf.TokenBytes
+					}
+					bytes += extra
+				}
+				total += bytes
+			} else {
+				// Primary output: double buffered.
+				total += 2 * rep * int64(f.Outputs[p]) * sdf.TokenBytes
+			}
+		}
+		// Primary inputs: double buffered.
+		for p := range f.Inputs {
+			eid := n.In(p)
+			if eid == -1 || !v.Has(g.Edges[eid].Src) {
+				total += 2 * rep * int64(f.Inputs[p].Pop) * sdf.TokenBytes
+			}
+		}
+		// Persistent filter state.
+		if len(f.Init) > 0 {
+			total += int64(len(f.Init)) * sdf.TokenBytes
+		}
+	}
+	return total, nil
+}
+
 // analyzeLifetimes builds the buffer list with lifetimes against the
 // sequential schedule. The subgraph must be acyclic up to delay tokens.
 func analyzeLifetimes(s *sdf.Subgraph) (*Layout, error) {

@@ -260,3 +260,56 @@ func TestSharedNeverExceedsStatic(t *testing.T) {
 		t.Errorf("shared peak %d exceeds static %d", shared.PeakBytes, static.PeakBytes)
 	}
 }
+
+// TestPeakBytesViewMatchesAnalyze pins the view-based SM requirement (the
+// estimation engine's hot path) against Analyze on the extracted subgraph,
+// over every contiguous topological window of a few representative shapes.
+func TestPeakBytesViewMatchesAnalyze(t *testing.T) {
+	movSum := sdf.NewFilter("MovSum", 1, 1, 3, 3, func(w *sdf.Work) {
+		w.Out[0][0] = w.In[0][0] + w.In[0][1] + w.In[0][2]
+	})
+	up2 := sdf.NewFilter("Up2", 1, 2, 0, 1, func(w *sdf.Work) {
+		w.Out[0][0], w.Out[0][1] = w.In[0][0], w.In[0][0]
+	})
+	down2 := sdf.NewFilter("Down2", 2, 1, 0, 1, func(w *sdf.Work) { w.Out[0][0] = w.In[0][0] })
+	graphs := []struct {
+		name string
+		st   sdf.Stream
+	}{
+		{"pipe", sdf.Pipe("p", sdf.F(passthrough("a", 2)), sdf.F(passthrough("b", 2)), sdf.F(passthrough("c", 2)))},
+		{"rate", sdf.Pipe("p", sdf.F(up2), sdf.F(down2))},
+		{"sj", sdf.Pipe("p", sdf.F(passthrough("h", 1)),
+			sdf.SplitDupRR("sj", 1, []int{1, 1}, sdf.F(passthrough("x", 1)), sdf.F(passthrough("y", 1))))},
+		{"peek", sdf.Pipe("p", sdf.F(passthrough("h", 1)), sdf.WithDelay(sdf.F(movSum), []sdf.Token{1, 2}))},
+	}
+	for _, gc := range graphs {
+		g, err := sdf.Flatten(gc.name, gc.st)
+		if err != nil {
+			t.Fatalf("%s: %v", gc.name, err)
+		}
+		order, err := g.TopoOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v sdf.SubView
+		for start := range order {
+			set := sdf.NewNodeSet(g.NumNodes())
+			for size := 0; start+size < len(order); size++ {
+				set.Add(order[start+size])
+				sub, err := g.Extract(set)
+				if err != nil {
+					t.Fatalf("%s %v: %v", gc.name, set, err)
+				}
+				lay, layErr := Analyze(sub)
+				v.Fill(g, set)
+				peak, viewErr := PeakBytesView(&v)
+				if (layErr == nil) != (viewErr == nil) {
+					t.Fatalf("%s %v: Analyze err %v, view err %v", gc.name, set, layErr, viewErr)
+				}
+				if layErr == nil && peak != lay.PeakBytes {
+					t.Fatalf("%s %v: view peak %d, Analyze %d", gc.name, set, peak, lay.PeakBytes)
+				}
+			}
+		}
+	}
+}

@@ -97,4 +97,16 @@ func (t *Tree) finalize() {
 		t.links = append(t.links, down)
 		t.downLink[node] = down.ID
 	}
+	// Route tables over every endpoint pair (Host = index 0, then GPUs):
+	// routing is on the mapper's innermost loop, so it must be a lookup.
+	pairs := (len(t.gpuNode) + 1) * (len(t.gpuNode) + 1)
+	t.routes = make([][]int, pairs)
+	t.hostRoutes = make([][]int, pairs)
+	for src := Host; src < len(t.gpuNode); src++ {
+		for dst := Host; dst < len(t.gpuNode); dst++ {
+			r := t.computeRoute(src, dst)
+			t.routes[t.routeIdx(src, dst)] = r[:len(r):len(r)]
+			t.hostRoutes[t.routeIdx(src, dst)] = t.computeRouteViaHost(src, dst)
+		}
+	}
 }

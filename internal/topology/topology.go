@@ -58,8 +58,21 @@ type Tree struct {
 	upLink   []int    // tree node -> uplink id (-1 for root)
 	downLink []int    // tree node -> downlink id (-1 for root)
 
+	// routes and hostRoutes are the precomputed Route/RouteViaHost tables
+	// over all endpoint pairs (Host and every GPU), filled by finalize. The
+	// mapper's exact evaluator calls Route per PDG edge per candidate
+	// assignment, so routing must be a table lookup, not a tree walk.
+	routes     [][]int // (src+1)*(NumGPUs()+1) + (dst+1) -> link ids
+	hostRoutes [][]int // same index; the via-host staging of the pair
+
 	BandwidthGBs float64 // per-link per-direction bandwidth
 	LatencyUS    float64 // per-transfer initial latency
+}
+
+// routeIdx flattens an endpoint pair (each Host or a GPU index) into the
+// route-table index.
+func (t *Tree) routeIdx(src, dst int) int {
+	return (src+1)*(len(t.gpuNode)+1) + (dst + 1)
 }
 
 // Builder assembles a Tree.
@@ -265,8 +278,14 @@ func (t *Tree) DTList(l Link) []Pair {
 
 // Route returns the directed link ids on the path src -> dst (peer-to-peer
 // through the lowest common ancestor; either endpoint may be Host). An empty
-// route means src == dst.
+// route means src == dst. The slice is the tree's cached table entry
+// (capacity-clamped); callers must not write to it.
 func (t *Tree) Route(src, dst int) []int {
+	return t.routes[t.routeIdx(src, dst)]
+}
+
+// computeRoute derives one route table entry; see Route.
+func (t *Tree) computeRoute(src, dst int) []int {
 	if src == dst {
 		return nil
 	}
@@ -307,12 +326,19 @@ func (t *Tree) Route(src, dst int) []int {
 
 // RouteViaHost returns the links of a transfer staged through the host
 // (device-to-host then host-to-device), as the previous work [7] does for
-// every inter-GPU communication.
+// every inter-GPU communication. Cached like Route; do not write to the
+// returned slice.
 func (t *Tree) RouteViaHost(src, dst int) []int {
+	return t.hostRoutes[t.routeIdx(src, dst)]
+}
+
+func (t *Tree) computeRouteViaHost(src, dst int) []int {
 	if src == dst {
 		return nil
 	}
-	return append(t.Route(src, Host), t.Route(Host, dst)...)
+	up := t.computeRoute(src, Host)
+	down := t.computeRoute(Host, dst)
+	return append(up[:len(up):len(up)], down...)
 }
 
 // TransferUS returns the uncontended time for one transfer of `bytes` over a
