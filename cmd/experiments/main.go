@@ -1,29 +1,64 @@
 // Command experiments regenerates the paper's tables and figures on the
-// simulated platform.
+// simulated platform, and runs the serving load-test benchmark.
 //
 // Usage:
 //
 //	experiments [-exp all|fig4.1|fig4.2|fig4.3|fig4.4|table5.1|ablation|scaling] [-quick] [-fragments N]
+//	experiments -exp loadtest [-server-url URL] [-requests 200] [-rps 100]
+//	            [-fleet 16] [-mix hot|unique|mixed] [-seed S] [-verify]
 //
 // Full runs sweep every N of every application and can take several
 // minutes; -quick trims each sweep to three sizes.
+//
+// -exp loadtest replays a seeded synthetic compile workload against a
+// streammapd server (started in-process on a loopback port when
+// -server-url is empty) and reports throughput, latency percentiles and
+// the server's cache/coalescing deltas. It is excluded from -exp all: it
+// benchmarks the serving layer, not the paper.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"time"
 
 	"streammap/internal/experiments"
+	"streammap/internal/server"
+	"streammap/internal/server/client"
+	"streammap/internal/server/loadtest"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "which experiment: all, fig4.1, fig4.2, fig4.3, fig4.4, table5.1, ablation, scaling")
+	exp := flag.String("exp", "all", "which experiment: all, fig4.1, fig4.2, fig4.3, fig4.4, table5.1, ablation, scaling, loadtest")
 	quick := flag.Bool("quick", false, "trim N sweeps to three sizes per app")
 	fragments := flag.Int("fragments", 0, "override fragments per measurement")
 	budget := flag.Duration("ilp-budget", 0, "override ILP time budget per mapping solve")
+	serverURL := flag.String("server-url", "", "loadtest: target server (empty = start one in-process)")
+	requests := flag.Int("requests", 200, "loadtest: total requests")
+	rps := flag.Float64("rps", 100, "loadtest: target request rate (0 = unpaced)")
+	fleet := flag.Int("fleet", 16, "loadtest: concurrent client workers")
+	mix := flag.String("mix", "mixed", "loadtest: traffic mix (hot, unique, mixed)")
+	seed := flag.Uint64("seed", 1, "loadtest: workload seed")
+	verify := flag.Bool("verify", false, "loadtest: check served artifacts against local compiles")
 	flag.Parse()
+
+	if *exp == "loadtest" {
+		if err := runLoadtest(*serverURL, loadtest.Params{
+			Seed:     *seed,
+			Requests: *requests,
+			RPS:      *rps,
+			Fleet:    *fleet,
+			Mix:      loadtest.Mix(*mix),
+			Verify:   *verify,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Default()
 	if *quick {
@@ -69,4 +104,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// runLoadtest drives the load-test harness against url, or against an
+// in-process server on a loopback port when url is empty — the zero-setup
+// path for benchmarking the serving stack on one machine.
+func runLoadtest(url string, p loadtest.Params) error {
+	if url == "" {
+		ts := httptest.NewServer(server.New(server.Config{}).Handler())
+		defer ts.Close()
+		url = ts.URL
+		fmt.Printf("loadtest: started in-process server at %s\n", url)
+	}
+	res, err := loadtest.Run(context.Background(), client.New(url), p)
+	if err != nil {
+		return err
+	}
+	res.Fprint(os.Stdout)
+	if res.Errors > 0 {
+		return fmt.Errorf("%d requests failed with non-429 errors (first: %s)", res.Errors, res.FirstError)
+	}
+	if len(res.VerifyErrors) > 0 {
+		return fmt.Errorf("%d served artifacts differ from local compiles", len(res.VerifyErrors))
+	}
+	return nil
 }

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 
 	"streammap/internal/artifact"
 	"streammap/internal/core"
 	"streammap/internal/gpusim"
+	"streammap/internal/sdf"
+	"streammap/internal/server"
 )
 
 // emitArtifact encodes the compilation and writes it to path ("-" or empty
@@ -20,6 +23,22 @@ func emitArtifact(c *core.Compiled, path string) error {
 	if err != nil {
 		return err
 	}
+	if path == "" || path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// emitRequest writes the streammapd wire request for compiling g under
+// opts — the body to POST to /v1/compile — without compiling anything
+// locally.
+func emitRequest(g *sdf.Graph, opts core.Options, path string) error {
+	data, err := json.MarshalIndent(server.NewRequest(g, opts), "", " ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
 	if path == "" || path == "-" {
 		_, err = os.Stdout.Write(data)
 		return err

@@ -16,11 +16,18 @@
 //
 // -emit artifact serializes the compilation as a versioned, self-contained
 // artifact (to -artifact-out, default stdout); -exec decodes such a file
-// and executes it on the simulator without recompiling.
+// and executes it on the simulator without recompiling. -emit request
+// writes the streammapd wire request (graph spec + options) for the same
+// compilation without running it locally — POST it to /v1/compile and the
+// response is the artifact.
 //
-// -stats prints the estimation engine's memo counters (queries, hits,
+// -stats prints, as one JSON line matching the shape streammapd's /stats
+// endpoint serves, the estimation engine's memo counters (queries, hits,
 // misses, hit rate, hash collisions) and the per-stage wall-clock of the
 // compilation before the emitted output.
+//
+// To serve compile requests over HTTP instead of compiling one-shot, run
+// the streammapd daemon (cmd/streammapd).
 //
 // Synth mode compiles a seeded corpus of randomly generated stream graphs
 // on randomly generated PCIe topologies through the compile service; with
@@ -39,6 +46,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -59,8 +67,8 @@ func main() {
 	gpus := flag.Int("gpus", 4, "number of GPUs (PCIe tree per Figure 3.3)")
 	partitioner := flag.String("partitioner", "alg1", "alg1 (paper), prev ([7], SM-only) or single (SPSG)")
 	mapper := flag.String("mapper", "ilp", "ilp (communication-aware) or prev (workload-only, via host)")
-	emit := flag.String("emit", "report", "report, cuda, dot, run or artifact")
-	artifactOut := flag.String("artifact-out", "-", `output file for -emit artifact ("-" = stdout)`)
+	emit := flag.String("emit", "report", "report, cuda, dot, run, artifact or request (streammapd /v1/compile body)")
+	artifactOut := flag.String("artifact-out", "-", `output file for -emit artifact/request ("-" = stdout)`)
 	execFile := flag.String("exec", "", "execute a previously emitted artifact file (no compilation)")
 	fragments := flag.Int("fragments", 64, "fragments for -emit run and -exec")
 	device := flag.String("device", "m2090", "m2090 or c2070")
@@ -71,7 +79,13 @@ func main() {
 	synthFilters := flag.Int("synth-filters", 28, "max filters per generated graph in -synth mode")
 	synthGPUs := flag.Int("synth-gpus", 8, "max GPUs per generated topology in -synth mode")
 	synthCheck := flag.Bool("synth-check", false, "run the serial-vs-pipeline differential harness on every generated scenario")
-	stats := flag.Bool("stats", false, "print estimation-engine cache counters and per-stage timings after compiling")
+	stats := flag.Bool("stats", false, "print estimation-engine cache counters and per-stage timings as JSON after compiling (same shape as streammapd's /stats engine section)")
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "Usage of %s:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprintf(out, "\nTo serve compile requests over HTTP (admission control, request\ncoalescing, two-tier artifact cache), run the streammapd daemon:\n\n\tstreammapd -addr 127.0.0.1:8372 -cache-dir /var/cache/streammap\n")
+	}
 	flag.Parse()
 
 	if *execFile != "" {
@@ -143,19 +157,23 @@ func main() {
 		fail("unknown mapper %q", *mapper)
 	}
 
+	if *emit == "request" {
+		// A server request is the pre-compile half of an artifact; nothing
+		// runs locally.
+		if err := emitRequest(g, opts, *artifactOut); err != nil {
+			fail("request: %v", err)
+		}
+		return
+	}
+
 	c, err := core.Compile(g, opts)
 	if err != nil {
 		fail("compile: %v", err)
 	}
 
 	if *stats {
-		fmt.Printf("estimation engine: %s\n", c.Engine.Stats())
-		for _, s := range c.Stages {
-			if s.Info != "" {
-				fmt.Printf("stage %-9s %10.2fms  %s\n", s.Name, float64(s.Duration.Microseconds())/1e3, s.Info)
-			} else {
-				fmt.Printf("stage %-9s %10.2fms\n", s.Name, float64(s.Duration.Microseconds())/1e3)
-			}
+		if err := emitStats(c); err != nil {
+			fail("stats: %v", err)
 		}
 	}
 
@@ -193,6 +211,31 @@ func main() {
 	default:
 		fail("unknown emit mode %q", *emit)
 	}
+}
+
+// emitStats prints the compilation's counters as one machine-readable
+// JSON line: the estimation engine section in the exact shape streammapd's
+// /stats serves it (core.EngineStats), plus the per-stage wall-clock in
+// the artifact's Stage wire shape.
+func emitStats(c *core.Compiled) error {
+	type stage struct {
+		Name       string `json:"name"`
+		DurationNS int64  `json:"durationNS"`
+		Info       string `json:"info,omitempty"`
+	}
+	report := struct {
+		Engine core.EngineStats `json:"engine"`
+		Stages []stage          `json:"stages"`
+	}{Engine: core.EngineStatsOf(c.Engine.Stats())}
+	for _, s := range c.Stages {
+		report.Stages = append(report.Stages, stage{Name: s.Name, DurationNS: s.Duration.Nanoseconds(), Info: s.Info})
+	}
+	data, err := json.Marshal(report)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
 }
 
 func fail(format string, args ...interface{}) {

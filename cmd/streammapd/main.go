@@ -1,0 +1,113 @@
+// Command streammapd is the compile daemon: it serves the mapping
+// compiler over HTTP, fronting a two-tier (memory + disk) compile cache
+// with admission control and request coalescing.
+//
+// Usage:
+//
+//	streammapd [-addr 127.0.0.1:8372] [-cache-dir DIR] [-cache-entries N]
+//	           [-max-inflight N] [-max-queue N] [-timeout 60s]
+//	           [-compile-workers N] [-drain-timeout 15s] [-port-file FILE]
+//
+// Endpoints:
+//
+//	POST /v1/compile  graph spec + options -> versioned artifact encoding
+//	GET  /healthz     liveness (503 while draining)
+//	GET  /stats       cache/admission/latency counters as JSON
+//
+// -addr with port 0 binds an ephemeral port; the bound address is logged
+// and, with -port-file, written to a file (for scripts and CI). On
+// SIGTERM/SIGINT the daemon drains: /healthz flips to 503, new compiles
+// are refused, in-flight requests get -drain-timeout to finish.
+//
+// Example:
+//
+//	streammapd -addr 127.0.0.1:0 -cache-dir /var/cache/streammap -port-file /tmp/port &
+//	curl -fsS "http://$(cat /tmp/port)/healthz"
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streammap/internal/core"
+	"streammap/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8372", "listen address (port 0 = ephemeral)")
+	cacheDir := flag.String("cache-dir", "", "disk tier for compiled artifacts (empty = memory only)")
+	cacheEntries := flag.Int("cache-entries", 0, "in-memory result cache entries (default 256)")
+	maxInFlight := flag.Int("max-inflight", 0, "concurrent compiles (default GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "queued requests before 429 (default 4x max-inflight)")
+	timeout := flag.Duration("timeout", 0, "per-request compile deadline (default 60s)")
+	compileWorkers := flag.Int("compile-workers", 0, "worker pool per compilation (default GOMAXPROCS)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
+	portFile := flag.String("port-file", "", "write the bound host:port to this file once listening")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Service: core.ServiceConfig{
+			MaxEntries: *cacheEntries,
+			CacheDir:   *cacheDir,
+		},
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		RequestTimeout: *timeout,
+		CompileWorkers: *compileWorkers,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("streammapd: listen %s: %v", *addr, err)
+	}
+	bound := ln.Addr().String()
+	log.Printf("streammapd: listening on %s", bound)
+	if *portFile != "" {
+		// Write-then-rename so a polling script never reads a partial file.
+		tmp := *portFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(bound), 0o644); err != nil {
+			log.Fatalf("streammapd: port file: %v", err)
+		}
+		if err := os.Rename(tmp, *portFile); err != nil {
+			log.Fatalf("streammapd: port file: %v", err)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		log.Printf("streammapd: %v: draining (up to %s)", s, *drainTimeout)
+		srv.SetDraining(true)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("streammapd: drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		st := srv.Stats()
+		log.Printf("streammapd: drained cleanly after %d requests (%d compiles, %d cache hits, %d coalesced, %d rejected)",
+			st.Requests, st.Service.Misses, st.Service.Hits+st.Service.DiskHits, st.Coalesced, st.Rejected)
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("streammapd: serve: %v", err)
+		}
+	}
+	fmt.Println("streammapd: bye")
+}

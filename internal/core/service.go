@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"streammap/internal/driver"
+	"streammap/internal/pee"
 	"streammap/internal/sdf"
 )
 
@@ -39,15 +40,43 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 	return c
 }
 
-// ServiceStats is a snapshot of a service's counters.
+// ServiceStats is a snapshot of a service's counters. The JSON field names
+// are part of the serving wire format: internal/server's /stats endpoint
+// embeds this struct verbatim.
 type ServiceStats struct {
-	Hits       int64 // requests served from the in-memory tier (incl. join-in-flight)
-	Misses     int64 // requests that ran a full compilation
-	Evictions  int64 // LRU entries dropped by the MaxEntries bound
-	DiskHits   int64 // requests served from the disk tier without compiling
-	DiskWrites int64 // artifacts persisted to the disk tier
-	DiskErrors int64 // failed disk-tier writes (the tier is best-effort)
-	Entries    int   // entries currently in the in-memory tier
+	Hits       int64 `json:"hits"`       // requests served from the in-memory tier (incl. join-in-flight)
+	Misses     int64 `json:"misses"`     // requests that ran a full compilation
+	Evictions  int64 `json:"evictions"`  // LRU entries dropped by the MaxEntries bound
+	DiskHits   int64 `json:"diskHits"`   // requests served from the disk tier without compiling
+	DiskWrites int64 `json:"diskWrites"` // artifacts persisted to the disk tier
+	DiskErrors int64 `json:"diskErrors"` // failed disk-tier writes (the tier is best-effort)
+	Entries    int   `json:"entries"`    // entries currently in the in-memory tier
+
+	// Engine aggregates the estimation-engine memo counters over every
+	// compilation this service actually ran (cache and disk hits don't
+	// contribute — no pipeline pass ran for them).
+	Engine EngineStats `json:"engine"`
+}
+
+// EngineStats is the wire form of the estimation engine's memo counters —
+// the shape /stats serves and `streammap -stats` emits.
+type EngineStats struct {
+	Queries    int64   `json:"queries"`
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	HitRate    float64 `json:"hitRate"`
+	Collisions int64   `json:"collisions"`
+}
+
+// EngineStatsOf converts an engine snapshot to its wire form.
+func EngineStatsOf(s pee.Stats) EngineStats {
+	return EngineStats{
+		Queries:    s.Queries,
+		Hits:       s.Hits(),
+		Misses:     s.Misses,
+		HitRate:    s.HitRate(),
+		Collisions: s.Collisions,
+	}
 }
 
 // cacheKey identifies a compilation result: graph structure, device,
@@ -104,6 +133,10 @@ type Service struct {
 	cfg ServiceConfig
 	sem chan struct{}
 
+	// compileFn runs one compilation; driver.Compile in production, a seam
+	// for tests that need a compile to block or fail on cue.
+	compileFn func(ctx context.Context, g *sdf.Graph, opts Options) (*Compiled, error)
+
 	// steadyMu serializes lazy steady-state computation: concurrent first
 	// requests may share one *Graph, and Graph.Steady mutates it.
 	steadyMu sync.Mutex
@@ -118,6 +151,10 @@ type Service struct {
 	diskHits   atomic.Int64
 	diskWrites atomic.Int64
 	diskErrors atomic.Int64
+
+	engQueries    atomic.Int64
+	engMisses     atomic.Int64
+	engCollisions atomic.Int64
 }
 
 type lruItem struct {
@@ -129,10 +166,11 @@ type lruItem struct {
 func NewService(cfg ServiceConfig) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		lru:   list.New(),
-		byKey: map[cacheKey]*list.Element{},
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.MaxConcurrent),
+		compileFn: driver.Compile,
+		lru:       list.New(),
+		byKey:     map[cacheKey]*list.Element{},
 	}
 }
 
@@ -149,6 +187,11 @@ func (s *Service) Stats() ServiceStats {
 		DiskWrites: s.diskWrites.Load(),
 		DiskErrors: s.diskErrors.Load(),
 		Entries:    entries,
+		Engine: EngineStatsOf(pee.Stats{
+			Queries:    s.engQueries.Load(),
+			Misses:     s.engMisses.Load(),
+			Collisions: s.engCollisions.Load(),
+		}),
 	}
 }
 
@@ -206,9 +249,19 @@ func (s *Service) Compile(ctx context.Context, g *sdf.Graph, opts Options) (*Com
 			e.c = c
 		} else {
 			s.misses.Add(1)
-			e.c, e.err = driver.Compile(context.WithoutCancel(ctx), g, opts)
+			e.c, e.err = s.compileFn(context.WithoutCancel(ctx), g, opts)
 			if e.err == nil {
 				persist = e.c
+				// Fold this compilation's estimation-engine counters into the
+				// service-wide aggregate. Only fresh compiles contribute: a
+				// disk hit rehydrates with an untouched engine, and a memory
+				// hit re-serves a result already counted.
+				if e.c.Engine != nil {
+					es := e.c.Engine.Stats()
+					s.engQueries.Add(es.Queries)
+					s.engMisses.Add(es.Misses)
+					s.engCollisions.Add(es.Collisions)
+				}
 			}
 		}
 		<-s.sem

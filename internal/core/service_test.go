@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
 
 	"streammap/internal/apps"
 	"streammap/internal/mapping"
+	"streammap/internal/sdf"
 	"streammap/internal/topology"
 )
 
@@ -108,7 +110,8 @@ func TestServiceEviction(t *testing.T) {
 	if st.Entries != 2 || st.Evictions != 1 {
 		t.Errorf("stats %+v, want 2 entries / 1 eviction", st)
 	}
-	// The oldest (n=2) was evicted: recompiling it is a miss.
+	// The oldest (n=2) was evicted: recompiling it is a miss, and pushes
+	// the then-oldest entry out in turn — the counter is cumulative.
 	g, err := apps.BuildGraph(app, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -118,6 +121,95 @@ func TestServiceEviction(t *testing.T) {
 	}
 	if st = s.Stats(); st.Misses != 4 {
 		t.Errorf("misses %d, want 4 (evicted entry recompiled)", st.Misses)
+	}
+	if st.Evictions != 2 || st.Entries != 2 {
+		t.Errorf("stats %+v, want 2 cumulative evictions / 2 entries", st)
+	}
+}
+
+// TestServiceEngineStatsAggregate: fresh compilations fold their
+// estimation-engine memo counters into the service-wide aggregate; cache
+// hits re-serve already-counted results and must not inflate it.
+func TestServiceEngineStatsAggregate(t *testing.T) {
+	s := NewService(ServiceConfig{})
+	app, _ := apps.ByName("DES")
+	g, err := apps.BuildGraph(app, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Compile(context.Background(), g, serviceOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EngineStatsOf(c.Engine.Stats())
+	if want.Queries == 0 {
+		t.Fatal("compile ran no engine queries; the aggregate test is vacuous")
+	}
+	if got := s.Stats().Engine; got != want {
+		t.Errorf("engine aggregate %+v, want the single compile's %+v", got, want)
+	}
+	if _, err := s.Compile(context.Background(), g, serviceOpts(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Engine; got != want {
+		t.Errorf("engine aggregate %+v after a cache hit, want unchanged %+v", got, want)
+	}
+}
+
+// TestServiceCancelledWaiterReturnsPromptly: a caller whose context is
+// cancelled while it waits on another caller's in-flight compilation (the
+// singleflight leader) must return its context error immediately — it must
+// not block until the leader finishes.
+func TestServiceCancelledWaiterReturnsPromptly(t *testing.T) {
+	s := NewService(ServiceConfig{})
+	app, _ := apps.ByName("DES")
+	g, err := apps.BuildGraph(app, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	block := make(chan struct{})
+	real := s.compileFn
+	s.compileFn = func(ctx context.Context, g *sdf.Graph, opts Options) (*Compiled, error) {
+		close(started)
+		<-block
+		return real(ctx, g, opts)
+	}
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := s.Compile(context.Background(), g, serviceOpts(2))
+		leaderDone <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := s.Compile(ctx, g, serviceOpts(2))
+		waiterDone <- err
+	}()
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter blocked on the leader's compile")
+	}
+
+	close(block)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	// The abandoned waiter counted as a hit (it joined the entry) and the
+	// leader's result is cached and intact for the next caller.
+	if _, err := s.Compile(context.Background(), g, serviceOpts(2)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Misses != 1 || st.Hits != 2 {
+		t.Errorf("stats %+v, want 1 miss / 2 hits", st)
 	}
 }
 

@@ -3,6 +3,7 @@ package driver
 import (
 	"fmt"
 	"reflect"
+	"time"
 
 	"streammap/internal/artifact"
 	"streammap/internal/mapping"
@@ -10,6 +11,7 @@ import (
 	"streammap/internal/pdg"
 	"streammap/internal/pee"
 	"streammap/internal/sdf"
+	"streammap/internal/topology"
 )
 
 // Kind names are the stable wire spelling of the enum kinds; the integer
@@ -81,6 +83,47 @@ func ExportOptions(opts Options) artifact.Options {
 		ILPBudgetNS:   mo.TimeBudget.Nanoseconds(),
 		ForceILP:      mo.ForceILP,
 	}
+}
+
+// ImportOptions inverts ExportOptions: it rebuilds compile options from
+// their wire form, re-deriving the topology tree and parsing the kind
+// names. The result is normalized — ExportOptions(ImportOptions(w)) == w
+// for any w that ExportOptions produced. Workers is not on the wire (it
+// never changes the result); the zero value selects GOMAXPROCS, and
+// callers that want a different pool bound set it afterwards.
+func ImportOptions(w artifact.Options) (Options, error) {
+	if err := w.Device.Validate(); err != nil {
+		return Options{}, err
+	}
+	topo, err := topology.Import(w.Topo)
+	if err != nil {
+		return Options{}, err
+	}
+	part, err := ParsePartitionerKind(w.Partitioner)
+	if err != nil {
+		return Options{}, err
+	}
+	mapper, err := ParseMapperKind(w.Mapper)
+	if err != nil {
+		return Options{}, err
+	}
+	opts := Options{
+		Device:        w.Device,
+		Topo:          topo,
+		FragmentIters: w.FragmentIters,
+		Partitioner:   part,
+		Mapper:        mapper,
+		MapOptions: mapping.Options{
+			ILPMaxParts: w.ILPMaxParts,
+			TimeBudget:  time.Duration(w.ILPBudgetNS),
+			ForceILP:    w.ForceILP,
+		},
+	}
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return Options{}, err
+	}
+	return opts, nil
 }
 
 // Artifact exports the compilation as a versioned, self-contained,

@@ -2,6 +2,7 @@ package driver_test
 
 import (
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -49,6 +50,44 @@ func compileApp(t *testing.T, name string, n, gpus int) (*sdf.Graph, *driver.Com
 		t.Fatal(err)
 	}
 	return g, c
+}
+
+// TestImportOptionsRoundTrip: ImportOptions must invert ExportOptions
+// exactly — the server trusts this to rebuild a request's compile options
+// from the wire and still land on the same cache key.
+func TestImportOptionsRoundTrip(t *testing.T) {
+	cases := []driver.Options{
+		{},
+		{Topo: topology.PairedTree(4), FragmentIters: 128},
+		{
+			Topo:        topology.PairedTree(2),
+			Partitioner: driver.PrevWorkPart,
+			Mapper:      driver.PrevWorkMap,
+			MapOptions:  mapping.Options{ILPMaxParts: 8, ForceILP: true},
+		},
+	}
+	for i, opts := range cases {
+		wire := driver.ExportOptions(opts)
+		got, err := driver.ImportOptions(wire)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if back := driver.ExportOptions(got); !reflect.DeepEqual(back, wire) {
+			t.Errorf("case %d: re-export %+v != original wire %+v", i, back, wire)
+		}
+	}
+	for name, mutate := range map[string]func(*artifact.Options){
+		"partitioner": func(w *artifact.Options) { w.Partitioner = "nope" },
+		"mapper":      func(w *artifact.Options) { w.Mapper = "nope" },
+		"topology":    func(w *artifact.Options) { w.Topo = topology.Spec{} },
+		"device":      func(w *artifact.Options) { w.Device.NumSMs = -1 },
+	} {
+		w := driver.ExportOptions(driver.Options{})
+		mutate(&w)
+		if _, err := driver.ImportOptions(w); err == nil {
+			t.Errorf("corrupt %s accepted", name)
+		}
+	}
 }
 
 // TestArtifactRoundTripPaperApps is the golden round-trip contract over the

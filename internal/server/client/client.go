@@ -1,0 +1,157 @@
+// Package client is the Go client for the streammapd compile server. The
+// response body is the artifact encoding itself, so Compile returns a
+// fully validated *artifact.Artifact — the same object a local
+// Compiled.Artifact() produces.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"streammap/internal/artifact"
+	"streammap/internal/server"
+)
+
+// Throttled is the typed form of a 429 response: the server shed this
+// request under load and suggests retrying after RetryAfter.
+type Throttled struct {
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *Throttled) Error() string {
+	return fmt.Sprintf("server throttled the request (retry after %s): %s", e.RetryAfter, e.Message)
+}
+
+// IsThrottled reports whether err is a 429 from the server, returning the
+// backoff hint when it is.
+func IsThrottled(err error) (time.Duration, bool) {
+	var t *Throttled
+	if errors.As(err, &t) {
+		return t.RetryAfter, true
+	}
+	return 0, false
+}
+
+// StatusError is any other non-200 response.
+type StatusError struct {
+	Status  int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server answered %d: %s", e.Status, e.Message)
+}
+
+// Client talks to one compile server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8372".
+	BaseURL string
+	// HTTP is the transport (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+// New returns a client for the server at baseURL.
+func New(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Compile posts one compile request and decodes the artifact response.
+// A 429 returns *Throttled; other failures return *StatusError or a
+// transport error.
+func (c *Client) Compile(ctx context.Context, req server.CompileRequest) (*artifact.Artifact, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/compile", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return artifact.Decode(body)
+	case http.StatusTooManyRequests:
+		retry := time.Second
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retry = time.Duration(secs) * time.Second
+		}
+		return nil, &Throttled{RetryAfter: retry, Message: trim(body)}
+	default:
+		return nil, &StatusError{Status: resp.StatusCode, Message: trim(body)}
+	}
+}
+
+// Healthz reports whether the server answers /healthz with 200.
+func (c *Client) Healthz(ctx context.Context) error {
+	body, err := c.get(ctx, "/healthz")
+	if err != nil {
+		return err
+	}
+	_ = body
+	return nil
+}
+
+// Stats fetches the server's /stats counters.
+func (c *Client) Stats(ctx context.Context) (*server.Stats, error) {
+	body, err := c.get(ctx, "/stats")
+	if err != nil {
+		return nil, err
+	}
+	st := &server.Stats{}
+	if err := json.Unmarshal(body, st); err != nil {
+		return nil, fmt.Errorf("decoding /stats: %w", err)
+	}
+	return st, nil
+}
+
+func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &StatusError{Status: resp.StatusCode, Message: trim(body)}
+	}
+	return body, nil
+}
+
+func trim(b []byte) string {
+	const max = 300
+	s := string(bytes.TrimSpace(b))
+	if len(s) > max {
+		s = s[:max] + "..."
+	}
+	return s
+}

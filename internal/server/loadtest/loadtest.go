@@ -1,0 +1,330 @@
+// Package loadtest replays seeded synthetic compile traffic against a live
+// compile server and reports throughput, latency, cache effectiveness and
+// (optionally) artifact fidelity against local compilation. It is the
+// repo's first end-to-end "heavy traffic" benchmark: a fleet of client
+// workers, a target request rate, and scenario mixes that stress the
+// serving layers differently —
+//
+//   - hot: a small hot set of keys under heavy skew; exercises coalescing
+//     and the memory cache tier.
+//   - unique: every request a distinct graph; exercises admission control
+//     and raw pipeline throughput.
+//   - mixed: half hot-set draws, half one-shot graphs; the realistic blend
+//     (the generated pool also mixes device models, GPU counts,
+//     partitioners and mappers, so no two keys cost the same).
+package loadtest
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"streammap/internal/artifact"
+	"streammap/internal/driver"
+	"streammap/internal/sdf"
+	"streammap/internal/server"
+	"streammap/internal/server/client"
+	"streammap/internal/synth"
+)
+
+// Mix names a traffic pattern.
+type Mix string
+
+// Traffic mixes.
+const (
+	MixHot    Mix = "hot"
+	MixUnique Mix = "unique"
+	MixMixed  Mix = "mixed"
+)
+
+// Params configures one load-test run.
+type Params struct {
+	Seed     uint64
+	Requests int           // total requests (default 200)
+	RPS      float64       // target offered rate; 0 = as fast as the fleet allows
+	Fleet    int           // concurrent client workers (default 16)
+	Mix      Mix           // hot | unique | mixed (default mixed)
+	HotKeys  int           // hot-set size for hot/mixed (default 4)
+	Timeout  time.Duration // per-request deadline (default 30s)
+
+	// MaxFilters/MaxGPUs bound the generated scenarios (defaults 16 / 4):
+	// small enough that a laptop-class machine sustains hundreds of
+	// compiles, large enough to produce multi-partition mappings.
+	MaxFilters int
+	MaxGPUs    int
+
+	// Verify locally compiles every distinct scenario that was served and
+	// checks the served artifact is EquivalentArtifacts-identical. Costs
+	// one local compile per unique key.
+	Verify bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.Requests <= 0 {
+		p.Requests = 200
+	}
+	if p.Fleet <= 0 {
+		p.Fleet = 16
+	}
+	if p.Mix == "" {
+		p.Mix = MixMixed
+	}
+	if p.HotKeys <= 0 {
+		p.HotKeys = 4
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 30 * time.Second
+	}
+	if p.MaxFilters <= 0 {
+		p.MaxFilters = 16
+	}
+	if p.MaxGPUs <= 0 {
+		p.MaxGPUs = 4
+	}
+	return p
+}
+
+// Result is one run's report.
+type Result struct {
+	Params    Params
+	Sent      int
+	OK        int
+	Throttled int // 429s — shed load, not failures
+	Errors    int // transport errors and non-429 error statuses
+	Unique    int // distinct request keys in the offered sequence
+
+	Duration    time.Duration
+	AchievedRPS float64
+	P50MS       float64
+	P95MS       float64
+	P99MS       float64
+
+	// Before/After are the server's /stats snapshots around the run (nil
+	// when the endpoint was unreachable); their deltas attribute every
+	// request to a serving layer.
+	Before, After *server.Stats
+
+	// Verified counts unique served artifacts checked against local
+	// compilation; VerifyErrors lists the mismatches (empty when Verify is
+	// off or everything matched).
+	Verified     int
+	VerifyErrors []string
+
+	FirstError string // first non-429 failure, for diagnosis
+}
+
+// Run replays the configured traffic against cl's server and reports.
+func Run(ctx context.Context, cl *client.Client, p Params) (*Result, error) {
+	p = p.withDefaults()
+
+	// Scenario pool: hot traffic needs HotKeys scenarios, unique traffic
+	// needs one per request, mixed needs the hot set plus one per one-shot
+	// draw. The corpus params are derived once for the superset (a
+	// scenario's identity is invariant to the pool size, so mixes share
+	// their hot sets across runs); graphs are only built for the scenarios
+	// the offered sequence actually references.
+	poolSize := p.HotKeys + p.Requests
+	corpus, err := synth.Corpus(synth.CorpusParams{
+		Seed:       p.Seed,
+		Scenarios:  poolSize,
+		MaxFilters: p.MaxFilters,
+		MaxGPUs:    p.MaxGPUs,
+		Workers:    2,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The offered sequence: scenario index per request. The hot set is the
+	// pool's first HotKeys scenarios; one-shot draws walk the remainder.
+	// synth's pinned generator, re-seeded off the corpus seed so the
+	// request sequence is reproducible but independent of scenario draws.
+	rng := synth.NewRand(p.Seed ^ 0xA5A5A5A5A5A5A5A5)
+	seq := make([]int, p.Requests)
+	nextUnique := p.HotKeys
+	drawHot := func() int {
+		// Skewed hot set: the hottest key takes ~70% of the set's traffic.
+		if rng.Intn(100) < 70 {
+			return 0
+		}
+		return rng.Intn(p.HotKeys)
+	}
+	for i := range seq {
+		switch p.Mix {
+		case MixHot:
+			seq[i] = drawHot()
+		case MixUnique:
+			seq[i] = nextUnique
+			nextUnique++
+		default: // mixed
+			if rng.Intn(2) == 0 {
+				seq[i] = drawHot()
+			} else {
+				seq[i] = nextUnique
+				nextUnique++
+			}
+		}
+	}
+	reqs := map[int]server.CompileRequest{}
+	for _, i := range seq {
+		if _, ok := reqs[i]; ok {
+			continue
+		}
+		g, err := corpus[i].BuildGraph()
+		if err != nil {
+			return nil, fmt.Errorf("loadtest: scenario %d: %w", i, err)
+		}
+		reqs[i] = server.NewRequest(g, corpus[i].Opts)
+	}
+
+	res := &Result{Params: p, Unique: len(reqs)}
+	if st, err := cl.Stats(ctx); err == nil {
+		res.Before = st
+	}
+
+	// Fleet workers drain a paced feed. Pacing happens on the feed, not in
+	// the workers, so a slow response doesn't silently lower the offered
+	// rate of everyone else (open-loop, up to the fleet size).
+	feed := make(chan int)
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		served    = map[int]*artifact.Artifact{}
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < p.Fleet; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				rctx, cancel := context.WithTimeout(ctx, p.Timeout)
+				t0 := time.Now()
+				a, err := cl.Compile(rctx, reqs[i])
+				ms := float64(time.Since(t0).Microseconds()) / 1e3
+				cancel()
+				mu.Lock()
+				res.Sent++
+				switch {
+				case err == nil:
+					res.OK++
+					latencies = append(latencies, ms)
+					if _, ok := served[i]; !ok {
+						served[i] = a
+					}
+				default:
+					if _, ok := client.IsThrottled(err); ok {
+						res.Throttled++
+					} else {
+						res.Errors++
+						if res.FirstError == "" {
+							res.FirstError = err.Error()
+						}
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	var interval time.Duration
+	if p.RPS > 0 {
+		interval = time.Duration(float64(time.Second) / p.RPS)
+	}
+	tick := start
+feedLoop:
+	for _, i := range seq {
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			break feedLoop
+		}
+		if interval > 0 {
+			tick = tick.Add(interval)
+			if d := time.Until(tick); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					break feedLoop
+				}
+			}
+		}
+	}
+	close(feed)
+	wg.Wait()
+	res.Duration = time.Since(start)
+	if secs := res.Duration.Seconds(); secs > 0 {
+		res.AchievedRPS = float64(res.Sent) / secs
+	}
+	sort.Float64s(latencies)
+	if n := len(latencies); n > 0 {
+		rank := func(q float64) float64 { return latencies[int(q*float64(n-1)+0.5)] }
+		res.P50MS, res.P95MS, res.P99MS = rank(0.50), rank(0.95), rank(0.99)
+	}
+	if st, err := cl.Stats(ctx); err == nil {
+		res.After = st
+	}
+
+	if p.Verify {
+		res.Verified = len(served)
+		for i, a := range served {
+			local, err := localArtifact(ctx, reqs[i])
+			if err != nil {
+				res.VerifyErrors = append(res.VerifyErrors, fmt.Sprintf("scenario %d: local compile: %v", i, err))
+				continue
+			}
+			if err := driver.EquivalentArtifacts(local, a); err != nil {
+				res.VerifyErrors = append(res.VerifyErrors, fmt.Sprintf("scenario %d: served artifact differs: %v", i, err))
+			}
+		}
+		sort.Strings(res.VerifyErrors)
+	}
+	return res, nil
+}
+
+// localArtifact compiles a wire request locally — the fidelity reference
+// the served artifact must match bit for bit (Stages excepted).
+func localArtifact(ctx context.Context, req server.CompileRequest) (*artifact.Artifact, error) {
+	g, err := sdf.ImportGraph(req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := driver.ImportOptions(req.Options)
+	if err != nil {
+		return nil, err
+	}
+	opts.Workers = 2
+	c, err := driver.Compile(ctx, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.Artifact()
+}
+
+// Fprint renders the run report.
+func (r *Result) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "loadtest: mix=%s requests=%d fleet=%d target-rps=%.0f seed=%#x\n",
+		r.Params.Mix, r.Params.Requests, r.Params.Fleet, r.Params.RPS, r.Params.Seed)
+	fmt.Fprintf(w, "  sent %d in %.2fs (%.1f req/s): %d ok, %d throttled, %d errors, %d unique graphs\n",
+		r.Sent, r.Duration.Seconds(), r.AchievedRPS, r.OK, r.Throttled, r.Errors, r.Unique)
+	fmt.Fprintf(w, "  latency p50 %.2fms  p95 %.2fms  p99 %.2fms\n", r.P50MS, r.P95MS, r.P99MS)
+	if r.Before != nil && r.After != nil {
+		b, a := r.Before.Service, r.After.Service
+		fmt.Fprintf(w, "  server: +%d compiles, +%d memory hits, +%d disk hits, +%d coalesced, +%d rejected\n",
+			a.Misses-b.Misses, a.Hits-b.Hits, a.DiskHits-b.DiskHits,
+			r.After.Coalesced-r.Before.Coalesced, r.After.Rejected-r.Before.Rejected)
+		fmt.Fprintf(w, "  engine: %d queries at %.1f%% hit rate, %d collisions\n",
+			a.Engine.Queries, a.Engine.HitRate*100, a.Engine.Collisions)
+	}
+	if r.FirstError != "" {
+		fmt.Fprintf(w, "  first error: %s\n", r.FirstError)
+	}
+	for _, v := range r.VerifyErrors {
+		fmt.Fprintf(w, "  VERIFY FAIL: %s\n", v)
+	}
+	if r.Params.Verify && len(r.VerifyErrors) == 0 {
+		fmt.Fprintf(w, "  verify: all %d unique served artifacts identical to local compiles\n", r.Verified)
+	}
+}

@@ -1,0 +1,423 @@
+// Package server is the network face of the compiler: an HTTP/JSON API
+// over core.Service, shaped for heavy traffic rather than demos. A request
+// is a CompileRequest (graph spec + topology spec + normalized options);
+// a response is the versioned artifact encoding — the wire format IS the
+// artifact format, so a disk-cache hit is served without touching the
+// pipeline and a client round-trips through artifact.Decode.
+//
+// The request path is admission → coalesce → cache → pipeline:
+//
+//   - Admission control bounds the compiles in flight (MaxInFlight) and
+//     the queue behind them (MaxQueue); beyond that the server sheds load
+//     with 429 + Retry-After instead of collapsing.
+//   - Coalescing singleflights identical requests on the same key the
+//     cache uses, so a thundering herd of one graph costs one compile and
+//     one artifact encode.
+//   - core.Service then applies its two tiers (memory LRU, disk artifacts)
+//     before the pipeline runs.
+//
+// /healthz reports liveness (503 while draining); /stats serves the
+// Stats counters. See DESIGN.md S14.
+package server
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streammap/internal/core"
+	"streammap/internal/driver"
+	"streammap/internal/sdf"
+)
+
+// Config tunes a compile server.
+type Config struct {
+	// Service configures the underlying two-tier compile cache.
+	Service core.ServiceConfig
+	// MaxInFlight bounds requests holding a compile slot (default
+	// GOMAXPROCS). Coalesced joiners don't consume slots.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a slot; beyond it requests are
+	// rejected with 429 (default 4*MaxInFlight).
+	MaxQueue int
+	// RequestTimeout caps one request's wall-clock from admission to
+	// artifact (default 60s). Expiry answers 504; the underlying
+	// compilation still completes and populates the cache (core.Service
+	// detaches it), so a retry hits.
+	RequestTimeout time.Duration
+	// RetryAfter is the backoff hint sent with 429 (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes caps request bodies (default 32 MiB).
+	MaxBodyBytes int64
+	// CompileWorkers bounds each compilation's internal worker pools
+	// (Options.Workers, default GOMAXPROCS). Requests cannot set it: the
+	// server owns its parallelism budget.
+	CompileWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	return c
+}
+
+// flightCall is one in-flight compile+encode shared by every coalesced
+// request with the same key. The response triple is immutable once done
+// closes.
+type flightCall struct {
+	done        chan struct{}
+	status      int
+	contentType string
+	body        []byte
+}
+
+// Server serves compile requests over HTTP. Create with New, mount with
+// Handler, drain with SetDraining before shutdown.
+type Server struct {
+	cfg   Config
+	svc   *core.Service
+	start time.Time
+
+	slots chan struct{}
+
+	flightMu sync.Mutex
+	flight   map[string]*flightCall
+
+	// The encoded-response memo (see encodedResponse): artifact bytes by
+	// result identity, LRU-bounded to the service cache's entry count.
+	respMu    sync.Mutex
+	respLRU   *list.List // of *respItem, most recent at front
+	respByPtr map[*core.Compiled]*list.Element
+	respBound int
+
+	requests  atomic.Int64
+	inFlight  atomic.Int64
+	queued    atomic.Int64
+	coalesced atomic.Int64
+	rejected  atomic.Int64
+	errs      atomic.Int64
+	encodes   atomic.Int64
+	draining  atomic.Bool
+	lat       latencyRing
+}
+
+// respItem is one memoized response body.
+type respItem struct {
+	c    *core.Compiled
+	body []byte
+}
+
+// New returns a compile server over a fresh core.Service.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	respBound := cfg.Service.MaxEntries
+	if respBound <= 0 {
+		respBound = 256 // core.ServiceConfig's own default
+	}
+	return &Server{
+		cfg:       cfg,
+		svc:       core.NewService(cfg.Service),
+		start:     time.Now(),
+		slots:     make(chan struct{}, cfg.MaxInFlight),
+		flight:    map[string]*flightCall{},
+		respLRU:   list.New(),
+		respByPtr: map[*core.Compiled]*list.Element{},
+		respBound: respBound,
+	}
+}
+
+// Service exposes the underlying compile service (tests and embedders).
+func (s *Server) Service() *core.Service { return s.svc }
+
+// SetDraining flips the drain flag: while set, /healthz answers 503 so
+// load balancers stop routing here, and new compile requests are refused
+// with 503. In-flight requests are unaffected — pair with
+// http.Server.Shutdown, which already waits for them.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Handler returns the server's routes:
+//
+//	POST /v1/compile  CompileRequest -> encoded artifact
+//	GET  /healthz     liveness (503 while draining)
+//	GET  /stats       Stats counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		InFlight:      s.inFlight.Load(),
+		Queued:        s.queued.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Rejected:      s.rejected.Load(),
+		Errors:        s.errs.Load(),
+		Encodes:       s.encodes.Load(),
+		Latency:       s.lat.snapshot(),
+		Service:       s.svc.Stats(),
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	start := time.Now()
+	if s.draining.Load() {
+		s.errs.Add(1)
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
+
+	var req CompileRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	g, err := sdf.ImportGraph(req.Graph)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("importing graph: %w", err))
+		return
+	}
+	opts, err := driver.ImportOptions(req.Options)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("importing options: %w", err))
+		return
+	}
+	opts.Workers = s.cfg.CompileWorkers
+	key, err := requestKey(g.Fingerprint(), driver.ExportOptions(opts))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Coalesce before admission: joiners ride an existing flight without
+	// consuming a slot or queue space, so a thundering herd of one graph
+	// can never trip its own backpressure.
+	s.flightMu.Lock()
+	if call, ok := s.flight[key]; ok {
+		s.flightMu.Unlock()
+		s.coalesced.Add(1)
+		select {
+		case <-call.done:
+			s.finish(w, call, start)
+		case <-r.Context().Done():
+			// Client gone; nothing useful to write.
+		}
+		return
+	}
+	call := &flightCall{done: make(chan struct{})}
+	s.flight[key] = call
+	s.flightMu.Unlock()
+
+	// Leader: the flight must always be resolved and retired on every exit
+	// path — including a panic below (net/http recovers it): an unresolved
+	// flight would strand coalesced joiners forever, and a leaked slot
+	// would shrink MaxInFlight for the rest of the process's life.
+	resolve := func(status int, contentType string, body []byte) {
+		call.status, call.contentType, call.body = status, contentType, body
+		close(call.done)
+	}
+	defer func() {
+		s.flightMu.Lock()
+		delete(s.flight, key)
+		s.flightMu.Unlock()
+	}()
+	defer func() {
+		select {
+		case <-call.done:
+		default:
+			resolve(http.StatusInternalServerError, "text/plain; charset=utf-8",
+				[]byte("internal error: compile handler aborted\n"))
+		}
+	}()
+
+	release, ok := s.admit(r.Context())
+	if !ok {
+		if r.Context().Err() != nil {
+			// The leader's client vanished while queued — that's not
+			// backpressure. Joiners get a retryable 503, not a 429.
+			resolve(http.StatusServiceUnavailable, "text/plain; charset=utf-8",
+				[]byte("leading request cancelled while queued; retry\n"))
+		} else {
+			resolve(http.StatusTooManyRequests, "text/plain; charset=utf-8",
+				[]byte(fmt.Sprintf("compile queue full (%d in flight, %d queued)\n",
+					s.cfg.MaxInFlight, s.cfg.MaxQueue)))
+		}
+		s.finish(w, call, start)
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	status, contentType, payload := s.compile(ctx, g, opts)
+	resolve(status, contentType, payload)
+	s.finish(w, call, start)
+}
+
+// admit takes a compile slot, queueing up to MaxQueue requests behind the
+// MaxInFlight running ones. It returns ok=false when the queue is full or
+// the caller's context ends first; on ok the returned release must be
+// called exactly once.
+func (s *Server) admit(ctx context.Context) (release func(), ok bool) {
+	// The queued gauge counts waiters including those about to take a free
+	// slot, so the bound is approximate by design: admission must stay one
+	// atomic, not a lock around the semaphore.
+	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		return nil, false
+	}
+	select {
+	case s.slots <- struct{}{}:
+		s.queued.Add(-1)
+		s.inFlight.Add(1)
+		return func() {
+			s.inFlight.Add(-1)
+			<-s.slots
+		}, true
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		return nil, false
+	}
+}
+
+// compile runs one admitted compilation to its response triple.
+func (s *Server) compile(ctx context.Context, g *sdf.Graph, opts core.Options) (status int, contentType string, body []byte) {
+	c, err := s.svc.Compile(ctx, g, opts)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			// The leader's client vanished mid-compile; any coalesced
+			// joiners should retry (the detached compilation is still
+			// populating the cache), not report a server error.
+			status = http.StatusServiceUnavailable
+		}
+		return status, "text/plain; charset=utf-8", []byte(err.Error() + "\n")
+	}
+	body, err = s.encodedResponse(c)
+	if err != nil {
+		return http.StatusInternalServerError, "text/plain; charset=utf-8", []byte(err.Error() + "\n")
+	}
+	return http.StatusOK, "application/json", body
+}
+
+// encodedResponse returns the artifact encoding of a compilation,
+// memoizing by result identity: the service hands every caller with an
+// equal key the same immutable *Compiled, so its bytes (Stages provenance
+// included) can never go stale under this key, and a cache-hit request
+// costs a map lookup instead of a full artifact export + JSON marshal.
+// A recompile after LRU eviction yields a new pointer, hence fresh bytes.
+func (s *Server) encodedResponse(c *core.Compiled) ([]byte, error) {
+	s.respMu.Lock()
+	if el, ok := s.respByPtr[c]; ok {
+		s.respLRU.MoveToFront(el)
+		body := el.Value.(*respItem).body
+		s.respMu.Unlock()
+		return body, nil
+	}
+	s.respMu.Unlock()
+
+	s.encodes.Add(1)
+	a, err := c.Artifact()
+	if err != nil {
+		return nil, err
+	}
+	body, err := a.Encode()
+	if err != nil {
+		return nil, err
+	}
+
+	s.respMu.Lock()
+	if _, ok := s.respByPtr[c]; !ok {
+		s.respByPtr[c] = s.respLRU.PushFront(&respItem{c: c, body: body})
+		for s.respLRU.Len() > s.respBound {
+			back := s.respLRU.Back()
+			s.respLRU.Remove(back)
+			delete(s.respByPtr, back.Value.(*respItem).c)
+		}
+	}
+	s.respMu.Unlock()
+	return body, nil
+}
+
+// finish writes a resolved flight to one requester and records the
+// request's latency and error counters.
+func (s *Server) finish(w http.ResponseWriter, call *flightCall, start time.Time) {
+	switch {
+	case call.status == http.StatusTooManyRequests:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+	case call.status != http.StatusOK:
+		s.errs.Add(1)
+	}
+	w.Header().Set("Content-Type", call.contentType)
+	w.WriteHeader(call.status)
+	w.Write(call.body)
+	if call.status != http.StatusTooManyRequests {
+		s.lat.record(float64(time.Since(start).Microseconds()) / 1e3)
+	}
+}
+
+// fail answers a request that never reached a flight (malformed input).
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.errs.Add(1)
+	http.Error(w, err.Error(), status)
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}

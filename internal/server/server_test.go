@@ -1,0 +1,441 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streammap/internal/apps"
+	"streammap/internal/artifact"
+	"streammap/internal/core"
+	"streammap/internal/driver"
+	"streammap/internal/mapping"
+	"streammap/internal/sdf"
+	"streammap/internal/server"
+	"streammap/internal/server/client"
+	"streammap/internal/server/loadtest"
+	"streammap/internal/synth"
+	"streammap/internal/topology"
+)
+
+func startServer(t *testing.T, cfg server.Config) (*server.Server, *client.Client) {
+	t.Helper()
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, client.New(ts.URL)
+}
+
+func appGraph(t *testing.T, name string, n int) *sdf.Graph {
+	t.Helper()
+	app, ok := apps.ByName(name)
+	if !ok {
+		t.Fatalf("unknown app %s", name)
+	}
+	g, err := apps.BuildGraph(app, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testOpts(gpus int) driver.Options {
+	return driver.Options{
+		Topo:       topology.PairedTree(gpus),
+		MapOptions: mapping.Options{ILPMaxParts: 8},
+	}
+}
+
+// TestWireGoldenRoundTrip is the wire-format contract: an artifact that
+// travelled client -> server -> artifact.Decode must be identical (module
+// Stages provenance, which EquivalentArtifacts exempts) to a local
+// compile's artifact — over the paper apps and a handful of synthetic
+// scenarios, including its byte-level encoding of options, profile,
+// layouts and link loads.
+func TestWireGoldenRoundTrip(t *testing.T) {
+	_, cl := startServer(t, server.Config{})
+	ctx := context.Background()
+
+	type instance struct {
+		name string
+		g    *sdf.Graph
+		opts driver.Options
+	}
+	var cases []instance
+	for _, tc := range []struct {
+		name string
+		n    int
+		gpus int
+	}{
+		{"DES", 4, 2},
+		{"FMRadio", 4, 4},
+		{"FFT", 16, 2},
+		{"DCT", 6, 4},
+		{"MatMul2", 3, 2},
+		{"BitonicRec", 8, 4},
+	} {
+		cases = append(cases, instance{tc.name, appGraph(t, tc.name, tc.n), testOpts(tc.gpus)})
+	}
+	corpus, err := synth.Corpus(synth.CorpusParams{Seed: 0xD00D, Scenarios: 6, MaxFilters: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range corpus {
+		g, err := sc.BuildGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, instance{sc.Name, g, sc.Opts})
+	}
+
+	for _, tc := range cases {
+		served, err := cl.Compile(ctx, server.NewRequest(tc.g, tc.opts))
+		if err != nil {
+			t.Fatalf("%s: served compile: %v", tc.name, err)
+		}
+		c, err := driver.Compile(ctx, tc.g, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: local compile: %v", tc.name, err)
+		}
+		local, err := c.Artifact()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := driver.EquivalentArtifacts(local, served); err != nil {
+			t.Errorf("%s: served artifact differs from local compile: %v", tc.name, err)
+		}
+	}
+}
+
+// TestServerCoalescesThunderingHerd: a burst of identical requests under a
+// tiny admission budget must all succeed — joiners ride the leader's
+// flight without consuming slots or queue space — and the pipeline must
+// run exactly once.
+func TestServerCoalescesThunderingHerd(t *testing.T) {
+	srv, cl := startServer(t, server.Config{MaxInFlight: 1, MaxQueue: 1})
+	g := appGraph(t, "DES", 8)
+	req := server.NewRequest(g, testOpts(2))
+
+	const N = 32
+	errs := make([]error, N)
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = cl.Compile(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("identical request %d failed: %v", i, err)
+		}
+	}
+	st := srv.Stats()
+	if st.Service.Misses != 1 {
+		t.Errorf("%d pipeline compiles ran for one graph, want 1", st.Service.Misses)
+	}
+	if st.Rejected != 0 {
+		t.Errorf("%d identical requests were throttled; the herd must coalesce, not trip backpressure", st.Rejected)
+	}
+	if st.Coalesced+st.Service.Hits != N-1 {
+		t.Errorf("coalesced %d + memory hits %d, want %d joiners accounted for", st.Coalesced, st.Service.Hits, N-1)
+	}
+}
+
+// TestServerShedsLoadWith429: distinct requests beyond MaxInFlight +
+// MaxQueue are rejected with 429 and a Retry-After hint rather than piling
+// up, and the survivors still compile correctly.
+func TestServerShedsLoadWith429(t *testing.T) {
+	srv, cl := startServer(t, server.Config{MaxInFlight: 1, MaxQueue: 1, RetryAfter: 3 * time.Second})
+	corpus, err := synth.Corpus(synth.CorpusParams{Seed: 7, Scenarios: 12, MaxFilters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]server.CompileRequest, len(corpus))
+	for i, sc := range corpus {
+		g, err := sc.BuildGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs[i] = server.NewRequest(g, sc.Opts)
+	}
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		ok        int
+		throttled int
+		retry     time.Duration
+	)
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := cl.Compile(context.Background(), reqs[i])
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil {
+				ok++
+				return
+			}
+			d, is := client.IsThrottled(err)
+			if !is {
+				t.Errorf("request %d: %v, want success or Throttled", i, err)
+				return
+			}
+			throttled++
+			retry = d
+		}(i)
+	}
+	wg.Wait()
+	if throttled == 0 {
+		t.Fatalf("no request was throttled (%d ok) with MaxInFlight=1 MaxQueue=1 and %d distinct concurrent requests", ok, len(reqs))
+	}
+	if ok == 0 {
+		t.Fatal("every request was throttled; admission must still serve the slot holder")
+	}
+	if retry != 3*time.Second {
+		t.Errorf("Retry-After hint %s, want the configured 3s", retry)
+	}
+	if st := srv.Stats(); st.Rejected != int64(throttled) {
+		t.Errorf("stats report %d rejected, clients saw %d", st.Rejected, throttled)
+	}
+}
+
+// TestServerDiskTierAcrossRestart: a second server sharing the first's
+// cache directory serves the artifact from disk — provenance-empty Stages,
+// one disk hit, zero pipeline compiles.
+func TestServerDiskTierAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	g := appGraph(t, "FFT", 16)
+	req := server.NewRequest(g, testOpts(2))
+
+	_, cl1 := startServer(t, server.Config{Service: core.ServiceConfig{CacheDir: dir}})
+	first, err := cl1.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Stages) == 0 {
+		t.Fatal("fresh compile served without stage provenance")
+	}
+
+	srv2, cl2 := startServer(t, server.Config{Service: core.ServiceConfig{CacheDir: dir}})
+	second, err := cl2.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second.Stages) != 0 {
+		t.Errorf("disk-served artifact carries %d stages; empty Stages is the no-pipeline provenance signal", len(second.Stages))
+	}
+	if err := driver.EquivalentArtifacts(first, second); err != nil {
+		t.Errorf("disk-served artifact differs: %v", err)
+	}
+	st := srv2.Stats()
+	if st.Service.DiskHits != 1 || st.Service.Misses != 0 {
+		t.Errorf("restarted server stats %+v, want 1 disk hit / 0 compiles", st.Service)
+	}
+}
+
+// TestServerRejectsBadRequests: malformed payloads answer 400 with a
+// diagnostic, not 500, and never reach the pipeline.
+func TestServerRejectsBadRequests(t *testing.T) {
+	srv, cl := startServer(t, server.Config{})
+	base := cl.BaseURL
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/compile", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp := post("{not json"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON answered %d, want 400", resp.StatusCode)
+	}
+	if resp := post(`{"graph":{"name":"empty"},"options":{}}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty graph answered %d, want 400", resp.StatusCode)
+	}
+	g := appGraph(t, "DES", 8)
+	req := server.NewRequest(g, testOpts(2))
+	req.Options.Mapper = "nope"
+	payload, _ := json.Marshal(req)
+	if resp := post(string(payload)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown mapper answered %d, want 400", resp.StatusCode)
+	}
+	if st := srv.Stats(); st.Service.Misses != 0 {
+		t.Errorf("a bad request reached the pipeline: %+v", st.Service)
+	}
+	// GET on a POST route is a routing error, not a server error.
+	resp, err := http.Get(base + "/v1/compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/compile answered %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServerHealthzAndDrain: /healthz flips 200 -> 503 when draining and
+// new compile requests are refused, which is how a load balancer is told
+// to stop routing here before shutdown.
+func TestServerHealthzAndDrain(t *testing.T) {
+	srv, cl := startServer(t, server.Config{})
+	if err := cl.Healthz(context.Background()); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	srv.SetDraining(true)
+	if err := cl.Healthz(context.Background()); err == nil {
+		t.Error("draining server still answers healthy")
+	}
+	g := appGraph(t, "DES", 8)
+	if _, err := cl.Compile(context.Background(), server.NewRequest(g, testOpts(2))); err == nil {
+		t.Error("draining server accepted a compile")
+	}
+	srv.SetDraining(false)
+	if err := cl.Healthz(context.Background()); err != nil {
+		t.Errorf("undrained server unhealthy: %v", err)
+	}
+}
+
+// TestServerStatsEndpoint: /stats decodes into server.Stats and its
+// counters account for the requests made.
+func TestServerStatsEndpoint(t *testing.T) {
+	_, cl := startServer(t, server.Config{})
+	g := appGraph(t, "DES", 8)
+	req := server.NewRequest(g, testOpts(2))
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Compile(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := cl.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 3 {
+		t.Errorf("requests %d, want 3", st.Requests)
+	}
+	if st.Service.Misses != 1 || st.Service.Hits+st.Coalesced != 2 {
+		t.Errorf("stats %+v, want 1 compile and 2 cached/coalesced serves", st)
+	}
+	if st.Encodes != 1 {
+		t.Errorf("%d artifact encodes for 3 identical requests, want 1 (hits must serve memoized bytes)", st.Encodes)
+	}
+	if st.Latency.Count == 0 || st.Latency.P50MS <= 0 {
+		t.Errorf("latency window empty after 3 requests: %+v", st.Latency)
+	}
+	if st.Service.Engine.Queries == 0 {
+		t.Errorf("engine aggregate empty after a fresh compile: %+v", st.Service.Engine)
+	}
+}
+
+// TestEndToEndLoadTest is the acceptance run: >= 200 requests of mixed
+// hot-key/unique traffic against a live server must complete with zero
+// non-429 errors, the pipeline must run at most once per unique graph
+// (coalesced and cached repeats never recompile — checked via /stats
+// deltas), and every served artifact must be EquivalentArtifacts-identical
+// to a local compile.
+func TestEndToEndLoadTest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short mode")
+	}
+	srv, cl := startServer(t, server.Config{
+		// Queue deep enough that pacing, not shedding, shapes the run; the
+		// shedding path has its own test above.
+		MaxQueue: 512,
+	})
+	res, err := loadtest.Run(context.Background(), cl, loadtest.Params{
+		Seed:       0xBEEF,
+		Requests:   220,
+		RPS:        0, // unpaced: the fleet offers as hard as it can
+		Fleet:      24,
+		Mix:        loadtest.MixMixed,
+		MaxFilters: 12,
+		Verify:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	res.Fprint(&out)
+	t.Logf("\n%s", out.String())
+
+	if res.Sent != 220 {
+		t.Errorf("sent %d requests, want 220", res.Sent)
+	}
+	if res.Errors > 0 {
+		t.Errorf("%d non-429 errors (first: %s), want 0", res.Errors, res.FirstError)
+	}
+	if res.OK+res.Throttled != res.Sent {
+		t.Errorf("accounting: %d ok + %d throttled != %d sent", res.OK, res.Throttled, res.Sent)
+	}
+	st := srv.Stats()
+	if st.Service.Misses > int64(res.Unique) {
+		t.Errorf("pipeline ran %d times for %d unique graphs: a coalesced or cached request recompiled",
+			st.Service.Misses, res.Unique)
+	}
+	if res.Verified == 0 {
+		t.Error("verification covered zero artifacts")
+	}
+	if len(res.VerifyErrors) > 0 {
+		t.Errorf("%d served artifacts differ from local compiles: %v", len(res.VerifyErrors), res.VerifyErrors[0])
+	}
+	if res.Throttled > 0 && st.Rejected == 0 {
+		t.Errorf("clients saw %d throttles but the server counted none", res.Throttled)
+	}
+}
+
+// TestRequestRoundTripsThroughJSON pins the request wire format: a request
+// marshalled and unmarshalled must import to the same fingerprint and the
+// same normalized options.
+func TestRequestRoundTripsThroughJSON(t *testing.T) {
+	g := appGraph(t, "FMRadio", 4)
+	req := server.NewRequest(g, testOpts(4))
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back server.CompileRequest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := sdf.ImportGraph(back.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Fingerprint() != g.Fingerprint() {
+		t.Errorf("fingerprint drifted through JSON: %016x != %016x", g2.Fingerprint(), g.Fingerprint())
+	}
+	opts, err := driver.ImportOptions(back.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire := driver.ExportOptions(opts); !jsonEqual(t, wire, req.Options) {
+		t.Errorf("options drifted through JSON: %+v != %+v", wire, req.Options)
+	}
+	_ = artifact.FormatVersion // the response format is pinned by TestWireGoldenRoundTrip
+}
+
+func jsonEqual(t *testing.T, a, b any) bool {
+	t.Helper()
+	ab, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Equal(ab, bb)
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"sort"
+	"sync"
+
+	"streammap/internal/core"
+)
+
+// LatencyStats summarizes recent request latencies (completed requests
+// only — rejected requests never enter the window).
+type LatencyStats struct {
+	// Count is the number of samples currently in the window (bounded by
+	// the ring size, not the request count).
+	Count int     `json:"count"`
+	P50MS float64 `json:"p50MS"`
+	P99MS float64 `json:"p99MS"`
+}
+
+// Stats is the /stats payload: the server's own admission/coalescing
+// counters and latency window on top of the compile service's two-tier
+// cache and estimation-engine aggregates.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Requests      int64   `json:"requests"`        // compile requests received
+	InFlight      int64   `json:"inFlight"`        // leaders holding a compile slot
+	Queued        int64   `json:"queued"`          // leaders waiting for a slot
+	Coalesced     int64   `json:"coalesced"`       // requests that joined another request's flight
+	Rejected      int64   `json:"rejected"`        // requests turned away with 429
+	Errors        int64   `json:"errors"`          // requests answered with a non-429 error status
+	Encodes       int64   `json:"artifactEncodes"` // artifact export+encode runs (hits serve memoized bytes)
+
+	Latency LatencyStats      `json:"latency"`
+	Service core.ServiceStats `json:"service"`
+}
+
+// latencyRing keeps the last ringSize request latencies for quantile
+// estimation. A fixed window is deliberate: a service that has been up for
+// a week should report current latency, not a week-long average.
+const ringSize = 2048
+
+type latencyRing struct {
+	mu   sync.Mutex
+	buf  [ringSize]float64 // milliseconds
+	n    int               // samples stored (caps at ringSize)
+	next int               // write cursor
+}
+
+func (r *latencyRing) record(ms float64) {
+	r.mu.Lock()
+	r.buf[r.next] = ms
+	r.next = (r.next + 1) % ringSize
+	if r.n < ringSize {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// snapshot computes the window's quantiles. p is in [0,1]; the estimator
+// is nearest-rank, which is exact for the small windows involved.
+func (r *latencyRing) snapshot() LatencyStats {
+	r.mu.Lock()
+	samples := append([]float64(nil), r.buf[:r.n]...)
+	r.mu.Unlock()
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sort.Float64s(samples)
+	rank := func(p float64) float64 {
+		i := int(p*float64(len(samples)-1) + 0.5)
+		return samples[i]
+	}
+	return LatencyStats{
+		Count: len(samples),
+		P50MS: rank(0.50),
+		P99MS: rank(0.99),
+	}
+}

@@ -1,0 +1,43 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"streammap/internal/artifact"
+	"streammap/internal/driver"
+	"streammap/internal/sdf"
+)
+
+// CompileRequest is the wire form of one compile call: the structural
+// graph spec plus the normalized compile options (which embed the
+// topology spec). Both halves reuse the artifact package's export forms,
+// so the request is exactly "the head of an artifact": what the response
+// artifact will claim to have been compiled from and under.
+type CompileRequest struct {
+	Graph   sdf.GraphSpec    `json:"graph"`
+	Options artifact.Options `json:"options"`
+}
+
+// NewRequest builds the wire request for compiling g under opts —
+// sdf.ExportGraph for the structure, driver.ExportOptions for the
+// normalized options. Workers never goes on the wire: the server owns its
+// own parallelism.
+func NewRequest(g *sdf.Graph, opts driver.Options) CompileRequest {
+	return CompileRequest{
+		Graph:   sdf.ExportGraph(g),
+		Options: driver.ExportOptions(opts),
+	}
+}
+
+// requestKey is the coalescing identity of a request: the graph
+// fingerprint plus the canonical (deterministically marshalled) wire form
+// of the normalized options — the same identity the core.Service cache
+// keys on, so requests that would share a cache entry share one flight.
+func requestKey(fingerprint uint64, w artifact.Options) (string, error) {
+	b, err := json.Marshal(w)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%016x|%s", fingerprint, b), nil
+}

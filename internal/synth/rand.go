@@ -58,3 +58,19 @@ func (r *rng) float64() float64 {
 func (r *rng) bool(p float64) bool {
 	return r.float64() < p
 }
+
+// Rand is the package's pinned generator in exported form, for harnesses
+// (the serving load tester) whose sequences must carry the same guarantee
+// as the corpora: one seed, one sequence, on every Go release and
+// platform. It intentionally shares the unexported implementation rather
+// than math/rand.
+type Rand struct{ r rng }
+
+// NewRand seeds an exported generator (seed 0 is remapped, as in newRNG).
+func NewRand(seed uint64) *Rand { return &Rand{r: *newRNG(seed)} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 { return r.r.next() }
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int { return r.r.intn(n) }
