@@ -1,0 +1,75 @@
+package streammap
+
+// Multilevel-path guardrails: BenchmarkCoarsen measures the structural
+// contraction pass alone on a 10^5-node synthetic graph, and
+// BenchmarkMultilevelCompile the full coarsen->partition->refine compile
+// (including PDG, mapping and plan) at 10^4 filters — the regime where the
+// exact Try-Merge flow has already left interactive latency.
+// bench_compile_baseline.json records a reference run.
+
+import (
+	"context"
+	"testing"
+
+	"streammap/internal/core"
+	"streammap/internal/gpu"
+	"streammap/internal/partition"
+	"streammap/internal/pee"
+	"streammap/internal/sdf"
+	"streammap/internal/synth"
+)
+
+func benchSynthGraph(b *testing.B, filters int) *sdf.Graph {
+	b.Helper()
+	g, err := synth.BuildGraph(synth.GraphParams{
+		Seed: uint64(filters)<<16 | 4, Filters: filters,
+		MaxRate: 8, MaxOps: 512, SkewWork: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := g.Steady(); err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkCoarsen(b *testing.B) {
+	g := benchSynthGraph(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := partition.BuildCoarsening(g, partition.CoarsenOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(c.Levels)), "levels")
+		b.ReportMetric(float64(c.Coarsest().NumUnits), "units")
+	}
+}
+
+func BenchmarkMultilevelPartition(b *testing.B) {
+	g := benchSynthGraph(b, 10000)
+	eng := pee.NewEngine(g, pee.ProfileGraph(g, gpu.M2090()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := partition.Multilevel(context.Background(), g, eng, partition.MLOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Parts)), "partitions")
+	}
+}
+
+func BenchmarkMultilevelCompile(b *testing.B) {
+	g := benchSynthGraph(b, 10000)
+	opts := benchCompileOptions(0)
+	opts.Partitioner = core.MultilevelPart
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := core.CompileCtx(context.Background(), g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(c.Parts.Parts)), "partitions")
+	}
+}

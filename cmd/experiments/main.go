@@ -36,6 +36,7 @@ func main() {
 	quick := flag.Bool("quick", false, "trim N sweeps to three sizes per app")
 	fragments := flag.Int("fragments", 0, "override fragments per measurement")
 	budget := flag.Duration("ilp-budget", 0, "override ILP time budget per mapping solve")
+	scaleMax := flag.Int("scale-max", 0, "scaling: largest filter count to sweep (default 100000; 1000000 needs a few GB)")
 	serverURL := flag.String("server-url", "", "loadtest: target server (empty = start one in-process)")
 	requests := flag.Int("requests", 200, "loadtest: total requests")
 	rps := flag.Float64("rps", 100, "loadtest: target request rate (0 = unpaced)")
@@ -69,6 +70,9 @@ func main() {
 	}
 	if *budget > 0 {
 		cfg.ILPBudget = *budget
+	}
+	if *scaleMax > 0 {
+		cfg.ScaleMax = *scaleMax
 	}
 
 	type runner struct {

@@ -51,6 +51,13 @@ type Options struct {
 	ILPMaxParts   int           `json:"ilpMaxParts"`
 	ILPBudgetNS   int64         `json:"ilpBudgetNS"`
 	ForceILP      bool          `json:"forceILP,omitempty"`
+
+	// MultilevelThreshold is the normalized node-count threshold at which
+	// Alg1 compiles switch to the multilevel path (-1 = never). Absent
+	// (zero) only in artifacts written before the field existed; those fail
+	// the options cross-check and recompile, which is correct — the switch
+	// changes the result for large graphs.
+	MultilevelThreshold int `json:"multilevelThreshold,omitempty"`
 }
 
 // Profile is the wire form of the per-filter profiling annotation.

@@ -24,6 +24,17 @@ const (
 	// SinglePart maps the whole graph as one kernel ([10], the SOSP
 	// baseline).
 	SinglePart = driver.SinglePart
+	// MultilevelPart forces the multilevel coarsen→partition→refine path.
+	MultilevelPart = driver.MultilevelPart
+)
+
+// Multilevel threshold sentinels (Options.MultilevelThreshold).
+const (
+	// DefaultMultilevelThreshold is the node count at which Alg1 compiles
+	// switch to the multilevel path.
+	DefaultMultilevelThreshold = driver.DefaultMultilevelThreshold
+	// MultilevelOff disables the size-based switch.
+	MultilevelOff = driver.MultilevelOff
 )
 
 // MapperKind selects the partition-to-GPU mapper.

@@ -92,6 +92,7 @@ type cacheKey struct {
 	ilpMax      int
 	ilpBudget   time.Duration
 	forceILP    bool
+	mlThreshold int
 }
 
 func keyOf(g *sdf.Graph, opts Options) cacheKey {
@@ -109,6 +110,7 @@ func keyOf(g *sdf.Graph, opts Options) cacheKey {
 		ilpMax:      opts.MapOptions.ILPMaxParts,
 		ilpBudget:   opts.MapOptions.TimeBudget,
 		forceILP:    opts.MapOptions.ForceILP,
+		mlThreshold: opts.MultilevelThreshold,
 	}
 }
 

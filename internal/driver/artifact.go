@@ -27,6 +27,8 @@ func (k PartitionerKind) String() string {
 		return "prev"
 	case SinglePart:
 		return "single"
+	case MultilevelPart:
+		return "multilevel"
 	}
 	return fmt.Sprintf("PartitionerKind(%d)", int(k))
 }
@@ -40,8 +42,10 @@ func ParsePartitionerKind(s string) (PartitionerKind, error) {
 		return PrevWorkPart, nil
 	case "single":
 		return SinglePart, nil
+	case "multilevel":
+		return MultilevelPart, nil
 	}
-	return 0, fmt.Errorf("driver: unknown partitioner %q (want alg1, prev or single)", s)
+	return 0, fmt.Errorf("driver: unknown partitioner %q (want alg1, prev, single or multilevel)", s)
 }
 
 // String returns the mapper's stable wire name.
@@ -82,6 +86,8 @@ func ExportOptions(opts Options) artifact.Options {
 		ILPMaxParts:   mo.ILPMaxParts,
 		ILPBudgetNS:   mo.TimeBudget.Nanoseconds(),
 		ForceILP:      mo.ForceILP,
+
+		MultilevelThreshold: opts.MultilevelThreshold,
 	}
 }
 
@@ -118,6 +124,7 @@ func ImportOptions(w artifact.Options) (Options, error) {
 			TimeBudget:  time.Duration(w.ILPBudgetNS),
 			ForceILP:    w.ForceILP,
 		},
+		MultilevelThreshold: w.MultilevelThreshold,
 	}
 	opts = opts.withDefaults()
 	if err := opts.Validate(); err != nil {

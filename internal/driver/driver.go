@@ -44,6 +44,21 @@ const (
 	// SinglePart maps the whole graph as one kernel ([10], the SOSP
 	// baseline).
 	SinglePart
+	// MultilevelPart forces the multilevel coarsen→partition→refine path
+	// regardless of graph size. With Alg1, the same path is auto-selected
+	// once the graph reaches Options.MultilevelThreshold nodes.
+	MultilevelPart
+)
+
+// Multilevel threshold sentinels (Options.MultilevelThreshold).
+const (
+	// DefaultMultilevelThreshold is the node count at which Alg1 compiles
+	// switch to the multilevel path (exact Try-Merge takes ~7.5s at 4096
+	// nodes on one core and grows quadratically beyond).
+	DefaultMultilevelThreshold = 4096
+	// MultilevelOff disables the size-based switch; Alg1 stays exact at any
+	// size.
+	MultilevelOff = -1
 )
 
 // MapperKind selects the partition-to-GPU mapper.
@@ -67,6 +82,14 @@ type Options struct {
 	Mapper        MapperKind
 	MapOptions    mapping.Options
 
+	// MultilevelThreshold is the node count at which an Alg1 compile is
+	// served by the multilevel path instead of exact Try-Merge. 0 selects
+	// DefaultMultilevelThreshold; MultilevelOff (-1) pins Alg1 exact at any
+	// size. Below the threshold the exact path is unchanged. The switch is
+	// part of the compilation's identity: it is normalized into cache keys
+	// and artifact options.
+	MultilevelThreshold int
+
 	// Workers bounds the worker pools of the parallel passes. 0 selects
 	// GOMAXPROCS; 1 runs every pass serially. The result is identical
 	// either way — workers only change wall-clock time.
@@ -82,6 +105,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FragmentIters == 0 {
 		o.FragmentIters = 512
+	}
+	if o.MultilevelThreshold == 0 {
+		o.MultilevelThreshold = DefaultMultilevelThreshold
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
@@ -107,9 +133,13 @@ func (o Options) Validate() error {
 		return fmt.Errorf("driver: Workers %d is negative (0 selects GOMAXPROCS, 1 runs serially)", o.Workers)
 	}
 	switch o.Partitioner {
-	case Alg1, PrevWorkPart, SinglePart:
+	case Alg1, PrevWorkPart, SinglePart, MultilevelPart:
 	default:
-		return fmt.Errorf("driver: unknown partitioner kind %d (want Alg1, PrevWorkPart or SinglePart)", o.Partitioner)
+		return fmt.Errorf("driver: unknown partitioner kind %d (want Alg1, PrevWorkPart, SinglePart or MultilevelPart)", o.Partitioner)
+	}
+	if o.MultilevelThreshold < MultilevelOff {
+		return fmt.Errorf("driver: MultilevelThreshold %d is invalid (0 selects the default %d, MultilevelOff=-1 disables the switch)",
+			o.MultilevelThreshold, DefaultMultilevelThreshold)
 	}
 	switch o.Mapper {
 	case ILPMapper, PrevWorkMap:
@@ -221,8 +251,13 @@ func Compile(ctx context.Context, g *sdf.Graph, opts Options) (*Compiled, error)
 		}
 		m := StageMetric{Name: s.name, Duration: time.Since(start)}
 		if s.name == "partition" && c.Engine != nil {
-			// Try-Merge scoring provenance: how hard the engine worked.
+			// Try-Merge scoring provenance: how hard the engine worked, and
+			// — when the multilevel path served the compile — its hierarchy
+			// and refinement trace.
 			m.Info = c.Engine.Stats().String()
+			if c.Parts != nil && c.Parts.ML != nil {
+				m.Info = "multilevel " + c.Parts.ML.String() + "; " + m.Info
+			}
 		}
 		c.Stages = append(c.Stages, m)
 	}
@@ -237,10 +272,29 @@ func stageProfile(_ context.Context, c *Compiled) error {
 	return nil
 }
 
+// multilevelSelected reports whether the multilevel path serves this
+// compile: forced by MultilevelPart, or an Alg1 request on a graph at or
+// above the size threshold. Compile and CompileSerial share it so the
+// differential harness stays meaningful at every size.
+func multilevelSelected(opts Options, g *sdf.Graph) bool {
+	switch opts.Partitioner {
+	case MultilevelPart:
+		return true
+	case Alg1:
+		return opts.MultilevelThreshold > 0 && g.NumNodes() >= opts.MultilevelThreshold
+	}
+	return false
+}
+
 // stagePartition runs the selected partitioner; Algorithm 1 scores its
 // Try-Merge candidates on the worker pool.
 func stagePartition(ctx context.Context, c *Compiled) error {
 	var err error
+	switch {
+	case multilevelSelected(c.Options, c.Graph):
+		c.Parts, err = partition.Multilevel(ctx, c.Graph, c.Engine, partition.MLOptions{})
+		return err
+	}
 	switch c.Options.Partitioner {
 	case Alg1:
 		c.Parts, err = partition.RunCtx(ctx, c.Graph, c.Engine, c.Options.Workers)

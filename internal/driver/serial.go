@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 
 	"streammap/internal/mapping"
@@ -36,15 +37,23 @@ func CompileSerial(g *sdf.Graph, opts Options) (*Compiled, error) {
 
 	var parts *partition.Result
 	var err error
-	switch opts.Partitioner {
-	case Alg1:
-		parts, err = partition.Run(g, eng)
-	case PrevWorkPart:
-		parts, err = partition.PrevWork(g, eng, opts.Device)
-	case SinglePart:
-		parts, err = partition.SinglePartition(g, eng)
+	switch {
+	case multilevelSelected(opts, g):
+		parts, err = partition.Multilevel(context.Background(), g, eng, partition.MLOptions{})
+		if err != nil {
+			return nil, err
+		}
 	default:
-		err = fmt.Errorf("driver: unknown partitioner %d", opts.Partitioner)
+		switch opts.Partitioner {
+		case Alg1:
+			parts, err = partition.Run(g, eng)
+		case PrevWorkPart:
+			parts, err = partition.PrevWork(g, eng, opts.Device)
+		case SinglePart:
+			parts, err = partition.SinglePartition(g, eng)
+		default:
+			err = fmt.Errorf("driver: unknown partitioner %d", opts.Partitioner)
+		}
 	}
 	if err != nil {
 		return nil, err

@@ -35,6 +35,10 @@ type Config struct {
 	Tiny bool
 	// ILPBudget bounds each exact mapping solve.
 	ILPBudget time.Duration
+	// ScaleMax caps the scaling sweep's large-graph cells by filter count
+	// (default 1e5; set 1e6 for the million-filter cell, which needs a few
+	// GB of memory for graph generation alone).
+	ScaleMax int
 	// Workers bounds how many independent table/figure cells run
 	// concurrently. 0 selects GOMAXPROCS; 1 is fully serial. Cell results
 	// are collected by index, so row order never depends on scheduling;

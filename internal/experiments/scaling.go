@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"streammap/internal/core"
@@ -12,64 +13,111 @@ import (
 	"streammap/internal/topology"
 )
 
+// scalingExactCap is the largest filter count at which the exact Algorithm 1
+// legs (serial and pipelined) still run: beyond it Try-Merge's quadratic
+// candidate scan dominates the sweep, and the multilevel path is the only
+// column.
+const scalingExactCap = 2000
+
 // ScalingRow is one cell of the synthetic scaling sweep.
 type ScalingRow struct {
 	Filters    int // requested size
 	Nodes      int // actual flattened node count
 	GPUs       int
-	Partitions int
+	Partitions int     // exact path (0 when the exact legs are skipped)
 	SerialMS   float64 // CompileSerial wall clock
 	PipeMS     float64 // concurrent pipeline wall clock
 	Speedup    float64 // SerialMS / PipeMS
 	TmaxUS     float64 // mapping objective
 	PerFragUS  float64 // simulated steady-state time per fragment
+
+	MLParts     int     // multilevel path partition count
+	MLMS        float64 // multilevel compile wall clock
+	MLAllocMB   float64 // bytes allocated during the multilevel compile
+	MLPerFragUS float64 // simulated throughput of the multilevel plan
+	Ratio       float64 // MLPerFragUS / PerFragUS (0 when exact skipped)
 }
 
 // ScalingSweep compiles a family of generated stream graphs of growing size
 // onto machines of growing GPU count and reports compile latency (serial
-// reference vs. concurrent pipeline) and simulated throughput. Graphs come
-// from the synth generator under fixed seeds; topologies are the paper's
-// paired PCIe trees so the GPU-count axis varies only in width. Cells run
-// serially — unlike the paper-figure experiments — because the pipeline
-// latency being measured would be distorted by co-running cells.
+// reference vs. concurrent pipeline vs. multilevel) and simulated
+// throughput. Graphs come from the synth generator under fixed seeds;
+// topologies are the paper's paired PCIe trees so the GPU-count axis varies
+// only in width. Cells run serially — unlike the paper-figure experiments —
+// because the latencies being measured would be distorted by co-running
+// cells.
 //
-// Beyond the numbers, every cell is differential: the sweep asserts the
-// pipeline's artifacts are identical to the serial flow's before timing
-// them, so scaling runs double as large-graph correctness checks.
+// Up to scalingExactCap filters each cell is differential three ways: the
+// pipeline's artifacts must be identical to the serial flow's, and the
+// multilevel plan's simulated throughput is reported as a ratio against the
+// exact plan's. Beyond the cap only the multilevel column runs — that is the
+// regime the multilevel path exists for — up to cfg.ScaleMax filters
+// (default 1e5; pass -scale-max 1000000 for the million-filter cell).
 func ScalingSweep(cfg Config) (*Table, []ScalingRow, error) {
 	sizes := []int{16, 48, 96, 192, 384}
 	gpus := []int{1, 2, 4, 8}
+	huge := []int{1000, 10000, 100000, 1000000}
 	switch {
 	case cfg.Tiny:
 		sizes = []int{12, 32}
 		gpus = []int{1, 4}
+		huge = nil
 	case cfg.Quick:
 		sizes = []int{16, 96, 384}
+		huge = []int{1000}
+	}
+	scaleMax := cfg.ScaleMax
+	if scaleMax <= 0 {
+		scaleMax = 100000
+	}
+
+	type cell struct{ filters, gpus int }
+	var cells []cell
+	for _, n := range sizes {
+		for _, g := range gpus {
+			cells = append(cells, cell{n, g})
+		}
+	}
+	// The large-graph era: one machine width (the paper's 4-GPU tree), the
+	// size axis doing the work.
+	for _, n := range huge {
+		if n <= scaleMax {
+			cells = append(cells, cell{n, 4})
+		}
 	}
 
 	var rows []ScalingRow
-	for _, n := range sizes {
-		for _, g := range gpus {
-			row, err := scalingCell(cfg, n, g)
-			if err != nil {
-				return nil, nil, fmt.Errorf("scaling cell (%d filters, %d gpus): %w", n, g, err)
-			}
-			rows = append(rows, row)
+	for _, c := range cells {
+		row, err := scalingCell(cfg, c.filters, c.gpus)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scaling cell (%d filters, %d gpus): %w", c.filters, c.gpus, err)
 		}
+		rows = append(rows, row)
 	}
 
 	tbl := &Table{
 		Title:  "Scaling — synthetic graphs: compile latency and throughput vs. size and GPU count",
-		Header: []string{"filters", "nodes", "gpus", "parts", "serial(ms)", "pipeline(ms)", "speedup", "Tmax(us)", "us/frag"},
+		Header: []string{"filters", "nodes", "gpus", "parts", "serial(ms)", "pipeline(ms)", "speedup", "us/frag", "ml-parts", "ml(ms)", "ml-alloc(MB)", "ml-us/frag", "ratio"},
 		Notes: []string{
 			"graphs: synth.BuildGraph (seeded, skewed work); topology: PairedTree",
-			"every cell also asserts pipeline == serial artifacts (differential)",
+			fmt.Sprintf("exact legs (serial, pipeline) run up to %d filters and assert pipeline == serial artifacts", scalingExactCap),
+			"ml columns: forced multilevel coarsen->partition->refine path; ratio = ml-us/frag / us/frag",
 		},
 	}
+	dash := func(v float64, ok bool) string {
+		if !ok {
+			return "-"
+		}
+		return f2(v)
+	}
 	for _, r := range rows {
+		exact := r.PerFragUS > 0
 		tbl.Rows = append(tbl.Rows, []string{
-			fmt.Sprint(r.Filters), fmt.Sprint(r.Nodes), fmt.Sprint(r.GPUs), fmt.Sprint(r.Partitions),
-			f2(r.SerialMS), f2(r.PipeMS), f2(r.Speedup), f1(r.TmaxUS), f2(r.PerFragUS),
+			fmt.Sprint(r.Filters), fmt.Sprint(r.Nodes), fmt.Sprint(r.GPUs),
+			map[bool]string{true: fmt.Sprint(r.Partitions), false: "-"}[exact],
+			dash(r.SerialMS, exact), dash(r.PipeMS, exact), dash(r.Speedup, exact), dash(r.PerFragUS, exact),
+			fmt.Sprint(r.MLParts), f2(r.MLMS), f1(r.MLAllocMB), f2(r.MLPerFragUS),
+			dash(r.Ratio, exact),
 		})
 	}
 	return tbl, rows, nil
@@ -92,50 +140,79 @@ func scalingCell(cfg Config, filters, gpus int) (ScalingRow, error) {
 		// the serial-vs-pipeline assertion wall-clock dependent.
 		MapOptions: mapping.Options{TimeBudget: cfg.ILPBudget, ILPMaxParts: 4},
 	}
+	row := ScalingRow{Filters: filters, GPUs: gpus}
 
-	gSerial, err := synth.BuildGraph(gp)
+	if filters <= scalingExactCap {
+		exactOpts := opts
+		exactOpts.MultilevelThreshold = core.MultilevelOff
+		gSerial, err := synth.BuildGraph(gp)
+		if err != nil {
+			return ScalingRow{}, err
+		}
+		t0 := time.Now()
+		serial, err := core.CompileSerial(gSerial, exactOpts)
+		if err != nil {
+			return ScalingRow{}, err
+		}
+		row.SerialMS = float64(time.Since(t0).Microseconds()) / 1e3
+
+		gPipe, err := synth.BuildGraph(gp)
+		if err != nil {
+			return ScalingRow{}, err
+		}
+		t0 = time.Now()
+		pipe, err := core.Compile(gPipe, exactOpts)
+		if err != nil {
+			return ScalingRow{}, err
+		}
+		row.PipeMS = float64(time.Since(t0).Microseconds()) / 1e3
+
+		if err := core.Equivalent(serial, pipe); err != nil {
+			return ScalingRow{}, fmt.Errorf("pipeline diverged from serial: %w", err)
+		}
+		res, err := gpusim.RunTiming(pipe.Plan, cfg.Fragments)
+		if err != nil {
+			return ScalingRow{}, err
+		}
+		row.Partitions = len(pipe.Parts.Parts)
+		row.TmaxUS = pipe.Assign.Objective
+		row.PerFragUS = res.PerFragmentUS
+		if row.PipeMS > 0 {
+			row.Speedup = row.SerialMS / row.PipeMS
+		}
+	}
+
+	// Multilevel leg: always forced, so the column exists at every size and
+	// the small cells double as quality references for the ratio.
+	gML, err := synth.BuildGraph(gp)
 	if err != nil {
 		return ScalingRow{}, err
 	}
+	if err := gML.Steady(); err != nil {
+		return ScalingRow{}, err
+	}
+	mlOpts := opts
+	mlOpts.Partitioner = core.MultilevelPart
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	t0 := time.Now()
-	serial, err := core.CompileSerial(gSerial, opts)
+	ml, err := core.Compile(gML, mlOpts)
+	if err != nil {
+		return ScalingRow{}, fmt.Errorf("multilevel: %w", err)
+	}
+	row.MLMS = float64(time.Since(t0).Microseconds()) / 1e3
+	runtime.ReadMemStats(&m1)
+	row.MLAllocMB = float64(m1.TotalAlloc-m0.TotalAlloc) / 1e6
+	mlRes, err := gpusim.RunTiming(ml.Plan, cfg.Fragments)
 	if err != nil {
 		return ScalingRow{}, err
 	}
-	serialMS := float64(time.Since(t0).Microseconds()) / 1e3
-
-	gPipe, err := synth.BuildGraph(gp)
-	if err != nil {
-		return ScalingRow{}, err
+	row.Nodes = gML.NumNodes()
+	row.MLParts = len(ml.Parts.Parts)
+	row.MLPerFragUS = mlRes.PerFragmentUS
+	if row.PerFragUS > 0 {
+		row.Ratio = row.MLPerFragUS / row.PerFragUS
 	}
-	t0 = time.Now()
-	pipe, err := core.Compile(gPipe, opts)
-	if err != nil {
-		return ScalingRow{}, err
-	}
-	pipeMS := float64(time.Since(t0).Microseconds()) / 1e3
-
-	if err := core.Equivalent(serial, pipe); err != nil {
-		return ScalingRow{}, fmt.Errorf("pipeline diverged from serial: %w", err)
-	}
-	res, err := gpusim.RunTiming(pipe.Plan, cfg.Fragments)
-	if err != nil {
-		return ScalingRow{}, err
-	}
-
-	speedup := 0.0
-	if pipeMS > 0 {
-		speedup = serialMS / pipeMS
-	}
-	return ScalingRow{
-		Filters:    filters,
-		Nodes:      gPipe.NumNodes(),
-		GPUs:       gpus,
-		Partitions: len(pipe.Parts.Parts),
-		SerialMS:   serialMS,
-		PipeMS:     pipeMS,
-		Speedup:    speedup,
-		TmaxUS:     pipe.Assign.Objective,
-		PerFragUS:  res.PerFragmentUS,
-	}, nil
+	return row, nil
 }

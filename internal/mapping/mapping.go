@@ -255,6 +255,153 @@ func (ev *evaluator) objective(gpuOf []int) float64 {
 	return obj
 }
 
+// deltaEvalMinParts is the partition count above which local-search descents
+// score candidates with the incremental evaluator instead of full rescans.
+// Every instance the exact flow produces (paper apps, differential corpus)
+// stays below it and keeps the original arithmetic bit for bit; above it —
+// the multilevel regime, thousands of partitions — the O(n²) swap sweep
+// times an O(n+E) rescan per candidate was a minutes-long wall, and the
+// incremental path turns each candidate into an O(deg) update.
+const deltaEvalMinParts = 512
+
+// deltaDescendEvalBudget caps candidate evaluations per delta-scored descent.
+// Unlike the sub-threshold descent — which runs to a true local optimum —
+// the large regime's swap neighborhood is millions of candidates per sweep
+// and the sweep count until quiescence is unbounded, so each seed gets a
+// fixed evaluation allowance (a count, not a clock: the result stays
+// deterministic and machine-independent). At ~2k partitions this is a few
+// full sweeps, which is where nearly all of the improvement lands.
+const deltaDescendEvalBudget = 8_000_000
+
+// deltaEvaluator maintains per-GPU times and per-link loads under
+// single-partition moves. A move costs O(deg(i)); the objective read is
+// O(gpus + links). Loads are exact (int64); gpuT is float and accumulates
+// rounding residue across rejected candidates, so descents rebuild (reset)
+// on every accepted improvement — drift never crosses an accept, and the
+// final assignment is re-scored by Evaluate anyway.
+type deltaEvaluator struct {
+	p        *Problem
+	times    []float64
+	gpuT     []float64
+	loads    []int64
+	incident [][]int32 // partition -> indices into PDG.Edges
+	gpuOf    []int
+}
+
+func newDeltaEvaluator(p *Problem) *deltaEvaluator {
+	de := &deltaEvaluator{
+		p:        p,
+		times:    make([]float64, p.PDG.NumParts()),
+		gpuT:     make([]float64, p.Topo.NumGPUs()),
+		loads:    make([]int64, p.Topo.NumLinks()),
+		incident: make([][]int32, p.PDG.NumParts()),
+		gpuOf:    make([]int, p.PDG.NumParts()),
+	}
+	for i := range de.times {
+		de.times[i] = p.PartTimeUS(i)
+	}
+	for ei, e := range p.PDG.Edges {
+		de.incident[e.From] = append(de.incident[e.From], int32(ei))
+		de.incident[e.To] = append(de.incident[e.To], int32(ei))
+	}
+	return de
+}
+
+// reset rebuilds the state for an assignment from scratch.
+func (de *deltaEvaluator) reset(gpuOf []int) {
+	copy(de.gpuOf, gpuOf)
+	for i := range de.gpuT {
+		de.gpuT[i] = 0
+	}
+	for i := range de.loads {
+		de.loads[i] = 0
+	}
+	p, t := de.p, de.p.Topo
+	B := int64(p.FragmentIters)
+	for i, k := range de.gpuOf {
+		de.gpuT[k] += de.times[i]
+	}
+	for _, e := range p.PDG.Edges {
+		de.addEdge(e.From, e.To, de.gpuOf[e.From], de.gpuOf[e.To], e.Bytes*B)
+	}
+	for i, k := range de.gpuOf {
+		if hb := p.PDG.HostInBytes[i] * B; hb > 0 {
+			de.addLoad(t.Route(topology.Host, k), hb)
+		}
+		if hb := p.PDG.HostOutBytes[i] * B; hb > 0 {
+			de.addLoad(t.Route(k, topology.Host), hb)
+		}
+	}
+}
+
+func (de *deltaEvaluator) addLoad(route []int, bytes int64) {
+	for _, l := range route {
+		de.loads[l] += bytes
+	}
+}
+
+// addEdge adds (bytes may be negative to subtract) the transfer of one PDG
+// edge under the given endpoint placements.
+func (de *deltaEvaluator) addEdge(from, to, gs, gd int, bytes int64) {
+	if gs == gd {
+		return
+	}
+	if de.p.ViaHost {
+		de.addLoad(de.p.Topo.RouteViaHost(gs, gd), bytes)
+	} else {
+		de.addLoad(de.p.Topo.Route(gs, gd), bytes)
+	}
+}
+
+// move reassigns partition i to GPU k, updating only what i touches.
+func (de *deltaEvaluator) move(i, k int) {
+	old := de.gpuOf[i]
+	if old == k {
+		return
+	}
+	p, t := de.p, de.p.Topo
+	B := int64(p.FragmentIters)
+	de.gpuT[old] -= de.times[i]
+	de.gpuT[k] += de.times[i]
+	for _, ei := range de.incident[i] {
+		e := &p.PDG.Edges[ei]
+		bytes := e.Bytes * B
+		if e.From == i {
+			o := de.gpuOf[e.To]
+			de.addEdge(e.From, e.To, old, o, -bytes)
+			de.addEdge(e.From, e.To, k, o, bytes)
+		} else {
+			o := de.gpuOf[e.From]
+			de.addEdge(e.From, e.To, o, old, -bytes)
+			de.addEdge(e.From, e.To, o, k, bytes)
+		}
+	}
+	if hb := p.PDG.HostInBytes[i] * B; hb > 0 {
+		de.addLoad(t.Route(topology.Host, old), -hb)
+		de.addLoad(t.Route(topology.Host, k), hb)
+	}
+	if hb := p.PDG.HostOutBytes[i] * B; hb > 0 {
+		de.addLoad(t.Route(old, topology.Host), -hb)
+		de.addLoad(t.Route(k, topology.Host), hb)
+	}
+	de.gpuOf[i] = k
+}
+
+// objective reads the current Tmax in O(gpus + links).
+func (de *deltaEvaluator) objective() float64 {
+	t := de.p.Topo
+	obj := 0.0
+	for _, gt := range de.gpuT {
+		obj = math.Max(obj, gt)
+	}
+	for _, load := range de.loads {
+		if load > 0 {
+			obj = math.Max(obj, t.LatencyUS+float64(load)/(t.BandwidthGBs*1e3))
+		}
+	}
+	return obj
+}
+
 // LocalSearch refines an assignment with single-partition moves and pairwise
 // swaps until a local optimum of the exact objective, then returns the best
 // of several deterministic seeds.
@@ -322,6 +469,71 @@ func localSearchCtx(ctx context.Context, p *Problem, workers int, greedy *Assign
 				return cur
 			}
 		}
+	}
+
+	// Same neighborhood, same scan order, same acceptance threshold —
+	// scored incrementally. Only reachable above deltaEvalMinParts, so the
+	// sub-threshold descent's float arithmetic is untouched.
+	descendDelta := func(gpuOf []int) *Assignment {
+		de := newDeltaEvaluator(p)
+		cur := Evaluate(p, gpuOf, "local")
+		de.reset(cur.GPUOf)
+		accept := func() {
+			cur = Evaluate(p, de.gpuOf, "local")
+			de.reset(cur.GPUOf)
+		}
+		evals := 0
+		for {
+			if ctx.Err() != nil {
+				return cur
+			}
+			improved := false
+			// Moves.
+			for i := 0; i < n; i++ {
+				for k := 0; k < g; k++ {
+					old := de.gpuOf[i]
+					if k == old {
+						continue
+					}
+					evals++
+					de.move(i, k)
+					if de.objective() < cur.Objective-1e-9 {
+						accept()
+						improved = true
+					} else {
+						de.move(i, old)
+					}
+				}
+			}
+			// Swaps.
+			for i := 0; i < n; i++ {
+				if ctx.Err() != nil || evals > deltaDescendEvalBudget {
+					return cur
+				}
+				for j := i + 1; j < n; j++ {
+					gi, gj := de.gpuOf[i], de.gpuOf[j]
+					if gi == gj {
+						continue
+					}
+					evals++
+					de.move(i, gj)
+					de.move(j, gi)
+					if de.objective() < cur.Objective-1e-9 {
+						accept()
+						improved = true
+					} else {
+						de.move(j, gj)
+						de.move(i, gi)
+					}
+				}
+			}
+			if !improved || evals > deltaDescendEvalBudget {
+				return cur
+			}
+		}
+	}
+	if n > deltaEvalMinParts {
+		descend = descendDelta
 	}
 
 	var seeds [][]int

@@ -349,3 +349,91 @@ func TestEvaluatorMatchesEvaluate(t *testing.T) {
 		}
 	}
 }
+
+// TestDeltaEvaluatorMatchesEvaluate drives the incremental evaluator through
+// a deterministic pseudo-random move sequence and checks it against the
+// from-scratch Evaluate after every step. Link loads are integral, so only
+// the float GPU sums can drift; the tolerance is far below the local-search
+// acceptance threshold.
+func TestDeltaEvaluatorMatchesEvaluate(t *testing.T) {
+	const n = 37
+	work := make([]float64, n)
+	var hostIn, hostOut []int64
+	var edges []pdg.Edge
+	state := uint64(0xDECAF)
+	rnd := func(mod int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(mod))
+	}
+	for i := range work {
+		work[i] = float64(1 + rnd(1000))
+	}
+	hostIn = make([]int64, n)
+	hostOut = make([]int64, n)
+	hostIn[0] = 100_000
+	hostOut[n-1] = 50_000
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, pdg.Edge{From: i, To: i + 1, Bytes: int64(1 + rnd(100_000))})
+		if j := rnd(n); j > i+1 {
+			edges = append(edges, pdg.Edge{From: i, To: j, Bytes: int64(1 + rnd(10_000))})
+		}
+	}
+	p := synth(t, work, edges, hostIn, hostOut, 4)
+	p.FragmentIters = 8
+	for _, viaHost := range []bool{false, true} {
+		q := *p
+		q.ViaHost = viaHost
+		de := newDeltaEvaluator(&q)
+		gpuOf := make([]int, n)
+		for i := range gpuOf {
+			gpuOf[i] = rnd(4)
+		}
+		de.reset(gpuOf)
+		for step := 0; step < 500; step++ {
+			de.move(rnd(n), rnd(4))
+			want := Evaluate(&q, de.gpuOf, "ref").Objective
+			got := de.objective()
+			if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("viaHost=%v step %d: delta %v != Evaluate %v", viaHost, step, got, want)
+			}
+		}
+	}
+}
+
+// TestLocalSearchLargeInstance exercises the delta-scored descent (the
+// >deltaEvalMinParts path) end to end: the result must be a valid
+// assignment no worse than greedy's.
+func TestLocalSearchLargeInstance(t *testing.T) {
+	n := deltaEvalMinParts + 64
+	work := make([]float64, n)
+	var edges []pdg.Edge
+	state := uint64(0xFEED)
+	rnd := func(mod int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(mod))
+	}
+	for i := range work {
+		work[i] = float64(1 + rnd(500))
+	}
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, pdg.Edge{From: i, To: i + 1, Bytes: int64(1 + rnd(20_000))})
+	}
+	p := synth(t, work, edges, nil, nil, 4)
+	greedy := Greedy(p)
+	a := LocalSearch(p)
+	if len(a.GPUOf) != n {
+		t.Fatalf("assignment covers %d of %d parts", len(a.GPUOf), n)
+	}
+	for i, k := range a.GPUOf {
+		if k < 0 || k >= 4 {
+			t.Fatalf("part %d on invalid GPU %d", i, k)
+		}
+	}
+	if a.Objective > greedy.Objective+1e-9 {
+		t.Fatalf("local search (%v) worse than greedy (%v)", a.Objective, greedy.Objective)
+	}
+	want := Evaluate(p, a.GPUOf, "ref").Objective
+	if math.Abs(a.Objective-want) > 1e-9 {
+		t.Fatalf("returned objective %v != re-evaluated %v", a.Objective, want)
+	}
+}

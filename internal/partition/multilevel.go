@@ -1,0 +1,669 @@
+// Multilevel partitioning: coarsen (coarsen.go), run an IO-bound-first
+// Try-Merge over the coarsest level's units, then uncoarsen level by level
+// with bounded boundary refinement. Partitions are always unions of whole
+// coarse units, so quotient-level convexity and connectivity imply the
+// original-graph properties the exact partitioner enforces; profitability
+// uses the same TW = T·Scale comparison, scored through the engine's
+// uncached path (the memo would clone a graph-capacity bitset per candidate,
+// which at 10^6 nodes is the memory hazard this path exists to avoid).
+//
+// Deviations from the exact Algorithm 1 flow, accepted for scalability and
+// refereed by the differential harness (synth.CheckMultilevel):
+//   - merge rounds sweep candidates in ascending-TW order without restarting
+//     the whole scan after each accepted merge;
+//   - refinement moves single units across partition boundaries instead of
+//     re-running Try-Merge, under a per-level evaluation budget.
+//
+// Three-way merges (Algorithm 1's simultaneous phase) are kept: they are what
+// collapses split-join fan-outs no pairwise merge can, and without them the
+// result fragments into measurably more partitions than the exact path's.
+package partition
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"streammap/internal/pee"
+	"streammap/internal/sdf"
+)
+
+// Multilevel defaults; see MLOptions.
+const (
+	DefaultRefinePasses  = 2
+	DefaultRefineBudget  = 4096
+	DefaultRefineUnitCap = 16384
+
+	// mlFullValidateCap bounds the graph size up to which the final result
+	// gets the exact path's full convexity/connectivity validation. Above
+	// it only the exact-cover check runs: partitions are unions of coarse
+	// units that are convex and connected by construction, and every merge
+	// and move re-checked both properties at quotient granularity.
+	mlFullValidateCap = 32768
+)
+
+// MLOptions configure the multilevel path. The zero value selects defaults
+// sized for the 10^5–10^6 node target.
+type MLOptions struct {
+	Coarsen CoarsenOptions
+	// RefinePasses is the number of boundary sweeps per uncoarsening level
+	// (default 2).
+	RefinePasses int
+	// RefineBudget caps candidate-move evaluations per level (default 4096);
+	// each evaluation costs at most two uncached estimates.
+	RefineBudget int
+	// RefineUnitCap skips refinement at levels with more units than this
+	// (default 16384): on million-node graphs the finest levels are too
+	// large to sweep, while at differential-corpus sizes every level —
+	// including level 0 — is refined.
+	RefineUnitCap int
+}
+
+func (o MLOptions) withDefaults(eng *pee.Engine) MLOptions {
+	o.Coarsen = o.Coarsen.withDefaults()
+	if o.Coarsen.MaxUnitBytes == 0 {
+		o.Coarsen.MaxUnitBytes = eng.Prof.Device.SharedMemPerSM
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = DefaultRefinePasses
+	}
+	if o.RefineBudget <= 0 {
+		o.RefineBudget = DefaultRefineBudget
+	}
+	if o.RefineUnitCap <= 0 {
+		o.RefineUnitCap = DefaultRefineUnitCap
+	}
+	return o
+}
+
+// MLStats is the multilevel run's provenance, attached to Result.ML and
+// surfaced through the driver's partition stage info.
+type MLStats struct {
+	Levels        int   // hierarchy depth including level 0
+	CoarsestUnits int   // unit count of the coarsest level
+	SeedLevel     int   // level the seed partitions came from (after fallback)
+	SeedParts     int   // partitions at seeding
+	MergeRounds   int   // merge sweeps across all three priority specs
+	Merges        int   // accepted merges
+	RefinedLevels int   // levels that ran boundary refinement
+	MoveEvals     int   // candidate moves evaluated
+	Moves         int   // accepted moves
+	Estimates     int64 // uncached estimator calls made by this flow
+}
+
+func (s *MLStats) String() string {
+	return fmt.Sprintf("levels=%d coarsest=%d seedLevel=%d seeds=%d merges=%d/%d rounds refined=%d levels moves=%d/%d evals estimates=%d",
+		s.Levels, s.CoarsestUnits, s.SeedLevel, s.SeedParts, s.Merges, s.MergeRounds,
+		s.RefinedLevels, s.Moves, s.MoveEvals, s.Estimates)
+}
+
+// mlPart is a partition during the multilevel flow: a set of units of the
+// current working level plus the sorted original-node member list that
+// feeds the estimator.
+type mlPart struct {
+	units   sdf.NodeSet // over the working level's units
+	unitCnt int
+	members []sdf.NodeID // sorted original node ids
+	est     *pee.Estimate
+	scale   int64
+	tw      float64
+	minPos  int32 // min/max quotient topo position over the part's units
+	maxPos  int32
+	dead    bool
+}
+
+type mlState struct {
+	ctx   context.Context
+	g     *sdf.Graph
+	eng   *pee.Engine
+	opts  MLOptions
+	c     *Coarsening
+	stats MLStats
+
+	parts    []*mlPart
+	owner    []int32 // node -> parts index
+	unitPart []int32 // working-level unit -> parts index
+
+	nodeScratch sdf.NodeSet // node-capacity scratch for estimator calls
+	visit       sdf.NodeSet // unit-capacity scratch for convexity searches
+	queue       []int32
+	idxScratch  []int32
+}
+
+// Multilevel partitions g through the coarsen→merge→refine flow. It is
+// deterministic for a given graph and options, cancellable between candidate
+// evaluations, and returns a Result interchangeable with Run's (plus ML
+// provenance).
+func Multilevel(ctx context.Context, g *sdf.Graph, eng *pee.Engine, opts MLOptions) (*Result, error) {
+	m := &mlState{ctx: ctx, g: g, eng: eng}
+	m.opts = opts.withDefaults(eng)
+	if err := m.cancelled(); err != nil {
+		return nil, err
+	}
+	c, err := BuildCoarsening(g, m.opts.Coarsen)
+	if err != nil {
+		return nil, err
+	}
+	m.c = c
+	m.stats.Levels = len(c.Levels)
+	m.stats.CoarsestUnits = c.Coarsest().NumUnits
+	m.nodeScratch = sdf.NewNodeSet(g.NumNodes())
+	m.owner = make([]int32, g.NumNodes())
+
+	// Seed at the coarsest level whose units are all individually
+	// schedulable; an infeasible supernode sends us one level finer. At
+	// level 0 the units are SCCs and singletons, whose infeasibility is the
+	// same hard error the exact path reports.
+	seedLevel := len(c.Levels) - 1
+	for {
+		if err := m.cancelled(); err != nil {
+			return nil, err
+		}
+		ok, err := m.seed(c.Levels[seedLevel], seedLevel == 0)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			break
+		}
+		seedLevel--
+	}
+	m.stats.SeedLevel = seedLevel
+	m.stats.SeedParts = len(m.parts)
+
+	lvl := c.Levels[seedLevel]
+	q, err := buildQuotient(g, lvl.UnitOf, lvl.NumUnits)
+	if err != nil {
+		return nil, err
+	}
+	m.visit = sdf.NewNodeSet(lvl.NumUnits)
+	for i, p := range m.parts {
+		p.minPos = q.topoPos[i]
+		p.maxPos = q.topoPos[i]
+	}
+	if err := m.mergePhase(q); err != nil {
+		return nil, err
+	}
+	afterMerge := m.liveCount()
+	if err := m.threeWayPhase(q); err != nil {
+		return nil, err
+	}
+	if err := m.allNodesPhase(lvl.NumUnits); err != nil {
+		return nil, err
+	}
+	afterAll := m.liveCount()
+
+	for level := seedLevel; level >= 0; level-- {
+		if m.c.Levels[level].NumUnits > m.opts.RefineUnitCap {
+			continue
+		}
+		if err := m.refine(level); err != nil {
+			return nil, err
+		}
+		m.stats.RefinedLevels++
+	}
+
+	res, err := m.materialize()
+	if err != nil {
+		return nil, err
+	}
+	res.CountAfterPhase = [5]int{m.stats.SeedParts, afterMerge, afterAll, len(res.Parts), len(res.Parts)}
+	return res, nil
+}
+
+func (m *mlState) cancelled() error {
+	if m.ctx == nil {
+		return nil
+	}
+	select {
+	case <-m.ctx.Done():
+		return m.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// estimateMembers scores a sorted member list through the engine's uncached
+// path, staging it in the shared node-capacity scratch set.
+func (m *mlState) estimateMembers(members []sdf.NodeID) (*pee.Estimate, error) {
+	m.stats.Estimates++
+	for _, n := range members {
+		m.nodeScratch.Add(n)
+	}
+	est, err := m.eng.EstimateMembers(m.nodeScratch, members)
+	for _, n := range members {
+		m.nodeScratch.Remove(n)
+	}
+	return est, err
+}
+
+// seed builds one singleton partition per unit of lvl. It returns ok=false
+// when some unit is unschedulable and a finer level should be tried; at
+// level 0 (hard=true) that is a compile error matching the exact path's.
+func (m *mlState) seed(lvl *CoarseLevel, hard bool) (bool, error) {
+	m.parts = m.parts[:0]
+	U := lvl.NumUnits
+	if cap(m.unitPart) < U {
+		m.unitPart = make([]int32, U)
+	}
+	m.unitPart = m.unitPart[:U]
+	for u := 0; u < U; u++ {
+		if err := m.cancelled(); err != nil {
+			return false, err
+		}
+		members := lvl.Members(u)
+		est, err := m.estimateMembers(members)
+		if err != nil {
+			if !hard {
+				return false, nil
+			}
+			if len(members) == 1 {
+				id := members[0]
+				return false, fmt.Errorf("partition: node %d (%s) does not fit on the device alone: %w",
+					id, m.g.Nodes[id].Filter.Name, err)
+			}
+			set := sdf.NewNodeSet(m.g.NumNodes())
+			for _, n := range members {
+				set.Add(n)
+			}
+			return false, fmt.Errorf("partition: feedback loop %v does not fit in shared memory: %w", set, err)
+		}
+		sc := lvl.scale[u]
+		p := &mlPart{
+			units:   sdf.NewNodeSet(U),
+			unitCnt: 1,
+			members: members,
+			est:     est,
+			scale:   sc,
+			tw:      est.TUS * float64(sc),
+		}
+		p.units.Add(sdf.NodeID(u))
+		m.parts = append(m.parts, p)
+		m.unitPart[u] = int32(len(m.parts) - 1)
+		for _, n := range members {
+			m.owner[n] = int32(u)
+		}
+	}
+	return true, nil
+}
+
+func (m *mlState) liveCount() int {
+	n := 0
+	for _, p := range m.parts {
+		if !p.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// liveSorted returns indices of live partitions passing keep, ascending by
+// (TW, index) — smaller workloads merge first, as in the exact phase 3.
+func (m *mlState) liveSorted(keep func(*mlPart) bool) []int32 {
+	out := m.idxScratch[:0]
+	for i, p := range m.parts {
+		if !p.dead && keep(p) {
+			out = append(out, int32(i))
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		pa, pb := m.parts[out[a]], m.parts[out[b]]
+		if pa.tw != pb.tw {
+			return pa.tw < pb.tw
+		}
+		return out[a] < out[b]
+	})
+	m.idxScratch = out
+	return out
+}
+
+// neighborParts returns the distinct live partitions adjacent to parts[ci]
+// in the quotient, filtered by keep, ascending by (TW, index).
+func (m *mlState) neighborParts(q *quotient, ci int32, keep func(*mlPart) bool) []int32 {
+	var out []int32
+	seen := func(idx int32) bool {
+		for _, s := range out {
+			if s == idx {
+				return true
+			}
+		}
+		return false
+	}
+	add := func(v int32) {
+		idx := m.unitPart[v]
+		if idx == ci {
+			return
+		}
+		p := m.parts[idx]
+		if p.dead || !keep(p) || seen(idx) {
+			return
+		}
+		out = append(out, idx)
+	}
+	m.parts[ci].units.ForEach(func(u sdf.NodeID) {
+		for _, v := range q.succs(int32(u)) {
+			add(v)
+		}
+		for _, v := range q.preds(int32(u)) {
+			add(v)
+		}
+	})
+	sort.Slice(out, func(a, b int) bool {
+		pa, pb := m.parts[out[a]], m.parts[out[b]]
+		if pa.tw != pb.tw {
+			return pa.tw < pb.tw
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// mergePhase runs the three IO-bound-first rounds of Algorithm 1's phase 3
+// over whole partitions at coarse granularity, sweeping until no merge is
+// accepted.
+func (m *mlState) mergePhase(q *quotient) error {
+	specs := []struct{ candIO, partnerIO bool }{
+		{true, true},   // within the IO-bound list
+		{true, false},  // IO-bound against everything
+		{false, false}, // everything
+	}
+	for _, spec := range specs {
+		for {
+			merged := 0
+			order := append([]int32(nil), m.liveSorted(func(p *mlPart) bool {
+				return !spec.candIO || !p.est.ComputeBound()
+			})...)
+			for _, ci := range order {
+				a := m.parts[ci]
+				if a.dead {
+					continue
+				}
+				if err := m.cancelled(); err != nil {
+					return err
+				}
+				for _, pi := range m.neighborParts(q, ci, func(p *mlPart) bool {
+					return !spec.partnerIO || !p.est.ComputeBound()
+				}) {
+					b := m.parts[pi]
+					if b.dead {
+						continue
+					}
+					if m.extPath(q, a, b, nil) || m.extPath(q, b, a, nil) {
+						continue
+					}
+					union := mergeSorted(a.members, b.members)
+					est, err := m.estimateMembers(union)
+					if err != nil {
+						continue
+					}
+					sc := gcd64(a.scale, b.scale)
+					tw := est.TUS * float64(sc)
+					if tw >= a.tw+b.tw {
+						continue
+					}
+					m.commitMerge(ci, pi, union, est, sc, tw)
+					merged++
+					break
+				}
+			}
+			m.stats.MergeRounds++
+			m.stats.Merges += merged
+			if merged == 0 {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// extPath reports whether a quotient path leaves `from`, traverses only
+// units outside the candidate union, and enters `to`. All parts being
+// convex, the union is convex iff no such path exists between any ordered
+// pair of its constituents (a direct edge is plain adjacency, not a
+// violation). excl, when non-nil, is a further union member: its units are
+// inside the union, so a path entering them is not external — it is neither
+// followed nor counted as a hit (its own pair checks cover it). Topological
+// positions prune the search: along any path positions strictly increase,
+// so nothing at or beyond to's max position can reach it.
+func (m *mlState) extPath(q *quotient, from, to, excl *mlPart) bool {
+	if from.minPos >= to.maxPos {
+		return false
+	}
+	limit := to.maxPos
+	inside := func(v int32) bool {
+		return from.units.Has(sdf.NodeID(v)) || to.units.Has(sdf.NodeID(v)) ||
+			(excl != nil && excl.units.Has(sdf.NodeID(v)))
+	}
+	m.visit.Reset()
+	queue := m.queue[:0]
+	push := func(v int32) {
+		if q.topoPos[v] >= limit || m.visit.Has(sdf.NodeID(v)) {
+			return
+		}
+		m.visit.Add(sdf.NodeID(v))
+		queue = append(queue, v)
+	}
+	from.units.ForEach(func(u sdf.NodeID) {
+		for _, v := range q.succs(int32(u)) {
+			if !inside(v) {
+				push(v)
+			}
+		}
+	})
+	found := false
+	for len(queue) > 0 && !found {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, v := range q.succs(u) {
+			if to.units.Has(sdf.NodeID(v)) {
+				found = true
+				break
+			}
+			if !inside(v) {
+				push(v)
+			}
+		}
+	}
+	m.queue = queue[:0]
+	return found
+}
+
+// tripleConvex reports whether a ∪ b ∪ c is convex: any violating path would
+// route externally between two of the three (an external segment from a part
+// back to itself is ruled out by that part's own convexity), so checking the
+// six ordered pairs — each with the third part counted as interior — is
+// exact.
+func (m *mlState) tripleConvex(q *quotient, a, b, c *mlPart) bool {
+	return !m.extPath(q, a, b, c) && !m.extPath(q, b, a, c) &&
+		!m.extPath(q, a, c, b) && !m.extPath(q, c, a, b) &&
+		!m.extPath(q, b, c, a) && !m.extPath(q, c, b, a)
+}
+
+// threeWayPhase mirrors Algorithm 1's simultaneous phase at coarse
+// granularity: a partition plus two of its neighbours merge at once when the
+// pairwise criterion fails but the three-way one holds — the move that
+// collapses split-join fan-outs. Restarts the scan after each accepted
+// merge, as the exact phase does.
+func (m *mlState) threeWayPhase(q *quotient) error {
+	for {
+		mergedAny := false
+		for ci := int32(0); ci < int32(len(m.parts)) && !mergedAny; ci++ {
+			a := m.parts[ci]
+			if a.dead {
+				continue
+			}
+			if err := m.cancelled(); err != nil {
+				return err
+			}
+			neigh := m.neighborParts(q, ci, func(*mlPart) bool { return true })
+			sort.Slice(neigh, func(x, y int) bool { return neigh[x] < neigh[y] })
+			for x := 0; x < len(neigh) && !mergedAny; x++ {
+				for y := x + 1; y < len(neigh); y++ {
+					b, c := m.parts[neigh[x]], m.parts[neigh[y]]
+					if b.dead || c.dead {
+						continue
+					}
+					if !m.tripleConvex(q, a, b, c) {
+						continue
+					}
+					union := mergeSorted(mergeSorted(a.members, b.members), c.members)
+					est, err := m.estimateMembers(union)
+					if err != nil {
+						continue
+					}
+					sc := gcd64(gcd64(a.scale, b.scale), c.scale)
+					tw := est.TUS * float64(sc)
+					if tw >= a.tw+b.tw+c.tw {
+						continue
+					}
+					m.commitMerge(ci, neigh[x], union, est, sc, tw)
+					np := m.parts[len(m.parts)-1]
+					m.absorb(np, neigh[y])
+					m.stats.Merges++
+					mergedAny = true
+					break
+				}
+			}
+		}
+		m.stats.MergeRounds++
+		if !mergedAny {
+			break
+		}
+	}
+	return nil
+}
+
+// absorb folds partition pi into np (already committed as a merge of other
+// parts), extending its units, members and positions.
+func (m *mlState) absorb(np *mlPart, pi int32) {
+	c := m.parts[pi]
+	c.dead = true
+	np.unitCnt += c.unitCnt
+	np.minPos = min32(np.minPos, c.minPos)
+	np.maxPos = max32(np.maxPos, c.maxPos)
+	np.units.UnionWith(c.units)
+	self := int32(len(m.parts) - 1)
+	c.units.ForEach(func(u sdf.NodeID) { m.unitPart[u] = self })
+	for _, n := range c.members {
+		m.owner[n] = self
+	}
+}
+
+func (m *mlState) commitMerge(ci, pi int32, union []sdf.NodeID, est *pee.Estimate, sc int64, tw float64) {
+	a, b := m.parts[ci], m.parts[pi]
+	a.dead, b.dead = true, true
+	np := &mlPart{
+		units:   a.units, // a is dead; reuse its bitset
+		unitCnt: a.unitCnt + b.unitCnt,
+		members: union,
+		est:     est,
+		scale:   sc,
+		tw:      tw,
+		minPos:  min32(a.minPos, b.minPos),
+		maxPos:  max32(a.maxPos, b.maxPos),
+	}
+	np.units.UnionWith(b.units)
+	m.parts = append(m.parts, np)
+	idx := int32(len(m.parts) - 1)
+	np.units.ForEach(func(u sdf.NodeID) { m.unitPart[u] = idx })
+	for _, n := range union {
+		m.owner[n] = idx
+	}
+}
+
+// allNodesPhase attempts the single-partition compilation, the guarantee
+// that multi-partition output is never worse than one kernel (Algorithm 1's
+// last step).
+func (m *mlState) allNodesPhase(numUnits int) error {
+	if err := m.cancelled(); err != nil {
+		return err
+	}
+	if m.liveCount() <= 1 {
+		return nil
+	}
+	all := make([]sdf.NodeID, m.g.NumNodes())
+	for i := range all {
+		all[i] = sdf.NodeID(i)
+	}
+	est, err := m.estimateMembers(all)
+	if err != nil {
+		return nil // does not fit as one kernel; keep the multi-partition result
+	}
+	var sc int64
+	var combined float64
+	for _, p := range m.parts {
+		if !p.dead {
+			sc = gcd64(sc, p.scale)
+			combined += p.tw
+		}
+	}
+	tw := est.TUS * float64(sc)
+	if tw >= combined {
+		return nil
+	}
+	for _, p := range m.parts {
+		p.dead = true
+	}
+	units := sdf.NewNodeSet(numUnits)
+	for u := 0; u < numUnits; u++ {
+		units.Add(sdf.NodeID(u))
+	}
+	np := &mlPart{units: units, unitCnt: numUnits, members: all, est: est, scale: sc, tw: tw,
+		minPos: 0, maxPos: int32(numUnits) - 1}
+	m.parts = append(m.parts, np)
+	idx := int32(len(m.parts) - 1)
+	for u := range m.unitPart {
+		m.unitPart[u] = idx
+	}
+	for n := range m.owner {
+		m.owner[n] = idx
+	}
+	return nil
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// mergeSorted merges two ascending NodeID slices into a fresh slice.
+func mergeSorted(a, b []sdf.NodeID) []sdf.NodeID {
+	out := make([]sdf.NodeID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// subtractSorted returns a \ b for ascending slices (b ⊆ a in our usage).
+func subtractSorted(a, b []sdf.NodeID) []sdf.NodeID {
+	out := make([]sdf.NodeID, 0, len(a)-len(b))
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}

@@ -143,6 +143,9 @@ func (p *partitioner) windowsOfChain(chain []sdf.NodeID) ([]*Partition, error) {
 		}
 		j := i + 1
 		for j < len(chain) && p.assigned[chain[j]] == -1 {
+			if err := p.cancelled(); err != nil {
+				return nil, err
+			}
 			single, err := p.makePartition(sdf.SingletonSet(p.g.NumNodes(), chain[j]))
 			if err != nil {
 				return nil, err

@@ -56,8 +56,13 @@ type Result struct {
 	Graph *sdf.Graph
 	Parts []*Partition
 
-	// Phase trace for reporting: partition counts after each phase.
+	// Phase trace for reporting: partition counts after each phase. The
+	// multilevel path reports [seeds, after-merge, after-all-nodes,
+	// after-refine, final] in the same slots.
 	CountAfterPhase [5]int
+
+	// ML is non-nil when the multilevel path produced this result.
+	ML *MLStats
 }
 
 // TotalTWus sums the per-iteration workload of all partitions (the quantity
@@ -315,6 +320,9 @@ func (p *partitioner) phase1Pipelines() error {
 			}
 			j := i + 1
 			for j < len(chain) && p.assigned[chain[j]] == -1 {
+				if err := p.cancelled(); err != nil {
+					return err
+				}
 				curP := p.parts[cur]
 				single, err := p.makePartition(sdf.SingletonSet(p.g.NumNodes(), chain[j]))
 				if err != nil {
@@ -397,6 +405,9 @@ func (p *partitioner) phase2Remaining() error {
 				p.prewarmUnions(cands)
 			}
 			for _, k := range neighbors {
+				if err := p.cancelled(); err != nil {
+					return err
+				}
 				single, err := p.makePartition(sdf.SingletonSet(p.g.NumNodes(), k))
 				if err != nil {
 					return err
@@ -486,6 +497,9 @@ func (p *partitioner) phase3BoundMerging() error {
 					return p.parts[partners[a]].TWus() < p.parts[partners[b]].TWus()
 				})
 				for _, pi := range partners {
+					if err := p.cancelled(); err != nil {
+						return err
+					}
 					if pi == ci || p.parts[pi] == nil || p.parts[ci] == nil {
 						continue
 					}
@@ -561,6 +575,9 @@ func (p *partitioner) phase4Simultaneous() error {
 			neigh := p.neighborPartitions(ci)
 			for x := 0; x < len(neigh) && !mergedAny; x++ {
 				for y := x + 1; y < len(neigh); y++ {
+					if err := p.cancelled(); err != nil {
+						return err
+					}
 					qi, ri := neigh[x], neigh[y]
 					if p.parts[qi] == nil || p.parts[ri] == nil || p.parts[ci] == nil {
 						continue

@@ -140,6 +140,7 @@ type Engine struct {
 	queries    atomic.Int64
 	misses     atomic.Int64
 	collisions atomic.Int64
+	uncached   atomic.Int64
 
 	scratch sync.Pool // *estScratch
 }
@@ -192,6 +193,7 @@ type Stats struct {
 	Queries    int64 // EstimateSet calls
 	Misses     int64 // queries that computed a fresh estimate
 	Collisions int64 // memo inserts whose 64-bit hash bucket was occupied
+	Uncached   int64 // EstimateMembers calls (scored outside the memo)
 }
 
 // Hits returns the memoized-query count.
@@ -207,8 +209,12 @@ func (s Stats) HitRate() float64 {
 
 // String renders the snapshot for reports and stage provenance.
 func (s Stats) String() string {
-	return fmt.Sprintf("queries=%d hits=%d misses=%d hitRate=%.3f collisions=%d",
+	out := fmt.Sprintf("queries=%d hits=%d misses=%d hitRate=%.3f collisions=%d",
 		s.Queries, s.Hits(), s.Misses, s.HitRate(), s.Collisions)
+	if s.Uncached > 0 {
+		out += fmt.Sprintf(" uncached=%d", s.Uncached)
+	}
+	return out
 }
 
 // Stats returns the engine's instrumentation counters.
@@ -217,6 +223,7 @@ func (e *Engine) Stats() Stats {
 		Queries:    e.queries.Load(),
 		Misses:     e.misses.Load(),
 		Collisions: e.collisions.Load(),
+		Uncached:   e.uncached.Load(),
 	}
 }
 
@@ -291,6 +298,25 @@ func (e *Engine) EstimateSet(set sdf.NodeSet) (*Estimate, error) {
 	sh.mu.Unlock()
 	e.misses.Add(1)
 	return entry.est, entry.err
+}
+
+// EstimateMembers scores set like EstimateSet but entirely outside the memo:
+// no lookup, no stored clone of the set. The caller supplies set's member
+// list in ascending order, so no full bitset scan happens either — the call
+// is O(members + incident edges) regardless of parent graph size. The
+// multilevel partitioner uses it for coarse-candidate scoring, where cloning
+// a 10^6-capacity bitset per memo insert would dominate memory, and where
+// candidates are rarely re-queried.
+func (e *Engine) EstimateMembers(set sdf.NodeSet, members []sdf.NodeID) (*Estimate, error) {
+	e.uncached.Add(1)
+	if len(members) == 0 {
+		return nil, fmt.Errorf("sdf: Extract: empty set")
+	}
+	sc := e.scratch.Get().(*estScratch)
+	sc.view.FillMembers(e.Graph, set, members)
+	est, err := estimateView(&sc.view, e.Prof, sc)
+	e.scratch.Put(sc)
+	return est, err
 }
 
 // estimateInto scores one candidate set through the view path, reusing the

@@ -163,23 +163,16 @@ func (g *Graph) TopoOrder() ([]NodeID, error) {
 		}
 		indeg[e.Dst]++
 	}
-	queue := make([]NodeID, 0, len(g.Nodes))
+	queue := make(minIDHeap, 0, len(g.Nodes))
 	for _, n := range g.Nodes {
 		if indeg[n.ID] == 0 {
-			queue = append(queue, n.ID)
+			queue.push(n.ID)
 		}
 	}
 	order := make([]NodeID, 0, len(g.Nodes))
 	for len(queue) > 0 {
 		// Pop the smallest id for determinism.
-		best := 0
-		for i := 1; i < len(queue); i++ {
-			if queue[i] < queue[best] {
-				best = i
-			}
-		}
-		id := queue[best]
-		queue = append(queue[:best], queue[best+1:]...)
+		id := queue.pop()
 		order = append(order, id)
 		for _, eid := range g.OutEdges(id) {
 			e := g.Edges[eid]
@@ -188,7 +181,7 @@ func (g *Graph) TopoOrder() ([]NodeID, error) {
 			}
 			indeg[e.Dst]--
 			if indeg[e.Dst] == 0 {
-				queue = append(queue, e.Dst)
+				queue.push(e.Dst)
 			}
 		}
 	}
@@ -196,6 +189,51 @@ func (g *Graph) TopoOrder() ([]NodeID, error) {
 		return nil, fmt.Errorf("sdf: graph %s has a cycle without sufficient initial tokens", g.Name)
 	}
 	return order, nil
+}
+
+// minIDHeap is a binary min-heap of node ids. TopoOrder's "pop the smallest
+// ready id" rule used to be a linear scan, which made the whole ordering
+// quadratic; the heap keeps the identical output order at O((N+E) log N).
+type minIDHeap []NodeID
+
+func (h *minIDHeap) push(id NodeID) {
+	q := append(*h, id)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q[p] <= q[i] {
+			break
+		}
+		q[p], q[i] = q[i], q[p]
+		i = p
+	}
+	*h = q
+}
+
+func (h *minIDHeap) pop() NodeID {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(q) && q[l] < q[small] {
+			small = l
+		}
+		if r < len(q) && q[r] < q[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	*h = q
+	return top
 }
 
 // edgeBreaksCycle reports whether e carries enough delay tokens to decouple

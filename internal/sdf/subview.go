@@ -28,9 +28,22 @@ type SubView struct {
 // preconditions Extract enforces with errors; Fill's callers (the estimation
 // engine) check them once per query.
 func (v *SubView) Fill(g *Graph, set NodeSet) {
+	v.fill(g, set, set.AppendMembers(v.members[:0]))
+}
+
+// FillMembers is Fill for callers that already hold the member list of set in
+// ascending order (the multilevel partitioner tracks partitions as sorted
+// member slices): it skips the full bitset scan AppendMembers would do, which
+// matters when the parent graph has 10^6 nodes and the set a few dozen
+// members. members is copied into the view's own buffer.
+func (v *SubView) FillMembers(g *Graph, set NodeSet, members []NodeID) {
+	v.fill(g, set, append(v.members[:0], members...))
+}
+
+func (v *SubView) fill(g *Graph, set NodeSet, members []NodeID) {
 	v.G = g
 	v.Set = set
-	v.members = set.AppendMembers(v.members[:0])
+	v.members = members
 	if cap(v.pos) < len(g.Nodes) {
 		v.pos = make([]int32, len(g.Nodes))
 	}

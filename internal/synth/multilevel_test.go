@@ -1,0 +1,63 @@
+package synth
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"streammap/internal/driver"
+	"streammap/internal/gpu"
+	"streammap/internal/mapping"
+)
+
+// mlScenario pins one differential scenario at a filter count large enough
+// that the coarsening hierarchy is non-trivial but the exact path still
+// compiles in test time.
+func mlScenario(t *testing.T, seed uint64, filters, gpus int) *Scenario {
+	t.Helper()
+	tp := TopoParams{Seed: seed ^ 0x9E3779B97F4A7C15, GPUs: gpus, MaxDepth: 2}
+	topo, err := BuildTopology(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Scenario{
+		Name:   "ml",
+		GraphP: GraphParams{Seed: seed, Filters: filters, MaxOps: 512, SkewWork: true},
+		TopoP:  tp,
+		Opts: driver.Options{
+			Device:        gpu.M2090(),
+			Topo:          topo,
+			FragmentIters: 128,
+			Partitioner:   driver.Alg1,
+			Mapper:        driver.ILPMapper,
+			MapOptions:    mapping.Options{ILPMaxParts: 4, TimeBudget: 60 * time.Second},
+			Workers:       2,
+		},
+	}
+}
+
+// TestMultilevelDifferential holds the multilevel path to its pinned quality
+// contract against the exact path over a seeded corpus at sizes where both
+// run (DESIGN.md S15).
+func TestMultilevelDifferential(t *testing.T) {
+	type cell struct {
+		seed    uint64
+		filters int
+		gpus    int
+	}
+	cells := []cell{
+		{11, 1000, 2},
+		{12, 1000, 4},
+		{13, 2000, 4},
+	}
+	if !testing.Short() {
+		cells = append(cells, cell{14, 5000, 4})
+	}
+	ctx := context.Background()
+	for _, c := range cells {
+		sc := mlScenario(t, c.seed, c.filters, c.gpus)
+		if err := CheckMultilevel(ctx, sc, MLQualityBound); err != nil {
+			t.Errorf("filters=%d gpus=%d: %v", c.filters, c.gpus, err)
+		}
+	}
+}
