@@ -5,7 +5,7 @@
 //
 //	experiments [-exp all|fig4.1|fig4.2|fig4.3|fig4.4|table5.1|ablation|scaling] [-quick] [-fragments N]
 //	experiments -exp loadtest [-server-url URL] [-requests 200] [-rps 100]
-//	            [-fleet 16] [-mix hot|unique|mixed] [-seed S] [-verify]
+//	            [-fleet 16] [-mix hot|unique|mixed|nodeloss] [-seed S] [-verify]
 //
 // Full runs sweep every N of every application and can take several
 // minutes; -quick trims each sweep to three sizes.
@@ -13,8 +13,11 @@
 // -exp loadtest replays a seeded synthetic compile workload against a
 // streammapd server (started in-process on a loopback port when
 // -server-url is empty) and reports throughput, latency percentiles and
-// the server's cache/coalescing deltas. It is excluded from -exp all: it
-// benchmarks the serving layer, not the paper.
+// the server's cache/coalescing deltas. The nodeloss mix additionally
+// fails a device halfway through the run and feeds every subsequent
+// compile back through /v1/remap, asserting each in-flight request still
+// gets a valid degraded plan. It is excluded from -exp all: it benchmarks
+// the serving layer, not the paper.
 package main
 
 import (
@@ -41,7 +44,7 @@ func main() {
 	requests := flag.Int("requests", 200, "loadtest: total requests")
 	rps := flag.Float64("rps", 100, "loadtest: target request rate (0 = unpaced)")
 	fleet := flag.Int("fleet", 16, "loadtest: concurrent client workers")
-	mix := flag.String("mix", "mixed", "loadtest: traffic mix (hot, unique, mixed)")
+	mix := flag.String("mix", "mixed", "loadtest: traffic mix (hot, unique, mixed, nodeloss)")
 	seed := flag.Uint64("seed", 1, "loadtest: workload seed")
 	verify := flag.Bool("verify", false, "loadtest: check served artifacts against local compiles")
 	flag.Parse()

@@ -9,6 +9,8 @@
 //	          [-mapper ilp|prev] [-emit report|cuda|dot|run|artifact]
 //	          [-fragments 64] [-artifact-out file] [-stats]
 //	streammap -exec file.artifact.json [-fragments 64]
+//	streammap -remap file.artifact.json -drop-gpus "2,3" [-throttle "1:4:-"]
+//	          [-fragments 64] [-artifact-out degraded.artifact.json]
 //	streammap -batch "DES:8:4,FFT:64:2,DES:8:4" [-batch-workers 8]
 //	streammap -batch all
 //	streammap -synth 50 [-synth-seed S] [-synth-filters 28] [-synth-gpus 8]
@@ -20,6 +22,14 @@
 // writes the streammapd wire request (graph spec + options) for the same
 // compilation without running it locally — POST it to /v1/compile and the
 // response is the artifact.
+//
+// -remap decodes an artifact, removes the -drop-gpus devices and applies
+// the -throttle link derates to its embedded topology, and re-targets the
+// plan onto the surviving machine without recompiling (only the mapping
+// re-runs, warm-started from the pre-failure assignment). The degraded
+// plan is simulated and reported; with -artifact-out FILE the remapped
+// artifact is also written out, ready for -exec or streammapd's
+// /v1/remap.
 //
 // -stats prints, as one JSON line matching the shape streammapd's /stats
 // endpoint serves, the estimation engine's memo counters (queries, hits,
@@ -68,8 +78,11 @@ func main() {
 	partitioner := flag.String("partitioner", "alg1", "alg1 (paper), prev ([7], SM-only) or single (SPSG)")
 	mapper := flag.String("mapper", "ilp", "ilp (communication-aware) or prev (workload-only, via host)")
 	emit := flag.String("emit", "report", "report, cuda, dot, run, artifact or request (streammapd /v1/compile body)")
-	artifactOut := flag.String("artifact-out", "-", `output file for -emit artifact/request ("-" = stdout)`)
+	artifactOut := flag.String("artifact-out", "-", `output file for -emit artifact/request ("-" = stdout) and -remap ("-" = don't write)`)
 	execFile := flag.String("exec", "", "execute a previously emitted artifact file (no compilation)")
+	remapFile := flag.String("remap", "", "remap a previously emitted artifact file onto a degraded topology (with -drop-gpus/-throttle)")
+	dropGPUs := flag.String("drop-gpus", "", `comma-separated GPU indices lost to the degradation, e.g. "2,3" (with -remap)`)
+	throttle := flag.String("throttle", "", `comma-separated link derates "node:bandwidthGBs:latencyUS", "-" keeps a value, e.g. "1:4:-" (with -remap)`)
 	fragments := flag.Int("fragments", 64, "fragments for -emit run and -exec")
 	device := flag.String("device", "m2090", "m2090 or c2070")
 	batch := flag.String("batch", "", `batch mode: comma-separated app[:n[:gpus]] specs, or "all"; compiles concurrently through the compile service`)
@@ -91,6 +104,13 @@ func main() {
 	if *execFile != "" {
 		if err := runExec(*execFile, *fragments); err != nil {
 			fail("exec: %v", err)
+		}
+		return
+	}
+
+	if *remapFile != "" {
+		if err := runRemap(*remapFile, *dropGPUs, *throttle, *fragments, *artifactOut); err != nil {
+			fail("remap: %v", err)
 		}
 		return
 	}

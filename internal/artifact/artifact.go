@@ -164,6 +164,21 @@ type Stage struct {
 	Info       string `json:"info,omitempty"`
 }
 
+// RemapInfo is the degraded-operation provenance of a remapped artifact:
+// which machine the compilation originally targeted and what was reused.
+// driver.Remap stamps it; a cold compilation never carries one. Additive and
+// omitempty, so FormatVersion is unchanged and pre-remap decoders ignore it.
+type RemapInfo struct {
+	// FromTopo is the healthy topology the artifact was first compiled for.
+	FromTopo topology.Spec `json:"fromTopo"`
+	// FromObjective is the mapping objective (Tmax, µs) on the healthy
+	// machine, for degradation-cost reporting.
+	FromObjective float64 `json:"fromObjective"`
+	// Remerged is true when surviving devices were outnumbered by partitions
+	// and a partition re-merge beat remapping the original partitions.
+	Remerged bool `json:"remerged,omitempty"`
+}
+
 // Artifact is a complete, self-contained compilation result.
 type Artifact struct {
 	// Format is the encoding version (FormatVersion at encode time).
@@ -185,6 +200,10 @@ type Artifact struct {
 	// the artifact. Empty on results served from a cache without running
 	// any pass.
 	Stages []Stage `json:"stages,omitempty"`
+
+	// Remap is present iff this artifact was produced by remapping an
+	// earlier compilation onto a degraded topology (see RemapInfo).
+	Remap *RemapInfo `json:"remap,omitempty"`
 }
 
 // NumPartitions returns the partition count.

@@ -163,6 +163,10 @@ func (c *Compiled) Artifact() (*artifact.Artifact, error) {
 	for _, s := range c.Stages {
 		a.Stages = append(a.Stages, artifact.Stage{Name: s.Name, DurationNS: s.Duration.Nanoseconds(), Info: s.Info})
 	}
+	if c.RemapInfo != nil {
+		info := *c.RemapInfo
+		a.Remap = &info
+	}
 	return a, nil
 }
 
@@ -234,6 +238,10 @@ func FromArtifact(g *sdf.Graph, a *artifact.Artifact, opts Options) (*Compiled, 
 		TimesUS:       fragmentTimes(parts.Parts, opts),
 	}
 	c.Plan = buildPlan(g, opts, prof, parts.Parts, dg, assign.GPUOf)
+	if a.Remap != nil {
+		info := *a.Remap
+		c.RemapInfo = &info
+	}
 	return c, nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"time"
 
+	"streammap/internal/artifact"
 	"streammap/internal/gpu"
 	"streammap/internal/gpusim"
 	"streammap/internal/mapping"
@@ -191,6 +192,10 @@ type Compiled struct {
 
 	// Stages holds the per-pass timings of this compilation, in pass order.
 	Stages []StageMetric
+
+	// RemapInfo is non-nil when this result came from Remap rather than a
+	// cold compilation; Artifact() stamps it into the wire form.
+	RemapInfo *artifact.RemapInfo
 }
 
 // StageDuration returns the recorded wall-clock of the named pass (zero if

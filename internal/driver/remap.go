@@ -1,0 +1,418 @@
+package driver
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"streammap/internal/artifact"
+	"streammap/internal/mapping"
+	"streammap/internal/partition"
+	"streammap/internal/pdg"
+	"streammap/internal/pee"
+	"streammap/internal/sdf"
+	"streammap/internal/topology"
+)
+
+// RemapOptions tunes a Remap call. The compilation identity (device,
+// fragment size, partitioner, mapper, ILP budget) always comes from the
+// artifact: a remap re-targets an existing compilation, it does not start a
+// new one.
+type RemapOptions struct {
+	// Workers bounds the mapper portfolio's worker pool; 0 selects
+	// GOMAXPROCS. Wall-clock only, never the result.
+	Workers int
+
+	// GPUMap is the device survival map returned by topology.Degrade (and
+	// driver.Degrade): GPUMap[old] is the device's index in the degraded
+	// tree, -1 if it was lost. When present, the mapping stage warm-starts:
+	// the artifact's assignment is projected onto the survivors (displaced
+	// partitions re-placed longest-first onto the least-loaded device) and
+	// refined by local-search descents from that seed and a greedy reseed
+	// — the incremental path that makes remap an order of magnitude
+	// cheaper than a cold compile. When
+	// nil, the full mapper portfolio re-runs, which reproduces a cold
+	// compile's assignment exactly but re-pays its mapping cost.
+	GPUMap []int
+}
+
+// Remap re-targets a compiled artifact onto a degraded topology — GPUs
+// removed, links throttled (topology.Degrade) — without recompiling. The
+// profile, partitions and PDG are reused verbatim from the artifact: both
+// are functions of the graph and the device, not of the interconnect, so a
+// device falling off the bus invalidates only the partition-to-GPU mapping.
+// Only the mapping stage re-runs against the surviving devices — warm-
+// started from the pre-failure assignment when opts.GPUMap is given, the
+// full portfolio otherwise — plus plan reassembly.
+//
+// When the artifact's partitions outnumber the surviving GPUs, the
+// remapped objective regressed against the pre-failure plan, and the count
+// stays within remergeMaxParts (past which no candidate can win), Remap also
+// scores a re-merge candidate — the original partitions greedily merged down
+// toward the device count — and adopts it only when its mapped objective
+// strictly beats remapping the original partitions. The stage provenance of
+// the result names "remap" (and "remap-merge" when the candidate was
+// scored), never profile/partition/pdg/map: those passes did not run.
+//
+// The result's graph is a structural twin rebuilt from the artifact's
+// embedded spec (as in artifact.Execute): timing simulation and re-export
+// work, functional execution needs the caller's real graph.
+func Remap(ctx context.Context, a *artifact.Artifact, degraded *topology.Tree, opts RemapOptions) (*Compiled, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if degraded == nil {
+		return nil, fmt.Errorf("driver: remap: nil degraded topology")
+	}
+	if err := degraded.Validate(); err != nil {
+		return nil, err
+	}
+	healthy, err := ImportOptions(a.Options)
+	if err != nil {
+		return nil, err
+	}
+	dopts := healthy
+	dopts.Topo = degraded
+	dopts.Workers = opts.Workers
+	dopts = dopts.withDefaults()
+
+	g, err := sdf.ImportGraph(a.Graph)
+	if err != nil {
+		return nil, err
+	}
+	if fp := g.Fingerprint(); fp != a.Fingerprint {
+		return nil, fmt.Errorf("driver: remap: embedded graph fingerprints to %016x, artifact claims %016x", fp, a.Fingerprint)
+	}
+	if err := g.Steady(); err != nil {
+		return nil, err
+	}
+
+	// Rehydrate the topology-independent stage products verbatim.
+	prof, err := pee.ImportProfile(dopts.Device, a.Profile, g.NumNodes())
+	if err != nil {
+		return nil, err
+	}
+	parts, err := partition.ImportResult(g, a.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	dg, err := pdg.Import(g, parts.Parts, a.PDG)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Compiled{Graph: g, Options: dopts, Prof: prof, Engine: pee.NewEngine(g, prof), Parts: parts, PDG: dg}
+
+	start := time.Now()
+	c.Problem = remapProblem(dopts, dg, parts.Parts)
+	mode := "portfolio"
+	if opts.GPUMap != nil && dopts.Mapper == ILPMapper {
+		mode = "warm"
+		c.Assign, err = warmRemap(ctx, c.Problem, a, opts.GPUMap)
+	} else {
+		c.Assign, err = solveMapping(ctx, dopts, c.Problem)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.Stages = append(c.Stages, StageMetric{
+		Name:     "remap",
+		Duration: time.Since(start),
+		Info: fmt.Sprintf("%s; gpus %d->%d; parts %d; objective %g -> %g",
+			mode, len(a.Options.Topo.GPUNodes), degraded.NumGPUs(), len(parts.Parts), a.Assignment.Objective, c.Assign.Objective),
+	})
+
+	// The re-merge candidate is a repair for degradation-induced
+	// oversubscription: it is scored only when partitions outnumber the
+	// surviving devices, the remapped objective actually regressed against
+	// the pre-failure plan (an un-regressed plan has nothing to repair),
+	// and the scan is affordable (see remergeMaxParts).
+	remerged := false
+	if n := len(parts.Parts); n > degraded.NumGPUs() && n <= remergeMaxParts &&
+		c.Assign.Objective > a.Assignment.Objective {
+		start = time.Now()
+		info, err := c.tryRemerge(ctx, g)
+		if err != nil {
+			return nil, err
+		}
+		remerged = info.adopted
+		c.Stages = append(c.Stages, StageMetric{Name: "remap-merge", Duration: time.Since(start), Info: info.String()})
+	}
+
+	c.Plan = buildPlan(g, dopts, prof, c.Parts.Parts, c.PDG, c.Assign.GPUOf)
+	c.RemapInfo = &artifact.RemapInfo{
+		FromTopo:      a.Options.Topo,
+		FromObjective: a.Assignment.Objective,
+		Remerged:      remerged,
+	}
+	return c, nil
+}
+
+// remergeMaxParts caps the partition count at which the re-merge fallback
+// is scored. The greedy merge scan is O(P²) engine estimates per round;
+// far above the device count a merged candidate also loses systematically
+// — co-location already makes the traffic local, so merging can only save
+// per-kernel launch overhead while wave quantization inflates the fused
+// kernels — so past mild oversubscription the scan is all cost and no
+// candidate.
+const remergeMaxParts = 32
+
+// warmRemap is the incremental mapping path: project the artifact's
+// pre-failure assignment through the device survival map, re-place the
+// displaced partitions longest-first onto the least-loaded surviving
+// device, and descend from that seed to a local optimum of the exact
+// objective. Deterministic.
+func warmRemap(ctx context.Context, p *mapping.Problem, a *artifact.Artifact, gpuMap []int) (*mapping.Assignment, error) {
+	oldG, newG := len(a.Options.Topo.GPUNodes), p.Topo.NumGPUs()
+	if len(gpuMap) != oldG {
+		return nil, fmt.Errorf("driver: remap: survival map covers %d of %d pre-failure devices", len(gpuMap), oldG)
+	}
+	seen := make([]bool, newG)
+	for _, ng := range gpuMap {
+		if ng < 0 {
+			continue
+		}
+		if ng >= newG || seen[ng] {
+			return nil, fmt.Errorf("driver: remap: survival map is not injective into the %d surviving devices", newG)
+		}
+		seen[ng] = true
+	}
+	old := a.Assignment.GPUOf
+	seed := make([]int, len(old))
+	load := make([]float64, newG)
+	var displaced []int
+	for i, og := range old {
+		if og < 0 || og >= oldG {
+			return nil, fmt.Errorf("driver: remap: artifact assigns partition %d to GPU %d of %d", i, og, oldG)
+		}
+		if ng := gpuMap[og]; ng >= 0 {
+			seed[i] = ng
+			load[ng] += p.PartTimeUS(i)
+		} else {
+			seed[i] = -1
+			displaced = append(displaced, i)
+		}
+	}
+	sort.SliceStable(displaced, func(x, y int) bool {
+		return p.PartTimeUS(displaced[x]) > p.PartTimeUS(displaced[y])
+	})
+	for _, i := range displaced {
+		best := 0
+		for k := 1; k < newG; k++ {
+			if load[k] < load[best] {
+				best = k
+			}
+		}
+		seed[i] = best
+		load[best] += p.PartTimeUS(i)
+	}
+	// A greedy reseed — the strongest leg of the cold portfolio — guards
+	// against the projected seed descending into a poor local optimum on a
+	// reshaped topology. Both descents are deterministic and both complete
+	// before selection, so running them concurrently only cuts wall-clock.
+	// Ties keep the projection: it migrates the fewest partitions.
+	var gre *mapping.Assignment
+	greDone := make(chan struct{})
+	go func() {
+		defer close(greDone)
+		gre = mapping.Refine(ctx, p, mapping.Greedy(p).GPUOf)
+	}()
+	warm := mapping.Refine(ctx, p, seed)
+	<-greDone
+	if gre.Objective < warm.Objective-1e-9 {
+		return gre, nil
+	}
+	return warm, nil
+}
+
+// remapProblem assembles the mapping problem stageMap would build, from
+// rehydrated stage products.
+func remapProblem(opts Options, dg *pdg.PDG, parts []*partition.Partition) *mapping.Problem {
+	return &mapping.Problem{
+		PDG:           dg,
+		Topo:          opts.Topo,
+		FragmentIters: opts.FragmentIters,
+		NumSMs:        opts.Device.NumSMs,
+		LaunchUS:      opts.Device.KernelLaunchUS,
+		ViaHost:       opts.Mapper == PrevWorkMap,
+		TimesUS:       fragmentTimes(parts, opts),
+	}
+}
+
+// solveMapping runs the artifact's mapper on a problem, exactly as stageMap
+// dispatches it.
+func solveMapping(ctx context.Context, opts Options, p *mapping.Problem) (*mapping.Assignment, error) {
+	switch opts.Mapper {
+	case ILPMapper:
+		mo := opts.MapOptions
+		if mo.Workers == 0 {
+			mo.Workers = opts.Workers
+		}
+		return mapping.SolveCtx(ctx, p, mo)
+	case PrevWorkMap:
+		return mapping.PrevWork(p), nil
+	}
+	return nil, fmt.Errorf("driver: unknown mapper %d", opts.Mapper)
+}
+
+// remergeInfo reports how the re-merge candidate fared, for stage provenance.
+type remergeInfo struct {
+	from, to int
+	adopted  bool
+	cand     float64 // candidate objective (NaN when no merge was possible)
+	kept     float64 // incumbent objective
+}
+
+func (i remergeInfo) String() string {
+	verdict := "rejected"
+	if i.adopted {
+		verdict = "adopted"
+	}
+	if math.IsNaN(i.cand) {
+		return fmt.Sprintf("no feasible merge below %d parts", i.from)
+	}
+	return fmt.Sprintf("parts %d->%d; objective %g vs %g; %s", i.from, i.to, i.cand, i.kept, verdict)
+}
+
+// tryRemerge scores the fallback for partitions outnumbering surviving
+// devices: greedily merge the cheapest feasible adjacent partition pair
+// until the partition count reaches the GPU count (or no merge is feasible),
+// rebuild the PDG over the merged partitions, re-run the mapper, and adopt
+// the candidate only on strict objective improvement. Merging can beat
+// co-locating the original partitions on one GPU because a merged kernel
+// launches once and its internal traffic leaves the PDG entirely.
+func (c *Compiled) tryRemerge(ctx context.Context, g *sdf.Graph) (remergeInfo, error) {
+	info := remergeInfo{from: len(c.Parts.Parts), kept: c.Assign.Objective, cand: math.NaN()}
+	merged, err := remergeParts(ctx, g, c.Engine, c.Parts.Parts, c.Options.Topo.NumGPUs())
+	if err != nil {
+		return info, err
+	}
+	if merged == nil {
+		return info, nil // nothing merged: candidate identical to incumbent
+	}
+	dgM, err := pdg.Build(g, merged)
+	if err != nil {
+		return info, err
+	}
+	problem := remapProblem(c.Options, dgM, merged)
+	assign, err := solveMapping(ctx, c.Options, problem)
+	if err != nil {
+		return info, err
+	}
+	info.to = len(merged)
+	info.cand = assign.Objective
+	if assign.Objective < c.Assign.Objective {
+		info.adopted = true
+		c.Parts = &partition.Result{Graph: g, Parts: merged}
+		c.PDG = dgM
+		c.Problem = problem
+		c.Assign = assign
+	}
+	return info, nil
+}
+
+// remergeParts greedily merges connected, convex, schedulable partition
+// pairs — cheapest merged workload first — until `target` partitions remain
+// or no pair is feasible. Returns nil when no merge was possible at all.
+// The input partitions are not modified; merged partitions carry freshly
+// extracted subgraphs and engine estimates.
+func remergeParts(ctx context.Context, g *sdf.Graph, eng *pee.Engine, parts []*partition.Partition, target int) ([]*partition.Partition, error) {
+	if target < 1 {
+		target = 1
+	}
+	live := append([]*partition.Partition(nil), parts...)
+	mergedAny := false
+	// Pair estimates are memoized across rounds: merging one pair leaves
+	// every other union unchanged, so the scan re-pays the engine only for
+	// pairs touching the freshly merged partition. A nil entry records an
+	// infeasible union.
+	estCache := make(map[string]*pee.Estimate)
+	for len(live) > target {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		bi, bj := -1, -1
+		var bestEst *pee.Estimate
+		bestTW := math.Inf(1)
+		for i := 0; i < len(live); i++ {
+			for j := i + 1; j < len(live); j++ {
+				if !adjacentParts(g, live[i], live[j]) {
+					continue
+				}
+				union := live[i].Set.Union(live[j].Set)
+				if !g.IsConvex(union) {
+					continue
+				}
+				key := union.Key()
+				est, known := estCache[key]
+				if !known {
+					var err error
+					est, err = eng.EstimateSet(union)
+					if err != nil {
+						est = nil // SM violation or unschedulable: pair infeasible
+					}
+					estCache[key] = est
+				}
+				if est == nil {
+					continue
+				}
+				if tw := est.TUS * float64(eng.ScaleOf(union)); tw < bestTW {
+					bi, bj, bestEst, bestTW = i, j, est, tw
+				}
+			}
+		}
+		if bi == -1 {
+			break
+		}
+		union := live[bi].Set.Union(live[bj].Set)
+		sub, err := g.Extract(union)
+		if err != nil {
+			return nil, err
+		}
+		merged := &partition.Partition{Set: union, Sub: sub, Est: bestEst}
+		live = append(live[:bj], live[bj+1:]...)
+		live[bi] = merged
+		mergedAny = true
+	}
+	if !mergedAny {
+		return nil, nil
+	}
+	return live, nil
+}
+
+// adjacentParts reports whether a stream-graph edge joins the two partitions
+// in either direction.
+func adjacentParts(g *sdf.Graph, a, b *partition.Partition) bool {
+	adjacent := false
+	a.Set.ForEach(func(m sdf.NodeID) {
+		if adjacent {
+			return
+		}
+		for _, v := range g.Succ(m) {
+			if b.Set.Has(v) {
+				adjacent = true
+				return
+			}
+		}
+		for _, v := range g.Pred(m) {
+			if b.Set.Has(v) {
+				adjacent = true
+				return
+			}
+		}
+	})
+	return adjacent
+}
+
+// Degrade is a convenience re-export: it applies a degradation to the
+// healthy topology embedded in an artifact's options. Callers that already
+// hold a *topology.Tree use topology's Degrade directly.
+func Degrade(a *artifact.Artifact, d topology.Degradation) (*topology.Tree, []int, error) {
+	healthy, err := topology.Import(a.Options.Topo)
+	if err != nil {
+		return nil, nil, err
+	}
+	return healthy.Degrade(d)
+}

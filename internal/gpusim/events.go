@@ -189,6 +189,12 @@ func simulateTiming(in timingInput) (timingOutput, error) {
 	}
 
 	// startTransfer reserves the route at the earliest slot after `from`.
+	// Links are costed individually: on a heterogeneous tree each link holds
+	// for bytes over its own bandwidth, and the transfer completes after the
+	// slowest link drains plus the largest latency on the route (cut-through
+	// pipelining: the bottleneck link paces the whole route). On a
+	// homogeneous tree every hold is equal and the arithmetic below is
+	// bit-identical to start + latency + bytes/bandwidth.
 	startTransfer := func(from float64, r []int, bytes int64) float64 {
 		if len(r) == 0 || bytes <= 0 {
 			return from
@@ -197,12 +203,15 @@ func simulateTiming(in timingInput) (timingOutput, error) {
 		for _, l := range r {
 			start = math.Max(start, linkFree[l])
 		}
-		hold := float64(bytes) / (t.BandwidthGBs * 1e3)
+		lat, maxHold := 0.0, 0.0
 		for _, l := range r {
+			hold := float64(bytes) / (t.LinkBandwidthGBs(l) * 1e3)
 			linkFree[l] = start + hold
 			linkBusy[l] += hold
+			lat = math.Max(lat, t.LinkLatencyUS(l))
+			maxHold = math.Max(maxHold, hold)
 		}
-		return start + t.LatencyUS + hold
+		return start + lat + maxHold
 	}
 
 	dispatch := func(g int, now float64) {

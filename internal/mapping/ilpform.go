@@ -110,8 +110,8 @@ func buildILP(p *Problem) (*ilp.Model, *ilpLayout) {
 	// (III.2)+(III.3)+(III.7) per-link communication time under Tmax:
 	// Lat + D_l/BW <= Tmax, with D_l = Σ_e y_el·D_e·B + host I/O terms.
 	B := float64(p.FragmentIters)
-	usPerByte := 1 / (t.BandwidthGBs * 1e3)
 	for _, l := range t.Links() {
+		usPerByte := 1 / (t.LinkBandwidthGBs(l.ID) * 1e3)
 		var terms []ilp.Term
 		for ei, e := range p.PDG.Edges {
 			terms = append(terms, ilp.Term{
@@ -136,7 +136,7 @@ func buildILP(p *Problem) (*ilp.Model, *ilpLayout) {
 			}
 		}
 		terms = append(terms, ilp.Term{Var: lay.tmax, Coef: -1})
-		m.AddConstr(terms, ilp.LE, -t.LatencyUS, fmt.Sprintf("link_%d", l.ID))
+		m.AddConstr(terms, ilp.LE, -t.LinkLatencyUS(l.ID), fmt.Sprintf("link_%d", l.ID))
 	}
 
 	return m, lay
@@ -178,7 +178,7 @@ func (lay *ilpLayout) encode(m *ilp.Model, p *Problem, gpuOf []int) []float64 {
 		tmax = math.Max(tmax, v)
 	}
 	for l := range loads {
-		tmax = math.Max(tmax, t.LatencyUS+loads[l]/(t.BandwidthGBs*1e3))
+		tmax = math.Max(tmax, t.LinkLatencyUS(l)+loads[l]/(t.LinkBandwidthGBs(l)*1e3))
 	}
 	x[lay.tmax] = tmax
 	return x

@@ -126,7 +126,7 @@ func Evaluate(p *Problem, gpuOf []int, method string) *Assignment {
 	}
 	for l, load := range a.LinkLoads {
 		if load > 0 {
-			a.LinkTimes[l] = t.LatencyUS + float64(load)/(t.BandwidthGBs*1e3)
+			a.LinkTimes[l] = t.LinkLatencyUS(l) + float64(load)/(t.LinkBandwidthGBs(l)*1e3)
 			obj = math.Max(obj, a.LinkTimes[l])
 		}
 	}
@@ -247,9 +247,9 @@ func (ev *evaluator) objective(gpuOf []int) float64 {
 	for _, gt := range ev.gpuT {
 		obj = math.Max(obj, gt)
 	}
-	for _, load := range ev.loads {
+	for l, load := range ev.loads {
 		if load > 0 {
-			obj = math.Max(obj, t.LatencyUS+float64(load)/(t.BandwidthGBs*1e3))
+			obj = math.Max(obj, t.LinkLatencyUS(l)+float64(load)/(t.LinkBandwidthGBs(l)*1e3))
 		}
 	}
 	return obj
@@ -394,9 +394,9 @@ func (de *deltaEvaluator) objective() float64 {
 	for _, gt := range de.gpuT {
 		obj = math.Max(obj, gt)
 	}
-	for _, load := range de.loads {
+	for l, load := range de.loads {
 		if load > 0 {
-			obj = math.Max(obj, t.LatencyUS+float64(load)/(t.BandwidthGBs*1e3))
+			obj = math.Max(obj, t.LinkLatencyUS(l)+float64(load)/(t.LinkBandwidthGBs(l)*1e3))
 		}
 	}
 	return obj
@@ -416,6 +416,77 @@ func LocalSearch(p *Problem) *Assignment {
 // non-nil greedy supplies the precomputed first seed (SolveCtx reuses the
 // portfolio's greedy leg instead of recomputing it).
 func localSearchCtx(ctx context.Context, p *Problem, workers int, greedy *Assignment) *Assignment {
+	n := p.PDG.NumParts()
+	g := p.Topo.NumGPUs()
+	descend := descender(ctx, p, false)
+
+	var seeds [][]int
+	if greedy == nil {
+		greedy = Greedy(p)
+	}
+	seeds = append(seeds, greedy.GPUOf)
+	// Topological round-robin and block seeds.
+	rr := make([]int, n)
+	for pos, pi := range p.PDG.Topo {
+		rr[pi] = pos % g
+	}
+	seeds = append(seeds, rr)
+	blk := make([]int, n)
+	for pos, pi := range p.PDG.Topo {
+		blk[pi] = pos * g / n
+	}
+	seeds = append(seeds, blk)
+
+	results := make([]*Assignment, len(seeds))
+	if workers > 1 {
+		var wg sync.WaitGroup
+		for i := range seeds {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i] = descend(seeds[i])
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range seeds {
+			results[i] = descend(seeds[i])
+		}
+	}
+
+	var best *Assignment
+	for _, r := range results {
+		if best == nil || r.Objective < best.Objective {
+			best = r
+		}
+	}
+	best.Method = "local"
+	return best
+}
+
+// Refine descends from a caller-supplied seed to a local optimum with
+// LocalSearch's neighborhood, scan order and acceptance threshold — only
+// the multi-seed fan-out is skipped, which is what makes a warm start
+// cheap: from a near-optimal seed the descent converges in a round or two
+// instead of re-exploring from three cold seeds. Candidates are always
+// scored with the incremental (delta) evaluator regardless of instance
+// size; accepted assignments are re-scored exactly, so the returned
+// Objective is the exact evaluation either way. The driver's remap flow
+// seeds this with the pre-failure assignment projected onto the surviving
+// devices.
+func Refine(ctx context.Context, p *Problem, seed []int) *Assignment {
+	a := descender(ctx, p, true)(seed)
+	a.Method = "local"
+	return a
+}
+
+// descender returns the descent routine for a problem: the exact-objective
+// move/swap descent below, the delta-scored variant above
+// deltaEvalMinParts (or always, when forceDelta). Both share neighborhood,
+// scan order and acceptance threshold and re-score accepted assignments
+// exactly; which one filters candidates can differ only in float rounding
+// of rejected scores.
+func descender(ctx context.Context, p *Problem, forceDelta bool) func([]int) *Assignment {
 	n := p.PDG.NumParts()
 	g := p.Topo.NumGPUs()
 
@@ -532,52 +603,10 @@ func localSearchCtx(ctx context.Context, p *Problem, workers int, greedy *Assign
 			}
 		}
 	}
-	if n > deltaEvalMinParts {
-		descend = descendDelta
+	if forceDelta || n > deltaEvalMinParts {
+		return descendDelta
 	}
-
-	var seeds [][]int
-	if greedy == nil {
-		greedy = Greedy(p)
-	}
-	seeds = append(seeds, greedy.GPUOf)
-	// Topological round-robin and block seeds.
-	rr := make([]int, n)
-	for pos, pi := range p.PDG.Topo {
-		rr[pi] = pos % g
-	}
-	seeds = append(seeds, rr)
-	blk := make([]int, n)
-	for pos, pi := range p.PDG.Topo {
-		blk[pi] = pos * g / n
-	}
-	seeds = append(seeds, blk)
-
-	results := make([]*Assignment, len(seeds))
-	if workers > 1 {
-		var wg sync.WaitGroup
-		for i := range seeds {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				results[i] = descend(seeds[i])
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i := range seeds {
-			results[i] = descend(seeds[i])
-		}
-	}
-
-	var best *Assignment
-	for _, r := range results {
-		if best == nil || r.Objective < best.Objective {
-			best = r
-		}
-	}
-	best.Method = "local"
-	return best
+	return descend
 }
 
 // PrevWork is the previous work's mapper: workload balancing only (LPT on

@@ -72,11 +72,23 @@ func (c *Client) httpClient() *http.Client {
 // A 429 returns *Throttled; other failures return *StatusError or a
 // transport error.
 func (c *Client) Compile(ctx context.Context, req server.CompileRequest) (*artifact.Artifact, error) {
+	return c.postArtifact(ctx, "/v1/compile", req)
+}
+
+// Remap posts one remap request — an artifact plus the degradation that
+// hit its machine — and decodes the re-targeted artifact. Errors surface
+// exactly as for Compile.
+func (c *Client) Remap(ctx context.Context, req server.RemapRequest) (*artifact.Artifact, error) {
+	return c.postArtifact(ctx, "/v1/remap", req)
+}
+
+// postArtifact posts one JSON request to an artifact-answering route.
+func (c *Client) postArtifact(ctx context.Context, path string, req any) (*artifact.Artifact, error) {
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/compile", bytes.NewReader(payload))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,230 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streammap/internal/apps"
+	"streammap/internal/artifact"
+	"streammap/internal/driver"
+	"streammap/internal/mapping"
+	"streammap/internal/server"
+	"streammap/internal/server/client"
+	"streammap/internal/topology"
+)
+
+// scripted starts a test server answering every request with the given
+// handler and returns a client pointed at it.
+func scripted(t *testing.T, h http.HandlerFunc) *client.Client {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL)
+}
+
+// testArtifact compiles one small app so scripted handlers have real
+// artifact bytes to answer with.
+func testArtifact(t *testing.T) *artifact.Artifact {
+	t.Helper()
+	app, ok := apps.ByName("DES")
+	if !ok {
+		t.Fatal("unknown app DES")
+	}
+	g, err := apps.BuildGraph(app, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := driver.Compile(context.Background(), g, driver.Options{
+		Topo:       topology.PairedTree(2),
+		MapOptions: mapping.Options{ILPMaxParts: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Artifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestClientThrottledParsing: a 429 surfaces as *Throttled carrying the
+// server's Retry-After hint and message body, and IsThrottled sees it
+// through wrapping.
+func TestClientThrottledParsing(t *testing.T) {
+	cl := scripted(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte("compile queue full\n"))
+	})
+	_, err := cl.Compile(context.Background(), server.CompileRequest{})
+	if err == nil {
+		t.Fatal("429 answered without error")
+	}
+	d, ok := client.IsThrottled(err)
+	if !ok {
+		t.Fatalf("IsThrottled missed a 429: %v", err)
+	}
+	if d != 7*time.Second {
+		t.Errorf("Retry-After parsed as %s, want 7s", d)
+	}
+	var thr *client.Throttled
+	if !errors.As(err, &thr) || thr.Message != "compile queue full" {
+		t.Errorf("throttle message %q, want the trimmed body", thr.Message)
+	}
+}
+
+// TestClientThrottledDefaultRetry: a 429 with a missing or garbled
+// Retry-After header falls back to the 1s default instead of failing.
+func TestClientThrottledDefaultRetry(t *testing.T) {
+	for _, header := range []string{"", "soon", "-3"} {
+		cl := scripted(t, func(w http.ResponseWriter, r *http.Request) {
+			if header != "" {
+				w.Header().Set("Retry-After", header)
+			}
+			w.WriteHeader(http.StatusTooManyRequests)
+		})
+		_, err := cl.Compile(context.Background(), server.CompileRequest{})
+		d, ok := client.IsThrottled(err)
+		if !ok {
+			t.Fatalf("Retry-After %q: IsThrottled missed a 429: %v", header, err)
+		}
+		if d != time.Second {
+			t.Errorf("Retry-After %q parsed as %s, want the 1s default", header, d)
+		}
+	}
+}
+
+// TestClientStatusError: non-200/429 statuses surface as *StatusError with
+// the status code and a body trimmed to a diagnosable size.
+func TestClientStatusError(t *testing.T) {
+	longBody := strings.Repeat("x", 400)
+	cl := scripted(t, func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/compile":
+			http.Error(w, "importing graph: empty graph", http.StatusBadRequest)
+		default:
+			http.Error(w, longBody, http.StatusInternalServerError)
+		}
+	})
+	_, err := cl.Compile(context.Background(), server.CompileRequest{})
+	var se *client.StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("400 surfaced as %v, want *StatusError", err)
+	}
+	if se.Status != http.StatusBadRequest || se.Message != "importing graph: empty graph" {
+		t.Errorf("StatusError %d %q, want 400 with the body", se.Status, se.Message)
+	}
+	if _, ok := client.IsThrottled(err); ok {
+		t.Error("IsThrottled claimed a 400")
+	}
+
+	_, err = cl.Remap(context.Background(), server.RemapRequest{})
+	if !errors.As(err, &se) {
+		t.Fatalf("500 surfaced as %v, want *StatusError", err)
+	}
+	if se.Status != http.StatusInternalServerError {
+		t.Errorf("status %d, want 500", se.Status)
+	}
+	if len(se.Message) != 300+len("...") || !strings.HasSuffix(se.Message, "...") {
+		t.Errorf("oversized body not trimmed to 300+ellipsis: %d bytes", len(se.Message))
+	}
+}
+
+// TestClientContextCancellationMidRequest: cancelling the caller's context
+// while the server is still thinking aborts the request promptly with a
+// context error, not a hang or a mangled response.
+func TestClientContextCancellationMidRequest(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	cl := scripted(t, func(w http.ResponseWriter, r *http.Request) {
+		once.Do(func() { close(started) })
+		<-release // hold the response until the test ends
+	})
+	t.Cleanup(func() { close(release) })
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Compile(ctx, server.CompileRequest{})
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled request returned a response")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled request failed with %v, want a context.Canceled chain", err)
+		}
+		if _, ok := client.IsThrottled(err); ok {
+			t.Error("IsThrottled claimed a cancellation")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled request did not return within 5s")
+	}
+}
+
+// TestClientRemapRoute: Remap posts the wire request to /v1/remap with the
+// degradation intact and decodes the artifact the server answers with.
+func TestClientRemapRoute(t *testing.T) {
+	a := testArtifact(t)
+	body, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := topology.Degradation{
+		RemoveGPUs: []int{1},
+		Throttles:  []topology.Throttle{{Node: 1, BandwidthGBs: 4, LatencyUS: -1}},
+	}
+	cl := scripted(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/remap" {
+			t.Errorf("remap posted to %s %s, want POST /v1/remap", r.Method, r.URL.Path)
+		}
+		var req server.RemapRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decoding relayed request: %v", err)
+		}
+		if len(req.Degradation.RemoveGPUs) != 1 || req.Degradation.RemoveGPUs[0] != 1 {
+			t.Errorf("degradation lost its removals on the wire: %+v", req.Degradation)
+		}
+		if len(req.Degradation.Throttles) != 1 || req.Degradation.Throttles[0].LatencyUS != -1 {
+			t.Errorf("degradation lost its throttle on the wire: %+v", req.Degradation)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	})
+	req, err := server.NewRemapRequest(a, deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Remap(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := driver.EquivalentArtifacts(a, got); err != nil {
+		t.Errorf("artifact mangled through the remap route: %v", err)
+	}
+}
+
+// TestClientHealthzStatusError: a draining server's 503 healthz surfaces
+// as a StatusError, which is what a load-balancer probe keys on.
+func TestClientHealthzStatusError(t *testing.T) {
+	cl := scripted(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"status":"draining"}`, http.StatusServiceUnavailable)
+	})
+	err := cl.Healthz(context.Background())
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz surfaced as %v, want StatusError 503", err)
+	}
+}

@@ -12,6 +12,10 @@
 //   - mixed: half hot-set draws, half one-shot graphs; the realistic blend
 //     (the generated pool also mixes device models, GPU counts,
 //     partitioners and mappers, so no two keys cost the same).
+//   - nodeloss: hot-set traffic during which a device fails mid-run; every
+//     compile served after the failure is fed back through /v1/remap with
+//     that artifact's last GPU removed, and the remapped plan is checked
+//     for remap provenance. Exercises degraded serving under load.
 package loadtest
 
 import (
@@ -20,6 +24,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streammap/internal/artifact"
@@ -28,6 +33,7 @@ import (
 	"streammap/internal/server"
 	"streammap/internal/server/client"
 	"streammap/internal/synth"
+	"streammap/internal/topology"
 )
 
 // Mix names a traffic pattern.
@@ -35,9 +41,10 @@ type Mix string
 
 // Traffic mixes.
 const (
-	MixHot    Mix = "hot"
-	MixUnique Mix = "unique"
-	MixMixed  Mix = "mixed"
+	MixHot      Mix = "hot"
+	MixUnique   Mix = "unique"
+	MixMixed    Mix = "mixed"
+	MixNodeLoss Mix = "nodeloss"
 )
 
 // Params configures one load-test run.
@@ -46,7 +53,7 @@ type Params struct {
 	Requests int           // total requests (default 200)
 	RPS      float64       // target offered rate; 0 = as fast as the fleet allows
 	Fleet    int           // concurrent client workers (default 16)
-	Mix      Mix           // hot | unique | mixed (default mixed)
+	Mix      Mix           // hot | unique | mixed | nodeloss (default mixed)
 	HotKeys  int           // hot-set size for hot/mixed (default 4)
 	Timeout  time.Duration // per-request deadline (default 30s)
 
@@ -107,6 +114,14 @@ type Result struct {
 	// request to a serving layer.
 	Before, After *server.Stats
 
+	// Remaps counts remap requests issued after the simulated device
+	// failure (nodeloss mix only; not counted in Sent); RemapOK counts the
+	// ones that came back as a valid remapped plan. A remap that returns an
+	// invalid plan — or an error other than a 429 — lands in Errors;
+	// remap 429s land in Throttled.
+	Remaps  int
+	RemapOK int
+
 	// Verified counts unique served artifacts checked against local
 	// compilation; VerifyErrors lists the mismatches (empty when Verify is
 	// off or everything matched).
@@ -154,7 +169,7 @@ func Run(ctx context.Context, cl *client.Client, p Params) (*Result, error) {
 	}
 	for i := range seq {
 		switch p.Mix {
-		case MixHot:
+		case MixHot, MixNodeLoss:
 			seq[i] = drawHot()
 		case MixUnique:
 			seq[i] = nextUnique
@@ -188,7 +203,16 @@ func Run(ctx context.Context, cl *client.Client, p Params) (*Result, error) {
 	// Fleet workers drain a paced feed. Pacing happens on the feed, not in
 	// the workers, so a slow response doesn't silently lower the offered
 	// rate of everyone else (open-loop, up to the fleet size).
+	//
+	// For the nodeloss mix, deviceDown flips halfway through the offered
+	// sequence — the simulated fleet event. From then on, every compile a
+	// worker gets back is a plan for a machine that just lost a device, so
+	// the worker feeds it straight back through /v1/remap (dropping the
+	// artifact's last GPU) and checks the degraded plan it receives.
+	// Compiles already in flight at the flip remap too: that is the point —
+	// no in-flight request is stranded without a servable plan.
 	feed := make(chan int)
+	var deviceDown atomic.Bool
 	var (
 		mu        sync.Mutex
 		latencies []float64
@@ -226,6 +250,9 @@ func Run(ctx context.Context, cl *client.Client, p Params) (*Result, error) {
 					}
 				}
 				mu.Unlock()
+				if err == nil && deviceDown.Load() && len(a.Options.Topo.GPUNodes) >= 2 {
+					remapServed(ctx, cl, a, p.Timeout, &mu, res)
+				}
 			}
 		}()
 	}
@@ -235,7 +262,10 @@ func Run(ctx context.Context, cl *client.Client, p Params) (*Result, error) {
 	}
 	tick := start
 feedLoop:
-	for _, i := range seq {
+	for pos, i := range seq {
+		if p.Mix == MixNodeLoss && pos == len(seq)/2 {
+			deviceDown.Store(true)
+		}
 		select {
 		case feed <- i:
 		case <-ctx.Done():
@@ -284,6 +314,61 @@ feedLoop:
 	return res, nil
 }
 
+// remapServed feeds one served artifact back through /v1/remap with its
+// last GPU removed and records the outcome under mu. Every response must
+// be a valid plan for the degraded machine with pure remap provenance.
+func remapServed(ctx context.Context, cl *client.Client, a *artifact.Artifact, timeout time.Duration, mu *sync.Mutex, res *Result) {
+	d := topology.Degradation{RemoveGPUs: []int{len(a.Options.Topo.GPUNodes) - 1}}
+	req, err := server.NewRemapRequest(a, d)
+	var ra *artifact.Artifact
+	if err == nil {
+		rctx, cancel := context.WithTimeout(ctx, timeout)
+		ra, err = cl.Remap(rctx, req)
+		cancel()
+	}
+	if err == nil {
+		err = validRemap(a, ra)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	res.Remaps++
+	switch {
+	case err == nil:
+		res.RemapOK++
+	default:
+		if _, ok := client.IsThrottled(err); ok {
+			res.Throttled++
+			return
+		}
+		res.Errors++
+		if res.FirstError == "" {
+			res.FirstError = "remap: " + err.Error()
+		}
+	}
+}
+
+// validRemap checks a remapped artifact against the original it was
+// derived from: remap provenance present and pointing back at the healthy
+// topology, no pipeline stage re-run, one device gone. (artifact.Decode
+// already validated the plan's internal consistency client-side.)
+func validRemap(orig, ra *artifact.Artifact) error {
+	if ra.Remap == nil {
+		return fmt.Errorf("remapped artifact carries no remap provenance")
+	}
+	if got, want := len(ra.Remap.FromTopo.GPUNodes), len(orig.Options.Topo.GPUNodes); got != want {
+		return fmt.Errorf("remap provenance records a %d-GPU origin, want %d", got, want)
+	}
+	for _, s := range ra.Stages {
+		if s.Name != "remap" && s.Name != "remap-merge" {
+			return fmt.Errorf("remapped artifact re-ran pipeline stage %q", s.Name)
+		}
+	}
+	if got, want := len(ra.Options.Topo.GPUNodes), len(orig.Options.Topo.GPUNodes)-1; got != want {
+		return fmt.Errorf("remapped topology has %d GPUs, want %d", got, want)
+	}
+	return nil
+}
+
 // localArtifact compiles a wire request locally — the fidelity reference
 // the served artifact must match bit for bit (Stages excepted).
 func localArtifact(ctx context.Context, req server.CompileRequest) (*artifact.Artifact, error) {
@@ -310,6 +395,9 @@ func (r *Result) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "  sent %d in %.2fs (%.1f req/s): %d ok, %d throttled, %d errors, %d unique graphs\n",
 		r.Sent, r.Duration.Seconds(), r.AchievedRPS, r.OK, r.Throttled, r.Errors, r.Unique)
 	fmt.Fprintf(w, "  latency p50 %.2fms  p95 %.2fms  p99 %.2fms\n", r.P50MS, r.P95MS, r.P99MS)
+	if r.Params.Mix == MixNodeLoss {
+		fmt.Fprintf(w, "  nodeloss: %d remaps issued after device failure, %d valid degraded plans\n", r.Remaps, r.RemapOK)
+	}
 	if r.Before != nil && r.After != nil {
 		b, a := r.Before.Service, r.After.Service
 		fmt.Fprintf(w, "  server: +%d compiles, +%d memory hits, +%d disk hits, +%d coalesced, +%d rejected\n",

@@ -33,9 +33,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"streammap/internal/artifact"
 	"streammap/internal/core"
 	"streammap/internal/driver"
 	"streammap/internal/sdf"
+	"streammap/internal/topology"
 )
 
 // Config tunes a compile server.
@@ -112,6 +114,7 @@ type Server struct {
 	respBound int
 
 	requests  atomic.Int64
+	remaps    atomic.Int64
 	inFlight  atomic.Int64
 	queued    atomic.Int64
 	coalesced atomic.Int64
@@ -159,11 +162,13 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 // Handler returns the server's routes:
 //
 //	POST /v1/compile  CompileRequest -> encoded artifact
+//	POST /v1/remap    RemapRequest -> encoded artifact for the degraded machine
 //	GET  /healthz     liveness (503 while draining)
 //	GET  /stats       Stats counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("POST /v1/remap", s.handleRemap)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
@@ -174,6 +179,7 @@ func (s *Server) Stats() Stats {
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      s.requests.Load(),
+		Remaps:        s.remaps.Load(),
 		InFlight:      s.inFlight.Load(),
 		Queued:        s.queued.Load(),
 		Coalesced:     s.coalesced.Load(),
@@ -228,10 +234,64 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	s.serveFlight(w, r, start, key, func(ctx context.Context) (int, string, []byte) {
+		return s.compile(ctx, g, opts)
+	})
+}
 
-	// Coalesce before admission: joiners ride an existing flight without
-	// consuming a slot or queue space, so a thundering herd of one graph
-	// can never trip its own backpressure.
+// handleRemap re-targets a previously compiled artifact onto a degraded
+// topology. It rides the same admission and coalescing path as compile —
+// a fleet event takes out a device under many clients at once, and their
+// identical (artifact, degradation) requests must cost one remap, not a
+// stampede — but bypasses the compile cache: the artifact is the input,
+// not a cache key.
+func (s *Server) handleRemap(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.remaps.Add(1)
+	start := time.Now()
+	if s.draining.Load() {
+		s.errs.Add(1)
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
+
+	var req RemapRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	a, err := artifact.Decode(req.Artifact)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding artifact: %w", err))
+		return
+	}
+	// Degrading up front validates the event against the artifact's own
+	// topology (a stale picture of the machine is the client's error, not
+	// the server's) and hands Remap the survival map for its warm start.
+	degraded, gpuMap, err := driver.Degrade(a, req.Degradation)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := remapKey(a, req.Degradation)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.serveFlight(w, r, start, key, func(ctx context.Context) (int, string, []byte) {
+		return s.remap(ctx, a, degraded, gpuMap)
+	})
+}
+
+// serveFlight answers one request through the flight table: joiners ride
+// an existing flight for key, otherwise this request leads — it passes
+// admission, runs run under the request timeout, and resolves the flight
+// for every joiner. Coalescing happens before admission: joiners never
+// consume a slot or queue space, so a thundering herd of one key can
+// never trip its own backpressure.
+func (s *Server) serveFlight(w http.ResponseWriter, r *http.Request, start time.Time, key string,
+	run func(ctx context.Context) (status int, contentType string, body []byte)) {
 	s.flightMu.Lock()
 	if call, ok := s.flight[key]; ok {
 		s.flightMu.Unlock()
@@ -266,7 +326,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		case <-call.done:
 		default:
 			resolve(http.StatusInternalServerError, "text/plain; charset=utf-8",
-				[]byte("internal error: compile handler aborted\n"))
+				[]byte("internal error: request handler aborted\n"))
 		}
 	}()
 
@@ -289,7 +349,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	status, contentType, payload := s.compile(ctx, g, opts)
+	status, contentType, payload := run(ctx)
 	resolve(status, contentType, payload)
 	s.finish(w, call, start)
 }
@@ -324,23 +384,49 @@ func (s *Server) admit(ctx context.Context) (release func(), ok bool) {
 func (s *Server) compile(ctx context.Context, g *sdf.Graph, opts core.Options) (status int, contentType string, body []byte) {
 	c, err := s.svc.Compile(ctx, g, opts)
 	if err != nil {
-		status := http.StatusInternalServerError
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			status = http.StatusGatewayTimeout
-		case errors.Is(err, context.Canceled):
-			// The leader's client vanished mid-compile; any coalesced
-			// joiners should retry (the detached compilation is still
-			// populating the cache), not report a server error.
-			status = http.StatusServiceUnavailable
-		}
-		return status, "text/plain; charset=utf-8", []byte(err.Error() + "\n")
+		return errorResponse(err)
 	}
 	body, err = s.encodedResponse(c)
 	if err != nil {
 		return http.StatusInternalServerError, "text/plain; charset=utf-8", []byte(err.Error() + "\n")
 	}
 	return http.StatusOK, "application/json", body
+}
+
+// remap runs one admitted remap to its response triple. No response memo:
+// remaps are rare fleet events whose herds the flight table already
+// coalesces, and the input artifact — not a service cache entry — is the
+// identity, so there is no *core.Compiled to memoize under.
+func (s *Server) remap(ctx context.Context, a *artifact.Artifact, degraded *topology.Tree, gpuMap []int) (status int, contentType string, body []byte) {
+	c, err := driver.Remap(ctx, a, degraded, driver.RemapOptions{Workers: s.cfg.CompileWorkers, GPUMap: gpuMap})
+	if err != nil {
+		return errorResponse(err)
+	}
+	ra, err := c.Artifact()
+	if err != nil {
+		return http.StatusInternalServerError, "text/plain; charset=utf-8", []byte(err.Error() + "\n")
+	}
+	s.encodes.Add(1)
+	body, err = ra.Encode()
+	if err != nil {
+		return http.StatusInternalServerError, "text/plain; charset=utf-8", []byte(err.Error() + "\n")
+	}
+	return http.StatusOK, "application/json", body
+}
+
+// errorResponse maps a pipeline error to its response triple. Deadline
+// expiry is the request timeout (504). Cancellation means the leader's
+// client vanished mid-run; any coalesced joiners should retry (a detached
+// compile is still populating the cache), not report a server error.
+func errorResponse(err error) (int, string, []byte) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	}
+	return status, "text/plain; charset=utf-8", []byte(err.Error() + "\n")
 }
 
 // encodedResponse returns the artifact encoding of a compilation,

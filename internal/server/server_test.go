@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -393,6 +394,98 @@ func TestEndToEndLoadTest(t *testing.T) {
 	}
 	if res.Throttled > 0 && st.Rejected == 0 {
 		t.Errorf("clients saw %d throttles but the server counted none", res.Throttled)
+	}
+}
+
+// TestServerRemapEndpoint: a served artifact fed back through /v1/remap
+// with a device removed and a link throttled comes back as a valid plan
+// for the degraded machine, identical to a local warm remap, with pure
+// remap provenance; malformed or stale degradations answer 400.
+func TestServerRemapEndpoint(t *testing.T) {
+	srv, cl := startServer(t, server.Config{})
+	ctx := context.Background()
+	g := appGraph(t, "DES", 8)
+	a, err := cl.Compile(ctx, server.NewRequest(g, testOpts(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deg := topology.Degradation{
+		RemoveGPUs: []int{3},
+		Throttles:  []topology.Throttle{{Node: 1, BandwidthGBs: 4, LatencyUS: -1}},
+	}
+	req, err := server.NewRemapRequest(a, deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := cl.Remap(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Remap == nil {
+		t.Fatal("remapped artifact carries no remap provenance")
+	}
+	if got := len(ra.Options.Topo.GPUNodes); got != 3 {
+		t.Errorf("remapped topology has %d GPUs, want 3", got)
+	}
+	if got := len(ra.Remap.FromTopo.GPUNodes); got != 4 {
+		t.Errorf("remap provenance records a %d-GPU origin, want 4", got)
+	}
+	for _, s := range ra.Stages {
+		if s.Name != "remap" && s.Name != "remap-merge" {
+			t.Errorf("served remap re-ran pipeline stage %q", s.Name)
+		}
+	}
+
+	// The server must take the warm path: its answer is the local warm
+	// remap, bit for bit (Stages provenance exempted).
+	degraded, gpuMap, err := driver.Degrade(a, deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := driver.Remap(ctx, a, degraded, driver.RemapOptions{GPUMap: gpuMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := c.Artifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := driver.EquivalentArtifacts(local, ra); err != nil {
+		t.Errorf("served remap differs from local warm remap: %v", err)
+	}
+
+	// Stale or impossible degradations are the client's error, not a 500.
+	for name, bad := range map[string]topology.Degradation{
+		"remove all GPUs":     {RemoveGPUs: []int{0, 1, 2, 3}},
+		"remove unknown GPU":  {RemoveGPUs: []int{9}},
+		"throttle stale node": {RemoveGPUs: []int{3}, Throttles: []topology.Throttle{{Node: 99, BandwidthGBs: 1}}},
+	} {
+		breq, err := server.NewRemapRequest(a, bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = cl.Remap(ctx, breq)
+		var se *client.StatusError
+		if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
+			t.Errorf("%s: answered %v, want StatusError 400", name, err)
+		}
+	}
+	raw, err := http.Post(cl.BaseURL+"/v1/remap", "application/json", strings.NewReader(`{"artifact":{"format":999}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Body.Close()
+	if raw.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage artifact answered %d, want 400", raw.StatusCode)
+	}
+
+	st := srv.Stats()
+	if st.Remaps != 5 {
+		t.Errorf("server counted %d remap requests, want 5", st.Remaps)
+	}
+	if st.Service.Misses != 1 {
+		t.Errorf("remapping ran %d pipeline compiles, want the 1 original", st.Service.Misses)
 	}
 }
 

@@ -22,7 +22,8 @@ type LatencyStats struct {
 // cache and estimation-engine aggregates.
 type Stats struct {
 	UptimeSeconds float64 `json:"uptimeSeconds"`
-	Requests      int64   `json:"requests"`        // compile requests received
+	Requests      int64   `json:"requests"`        // requests received (compile + remap)
+	Remaps        int64   `json:"remaps"`          // remap requests received (also counted in Requests)
 	InFlight      int64   `json:"inFlight"`        // leaders holding a compile slot
 	Queued        int64   `json:"queued"`          // leaders waiting for a slot
 	Coalesced     int64   `json:"coalesced"`       // requests that joined another request's flight

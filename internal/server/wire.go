@@ -7,6 +7,7 @@ import (
 	"streammap/internal/artifact"
 	"streammap/internal/driver"
 	"streammap/internal/sdf"
+	"streammap/internal/topology"
 )
 
 // CompileRequest is the wire form of one compile call: the structural
@@ -30,6 +31,25 @@ func NewRequest(g *sdf.Graph, opts driver.Options) CompileRequest {
 	}
 }
 
+// RemapRequest is the wire form of one remap call: a previously served
+// (or locally exported) artifact plus the degradation to re-target it
+// through. The artifact travels as its own encoding — the same bytes a
+// compile response carries — so a client can feed a compile response
+// straight back when a device drops out from under it.
+type RemapRequest struct {
+	Artifact    json.RawMessage      `json:"artifact"`
+	Degradation topology.Degradation `json:"degradation"`
+}
+
+// NewRemapRequest builds the wire request for re-targeting a through d.
+func NewRemapRequest(a *artifact.Artifact, d topology.Degradation) (RemapRequest, error) {
+	b, err := a.Encode()
+	if err != nil {
+		return RemapRequest{}, err
+	}
+	return RemapRequest{Artifact: b, Degradation: d}, nil
+}
+
 // requestKey is the coalescing identity of a request: the graph
 // fingerprint plus the canonical (deterministically marshalled) wire form
 // of the normalized options — the same identity the core.Service cache
@@ -40,4 +60,21 @@ func requestKey(fingerprint uint64, w artifact.Options) (string, error) {
 		return "", err
 	}
 	return fmt.Sprintf("%016x|%s", fingerprint, b), nil
+}
+
+// remapKey is the coalescing identity of a remap: the artifact's compile
+// identity (fingerprint + normalized options, exactly requestKey) plus the
+// canonical wire form of the degradation. The "remap|" prefix keeps the
+// keyspace disjoint from compile flights, whose keys start with bare
+// fingerprint hex — both kinds share one flight table.
+func remapKey(a *artifact.Artifact, d topology.Degradation) (string, error) {
+	ck, err := requestKey(a.Fingerprint, a.Options)
+	if err != nil {
+		return "", err
+	}
+	db, err := json.Marshal(d)
+	if err != nil {
+		return "", err
+	}
+	return "remap|" + ck + "|" + string(db), nil
 }

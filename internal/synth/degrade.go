@@ -1,0 +1,169 @@
+// Degradation differential: for any scenario, losing devices or link
+// capacity mid-flight and remapping the compiled artifact must yield a
+// plan that is structurally valid on the degraded machine, provably free
+// of pipeline re-runs, and competitive with compiling cold against the
+// degraded topology. Over seeded corpora this turns "remap works on the
+// paper apps" into a family-wide guarantee.
+package synth
+
+import (
+	"context"
+	"fmt"
+
+	"streammap/internal/driver"
+	"streammap/internal/gpusim"
+	"streammap/internal/topology"
+)
+
+// RemapQualityBound is the acceptance ceiling for degraded serving: a
+// remapped plan's simulated makespan must stay within this factor of a
+// cold compile on the same degraded machine. The warm remap path trades
+// the cold mapper portfolio for two local-search descents, so it does not
+// promise bit-identical plans — it promises plans this close.
+const RemapQualityBound = 1.10
+
+// DegradeParams seeds one degradation draw against a topology.
+type DegradeParams struct {
+	Seed uint64
+	// MaxRemovals bounds how many GPUs fail (default: all but one — the
+	// worst survivable event).
+	MaxRemovals int
+}
+
+// BuildDegradation draws a deterministic, non-trivial, valid-by-
+// construction degradation for t: on multi-GPU machines one to
+// MaxRemovals distinct GPUs fail (always leaving a survivor), and with
+// even odds surviving links are throttled on top; on single-GPU machines
+// the event is throttle-only. Throttled nodes are always leaves of
+// surviving GPUs, which Degrade can never prune — so the result is
+// guaranteed to apply cleanly.
+func BuildDegradation(t *topology.Tree, p DegradeParams) topology.Degradation {
+	r := newRNG(p.Seed)
+	g := t.NumGPUs()
+	var d topology.Degradation
+
+	removed := make(map[int]bool)
+	if g >= 2 {
+		maxRem := g - 1
+		if p.MaxRemovals > 0 && p.MaxRemovals < maxRem {
+			maxRem = p.MaxRemovals
+		}
+		for k := r.rangeInt(1, maxRem); len(d.RemoveGPUs) < k; {
+			gi := r.intn(g)
+			if removed[gi] {
+				continue
+			}
+			removed[gi] = true
+			d.RemoveGPUs = append(d.RemoveGPUs, gi)
+		}
+	}
+
+	// Survivor leaves: legal throttle points on any tree (a surviving
+	// GPU's own leaf is never pruned, and as a non-root node it always has
+	// a parent link).
+	var survivors []int
+	for gi := 0; gi < g; gi++ {
+		if !removed[gi] {
+			survivors = append(survivors, gi)
+		}
+	}
+	throttles := 0
+	if g < 2 {
+		throttles = 1 + r.intn(2) // single GPU: the event must throttle to be an event
+	} else if r.bool(0.5) {
+		throttles = 1 + r.intn(2)
+	}
+	for i := 0; i < throttles; i++ {
+		th := topology.Throttle{
+			Node:         t.EndpointNode(survivors[r.intn(len(survivors))]),
+			BandwidthGBs: quantize(1+3*r.float64(), 0.5), // a derated PCIe lane
+			LatencyUS:    -1,
+		}
+		if r.bool(0.5) {
+			th.LatencyUS = quantize(5+45*r.float64(), 0.5)
+		}
+		d.Throttles = append(d.Throttles, th)
+	}
+	return d
+}
+
+// CheckRemap is the degradation differential for one scenario: compile it
+// cold, draw a degradation, remap the artifact through the incremental
+// (warm) path, and assert that the remapped compilation
+//
+//   - carries only remap stages — the provenance proof that profile,
+//     partition and pdg never re-ran;
+//   - satisfies every structural invariant (CheckInvariants) against the
+//     degraded tree, re-merged partitions included;
+//   - simulates within RemapQualityBound of a cold compile on the same
+//     degraded topology.
+//
+// A scenario whose healthy compile fails is skipped (nil): there is no
+// artifact to degrade, and the compile differential already owns that
+// case.
+func CheckRemap(ctx context.Context, sc *Scenario, p DegradeParams) error {
+	fail := func(stage string, err error) error {
+		return fmt.Errorf("synth: scenario %s: %s: %w", sc.Name, stage, err)
+	}
+
+	g, err := BuildGraph(sc.GraphP)
+	if err != nil {
+		return fail("generate", err)
+	}
+	c, err := driver.Compile(ctx, g, sc.Opts)
+	if err != nil {
+		return nil // no artifact to degrade; Check owns agreed rejections
+	}
+	a, err := c.Artifact()
+	if err != nil {
+		return fail("artifact", err)
+	}
+
+	d := BuildDegradation(sc.Opts.Topo, p)
+	degraded, gpuMap, err := sc.Opts.Topo.Degrade(d)
+	if err != nil {
+		return fail("degrade", err)
+	}
+	rc, err := driver.Remap(ctx, a, degraded, driver.RemapOptions{Workers: sc.Opts.Workers, GPUMap: gpuMap})
+	if err != nil {
+		return fail("remap", err)
+	}
+	for _, s := range rc.Stages {
+		if s.Name != "remap" && s.Name != "remap-merge" {
+			return fail("provenance", fmt.Errorf("remap re-ran pipeline stage %q", s.Name))
+		}
+	}
+	if err := CheckInvariants(rc); err != nil {
+		return fail("remap invariants", err)
+	}
+
+	g2, err := BuildGraph(sc.GraphP)
+	if err != nil {
+		return fail("regenerate", err)
+	}
+	dopts := sc.Opts
+	dopts.Topo = degraded
+	cold, err := driver.Compile(ctx, g2, dopts)
+	if err != nil {
+		// The pipeline's topology-independent stages accepted this graph
+		// once; the degraded machine cannot change their verdict.
+		return fail("cold degraded compile", err)
+	}
+	if err := CheckInvariants(cold); err != nil {
+		return fail("cold invariants", err)
+	}
+
+	rw, err := gpusim.RunTiming(rc.Plan, 24)
+	if err != nil {
+		return fail("remap timing", err)
+	}
+	rcold, err := gpusim.RunTiming(cold.Plan, 24)
+	if err != nil {
+		return fail("cold timing", err)
+	}
+	if ratio := rw.MakespanUS / rcold.MakespanUS; ratio > RemapQualityBound {
+		return fail("quality", fmt.Errorf("remapped makespan %.3fus vs cold %.3fus: ratio %.3f exceeds %.2f",
+			rw.MakespanUS, rcold.MakespanUS, ratio, RemapQualityBound))
+	}
+	return nil
+}

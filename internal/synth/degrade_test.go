@@ -1,0 +1,92 @@
+package synth
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestBuildDegradationDeterministicAndValid: one seed, one degradation —
+// and every draw must apply cleanly to the tree it was drawn for, remove
+// at most all-but-one GPU, and never be the trivial "nothing happened"
+// event.
+func TestBuildDegradationDeterministicAndValid(t *testing.T) {
+	for gpus := 1; gpus <= 6; gpus++ {
+		topo, err := BuildTopology(TopoParams{Seed: uint64(100 + gpus), GPUs: gpus})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := uint64(0); seed < 40; seed++ {
+			d := BuildDegradation(topo, DegradeParams{Seed: seed})
+			if again := BuildDegradation(topo, DegradeParams{Seed: seed}); !reflect.DeepEqual(d, again) {
+				t.Fatalf("gpus=%d seed=%d: degradation draw not deterministic: %+v vs %+v", gpus, seed, d, again)
+			}
+			if len(d.RemoveGPUs) == 0 && len(d.Throttles) == 0 {
+				t.Errorf("gpus=%d seed=%d: trivial degradation", gpus, seed)
+			}
+			if len(d.RemoveGPUs) >= gpus {
+				t.Errorf("gpus=%d seed=%d: %d removals leave no survivor", gpus, seed, len(d.RemoveGPUs))
+			}
+			degraded, gpuMap, err := topo.Degrade(d)
+			if err != nil {
+				t.Errorf("gpus=%d seed=%d: generated degradation does not apply: %v", gpus, seed, err)
+				continue
+			}
+			if got, want := degraded.NumGPUs(), gpus-len(d.RemoveGPUs); got != want {
+				t.Errorf("gpus=%d seed=%d: degraded tree has %d GPUs, want %d", gpus, seed, got, want)
+			}
+			if len(gpuMap) != gpus {
+				t.Errorf("gpus=%d seed=%d: survival map covers %d of %d GPUs", gpus, seed, len(gpuMap), gpus)
+			}
+		}
+	}
+}
+
+// TestBuildDegradationHonorsMaxRemovals: the removal bound caps the event
+// size without disabling it.
+func TestBuildDegradationHonorsMaxRemovals(t *testing.T) {
+	topo, err := BuildTopology(TopoParams{Seed: 3, GPUs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(0); seed < 40; seed++ {
+		d := BuildDegradation(topo, DegradeParams{Seed: seed, MaxRemovals: 2})
+		if n := len(d.RemoveGPUs); n < 1 || n > 2 {
+			t.Errorf("seed=%d: %d removals outside [1, 2]", seed, n)
+		}
+	}
+}
+
+// remapCorpusSize is the degraded-serving acceptance bar: this many
+// scenarios must pass the remap differential — structural invariants on
+// the degraded tree, pure remap provenance, and simulated throughput
+// within RemapQualityBound of a cold compile — on each `go test ./...`.
+const remapCorpusSize = 48
+
+// TestRemapDifferentialCorpus runs the degradation differential over a
+// seeded corpus, sharded in parallel like the compile differential.
+func TestRemapDifferentialCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("remap differential corpus skipped in -short mode")
+	}
+	corpus, err := Corpus(CorpusParams{Seed: 0xDE6D, Scenarios: remapCorpusSize, MaxFilters: 20, MaxGPUs: 6, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := runtime.GOMAXPROCS(0)
+	if shards > 8 {
+		shards = 8
+	}
+	for s := 0; s < shards; s++ {
+		s := s
+		t.Run(corpus[s].Name[:4], func(t *testing.T) {
+			t.Parallel()
+			for i := s; i < len(corpus); i += shards {
+				if err := CheckRemap(context.Background(), corpus[i], DegradeParams{Seed: uint64(i) ^ 0xFA11}); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,145 @@
+package topology
+
+import "fmt"
+
+// Degradation describes a fleet event to apply to a healthy tree: GPUs that
+// fell off the bus and/or links running below nominal speed. Zero value =
+// nothing failed. The JSON tags are its wire form — a degradation travels
+// inside server remap requests.
+type Degradation struct {
+	// RemoveGPUs lists GPU indices (dense, as in the healthy tree) that are
+	// gone. At least one GPU must survive.
+	RemoveGPUs []int `json:"removeGPUs,omitempty"`
+	// Throttles derates tree edges that are still up but slower than nominal.
+	Throttles []Throttle `json:"throttles,omitempty"`
+}
+
+// Throttle derates the edge above Node (a node index in the healthy tree) in
+// both directions. A non-positive BandwidthGBs keeps the edge's current
+// bandwidth; a negative LatencyUS keeps its current latency — so a throttle
+// can change either parameter independently. (No omitempty on LatencyUS:
+// zero means "latency is now zero", and must survive the wire.)
+type Throttle struct {
+	Node         int     `json:"node"`
+	BandwidthGBs float64 `json:"bandwidthGBs"`
+	LatencyUS    float64 `json:"latencyUS"`
+}
+
+// Degrade applies d to the tree and returns the surviving sub-tree plus a
+// gpuMap from healthy GPU index to degraded GPU index (-1 for removed GPUs).
+// The receiver is not modified.
+//
+// Removing a GPU prunes its leaf; switches that thereby lose their last
+// child are pruned too (recursively), since a switch with no reachable
+// device below it carries no traffic. Switches that never had children are
+// kept — they were part of the machine shape on purpose. Surviving edges
+// keep their effective per-link parameters (heterogeneity survives
+// degradation), and throttles are then applied on top. Throttling a pruned
+// or removed node is an error: the caller's picture of the machine is stale.
+func (t *Tree) Degrade(d Degradation) (*Tree, []int, error) {
+	n := len(t.parent)
+
+	dead := make([]bool, n)
+	removed := make([]bool, t.NumGPUs())
+	for _, gi := range d.RemoveGPUs {
+		if gi < 0 || gi >= t.NumGPUs() {
+			return nil, nil, fmt.Errorf("topology: degrade: no GPU %d", gi)
+		}
+		if removed[gi] {
+			return nil, nil, fmt.Errorf("topology: degrade: GPU %d removed twice", gi)
+		}
+		removed[gi] = true
+		dead[t.gpuNode[gi]] = true
+	}
+	if len(d.RemoveGPUs) >= t.NumGPUs() {
+		return nil, nil, fmt.Errorf("topology: degrade: all %d GPUs removed", t.NumGPUs())
+	}
+
+	// Prune emptied switches bottom-up. Parents[i] < i, so one reverse pass
+	// sees every node after all of its children.
+	children := make([]int, n)     // original child count
+	liveChildren := make([]int, n) // children not (yet) marked dead
+	for i := 1; i < n; i++ {
+		children[t.parent[i]]++
+		if !dead[i] {
+			liveChildren[t.parent[i]]++
+		}
+	}
+	for i := n - 1; i >= 1; i-- {
+		if dead[i] {
+			continue
+		}
+		if t.gpuOf[i] == -1 && children[i] > 0 && liveChildren[i] == 0 {
+			dead[i] = true
+			liveChildren[t.parent[i]]--
+		}
+	}
+
+	// Renumber survivors in original order; a live node's parent is always
+	// live (it has at least this one live child, and GPUs are leaves).
+	newIdx := make([]int, n)
+	s := Spec{BandwidthGBs: t.BandwidthGBs, LatencyUS: t.LatencyUS}
+	for i := 0; i < n; i++ {
+		if dead[i] {
+			newIdx[i] = -1
+			continue
+		}
+		newIdx[i] = len(s.Parents)
+		if i == 0 {
+			s.Parents = append(s.Parents, -1)
+		} else {
+			s.Parents = append(s.Parents, newIdx[t.parent[i]])
+		}
+		s.Names = append(s.Names, t.name[i])
+	}
+	gpuMap := make([]int, t.NumGPUs())
+	for gi, node := range t.gpuNode {
+		if removed[gi] {
+			gpuMap[gi] = -1
+			continue
+		}
+		gpuMap[gi] = len(s.GPUNodes)
+		s.GPUNodes = append(s.GPUNodes, newIdx[node])
+	}
+
+	// Carry each surviving edge's effective parameters, then throttle.
+	// Import canonicalizes all-default slices back to nil.
+	numLinks := 2 * (len(s.Parents) - 1)
+	s.LinkBandwidthGBs = make([]float64, numLinks)
+	s.LinkLatencyUS = make([]float64, numLinks)
+	for i := 1; i < n; i++ {
+		j := newIdx[i]
+		if j == -1 {
+			continue
+		}
+		up, down := 2*(j-1), 2*(j-1)+1
+		s.LinkBandwidthGBs[up] = t.LinkBandwidthGBs(t.upLink[i])
+		s.LinkBandwidthGBs[down] = t.LinkBandwidthGBs(t.downLink[i])
+		s.LinkLatencyUS[up] = t.LinkLatencyUS(t.upLink[i])
+		s.LinkLatencyUS[down] = t.LinkLatencyUS(t.downLink[i])
+	}
+	for _, th := range d.Throttles {
+		if th.Node <= 0 || th.Node >= n {
+			return nil, nil, fmt.Errorf("topology: degrade: node %d has no parent link", th.Node)
+		}
+		j := newIdx[th.Node]
+		if j == -1 {
+			return nil, nil, fmt.Errorf("topology: degrade: throttled node %d was pruned", th.Node)
+		}
+		up, down := 2*(j-1), 2*(j-1)+1
+		if th.BandwidthGBs > 0 {
+			s.LinkBandwidthGBs[up] = th.BandwidthGBs
+			s.LinkBandwidthGBs[down] = th.BandwidthGBs
+		}
+		if th.LatencyUS >= 0 {
+			s.LinkLatencyUS[up] = th.LatencyUS
+			s.LinkLatencyUS[down] = th.LatencyUS
+		}
+	}
+
+	nt, err := Import(s)
+	if err != nil {
+		return nil, nil, fmt.Errorf("topology: degrade: %w", err)
+	}
+	return nt, gpuMap, nil
+}

@@ -1,0 +1,198 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDegradeRemoveGPU(t *testing.T) {
+	tr := FourGPUTree()
+	dt, gpuMap, err := tr.Degrade(Degradation{RemoveGPUs: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.NumGPUs() != 3 {
+		t.Fatalf("NumGPUs = %d, want 3", dt.NumGPUs())
+	}
+	want := []int{0, -1, 1, 2}
+	for gi, ni := range gpuMap {
+		if ni != want[gi] {
+			t.Errorf("gpuMap[%d] = %d, want %d", gi, ni, want[gi])
+		}
+	}
+	// SW2 keeps one child, so nothing else is pruned: 7 nodes, 12 links.
+	if dt.NumNodes() != 7 || dt.NumLinks() != 12 {
+		t.Errorf("nodes=%d links=%d, want 7/12", dt.NumNodes(), dt.NumLinks())
+	}
+	if dt.Heterogeneous() {
+		t.Error("degrading a homogeneous tree without throttles must stay homogeneous")
+	}
+	if tr.NumGPUs() != 4 {
+		t.Error("Degrade mutated the receiver")
+	}
+}
+
+func TestDegradePrunesEmptiedSwitchChain(t *testing.T) {
+	// host - SW1 - SWa - SWb - gpu0, plus SW1 - gpu1. Removing gpu0 must
+	// prune SWb and SWa (emptied) but keep SW1 (still has gpu1).
+	b := NewBuilder()
+	sw1 := b.AddSwitch(b.Root(), "SW1")
+	swa := b.AddSwitch(sw1, "SWa")
+	swb := b.AddSwitch(swa, "SWb")
+	b.AddGPU(swb)
+	b.AddGPU(sw1)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, gpuMap, err := tr.Degrade(Degradation{RemoveGPUs: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.NumNodes() != 3 { // host, SW1, gpu1
+		t.Fatalf("NumNodes = %d, want 3", dt.NumNodes())
+	}
+	if gpuMap[0] != -1 || gpuMap[1] != 0 {
+		t.Errorf("gpuMap = %v, want [-1 0]", gpuMap)
+	}
+	if dt.LinkName(0) == "" || !strings.Contains(dt.Key(), ";p=-1,0,1,") {
+		t.Errorf("degraded tree misshaped: key %q", dt.Key())
+	}
+}
+
+func TestDegradeKeepsOriginallyChildlessSwitch(t *testing.T) {
+	b := NewBuilder()
+	sw1 := b.AddSwitch(b.Root(), "SW1")
+	b.AddSwitch(sw1, "SWempty") // part of the machine shape on purpose
+	b.AddGPU(sw1)
+	b.AddGPU(sw1)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, _, err := tr.Degrade(Degradation{RemoveGPUs: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.NumNodes() != 4 { // host, SW1, SWempty, gpu0
+		t.Fatalf("NumNodes = %d, want 4 (childless switch must survive)", dt.NumNodes())
+	}
+}
+
+func TestDegradeThrottle(t *testing.T) {
+	tr := FourGPUTree()
+	// Throttle the edge above SW2 (node 2): half bandwidth, keep latency.
+	dt, _, err := tr.Degrade(Degradation{Throttles: []Throttle{{Node: 2, BandwidthGBs: 4, LatencyUS: -1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dt.Heterogeneous() {
+		t.Fatal("throttled tree must report heterogeneous")
+	}
+	up, down := dt.Links()[2], dt.Links()[3] // node 2's up/down links
+	if up.Child != 2 || down.Child != 2 {
+		t.Fatalf("link ids shifted: %+v %+v", up, down)
+	}
+	for _, l := range []int{2, 3} {
+		if bw := dt.LinkBandwidthGBs(l); bw != 4 {
+			t.Errorf("link %d bandwidth = %g, want 4", l, bw)
+		}
+		if lat := dt.LinkLatencyUS(l); lat != tr.LatencyUS {
+			t.Errorf("link %d latency = %g, want default %g", l, lat, tr.LatencyUS)
+		}
+	}
+	// Untouched links keep defaults.
+	if bw := dt.LinkBandwidthGBs(0); bw != tr.BandwidthGBs {
+		t.Errorf("untouched link bandwidth = %g, want %g", bw, tr.BandwidthGBs)
+	}
+	// The throttled tree's key must differ from the healthy tree's.
+	if dt.Key() == tr.Key() {
+		t.Error("throttled tree shares cache key with healthy tree")
+	}
+}
+
+func TestDegradeRemoveAndThrottleCompose(t *testing.T) {
+	tr := FourGPUTree()
+	dt, gpuMap, err := tr.Degrade(Degradation{
+		RemoveGPUs: []int{2, 3}, // empties SW3, which is pruned
+		Throttles:  []Throttle{{Node: 4, BandwidthGBs: 2, LatencyUS: 50}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.NumGPUs() != 2 || dt.NumNodes() != 5 {
+		t.Fatalf("gpus=%d nodes=%d, want 2/5", dt.NumGPUs(), dt.NumNodes())
+	}
+	if gpuMap[2] != -1 || gpuMap[3] != -1 {
+		t.Errorf("gpuMap = %v", gpuMap)
+	}
+	// Healthy node 4 (gpu0's leaf) renumbers to 3; its uplink is id 4.
+	nl := dt.EndpointNode(0)
+	if bw := dt.LinkBandwidthGBs(2 * (nl - 1)); bw != 2 {
+		t.Errorf("gpu0 uplink bandwidth = %g, want 2", bw)
+	}
+	if lat := dt.LinkLatencyUS(2 * (nl - 1)); lat != 50 {
+		t.Errorf("gpu0 uplink latency = %g, want 50", lat)
+	}
+}
+
+func TestDegradeSurvivingLinksKeepOverrides(t *testing.T) {
+	b := NewBuilder()
+	sw1 := b.AddSwitch(b.Root(), "SW1")
+	b.AddGPU(sw1)
+	b.AddGPU(sw1)
+	b.AddGPU(sw1)
+	b.SetNodeLink(3, 2, 99) // gpu1's edge (node 3) derated at build time
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, gpuMap, err := tr.Degrade(Degradation{RemoveGPUs: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dt.Heterogeneous() {
+		t.Fatal("override on a surviving edge must be carried over")
+	}
+	nl := dt.EndpointNode(gpuMap[1])
+	if bw := dt.LinkBandwidthGBs(2 * (nl - 1)); bw != 2 {
+		t.Errorf("carried bandwidth = %g, want 2", bw)
+	}
+	if lat := dt.LinkLatencyUS(2*(nl-1) + 1); lat != 99 {
+		t.Errorf("carried latency = %g, want 99", lat)
+	}
+}
+
+func TestDegradeErrors(t *testing.T) {
+	tr := FourGPUTree()
+	cases := []Degradation{
+		{RemoveGPUs: []int{4}},                                                       // out of range
+		{RemoveGPUs: []int{-1}},                                                      // out of range
+		{RemoveGPUs: []int{1, 1}},                                                    // duplicate
+		{RemoveGPUs: []int{0, 1, 2, 3}},                                              // no survivor
+		{Throttles: []Throttle{{Node: 0, BandwidthGBs: 1}}},                          // root has no parent link
+		{Throttles: []Throttle{{Node: 99, BandwidthGBs: 1}}},                         // unknown node
+		{RemoveGPUs: []int{2, 3}, Throttles: []Throttle{{Node: 3, BandwidthGBs: 1}}}, // SW3 pruned
+	}
+	for i, d := range cases {
+		if _, _, err := tr.Degrade(d); err == nil {
+			t.Errorf("case %d: degradation %+v accepted", i, d)
+		}
+	}
+}
+
+func TestDegradeNoOp(t *testing.T) {
+	tr := FourGPUTree()
+	dt, gpuMap, err := tr.Degrade(Degradation{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Key() != tr.Key() {
+		t.Errorf("no-op degrade changed key: %q vs %q", dt.Key(), tr.Key())
+	}
+	for gi, ni := range gpuMap {
+		if ni != gi {
+			t.Errorf("gpuMap[%d] = %d", gi, ni)
+		}
+	}
+}

@@ -16,16 +16,25 @@ type Spec struct {
 
 	BandwidthGBs float64 `json:"bandwidthGBs"`
 	LatencyUS    float64 `json:"latencyUS"`
+
+	// LinkBandwidthGBs and LinkLatencyUS, when present, give the effective
+	// per-directed-link parameters indexed by link id (2*(len(Parents)-1)
+	// entries: node i>0 owns uplink 2(i-1) and downlink 2(i-1)+1). Absent on
+	// homogeneous machines; Import re-canonicalizes either way.
+	LinkBandwidthGBs []float64 `json:"linkBandwidthGBs,omitempty"`
+	LinkLatencyUS    []float64 `json:"linkLatencyUS,omitempty"`
 }
 
 // Export returns the tree's wire form.
 func (t *Tree) Export() Spec {
 	return Spec{
-		Parents:      append([]int(nil), t.parent...),
-		Names:        append([]string(nil), t.name...),
-		GPUNodes:     append([]int(nil), t.gpuNode...),
-		BandwidthGBs: t.BandwidthGBs,
-		LatencyUS:    t.LatencyUS,
+		Parents:          append([]int(nil), t.parent...),
+		Names:            append([]string(nil), t.name...),
+		GPUNodes:         append([]int(nil), t.gpuNode...),
+		BandwidthGBs:     t.BandwidthGBs,
+		LatencyUS:        t.LatencyUS,
+		LinkBandwidthGBs: append([]float64(nil), t.linkBW...),
+		LinkLatencyUS:    append([]float64(nil), t.linkLat...),
 	}
 }
 
@@ -60,14 +69,24 @@ func Import(s Spec) (*Tree, error) {
 		}
 		seen[node] = true
 	}
+	numLinks := 2 * (n - 1)
+	if s.LinkBandwidthGBs != nil && len(s.LinkBandwidthGBs) != numLinks {
+		return nil, fmt.Errorf("topology: import: %d link bandwidths for %d links", len(s.LinkBandwidthGBs), numLinks)
+	}
+	if s.LinkLatencyUS != nil && len(s.LinkLatencyUS) != numLinks {
+		return nil, fmt.Errorf("topology: import: %d link latencies for %d links", len(s.LinkLatencyUS), numLinks)
+	}
 	t := &Tree{
 		parent:       append([]int(nil), s.Parents...),
 		name:         append([]string(nil), s.Names...),
 		gpuNode:      append([]int(nil), s.GPUNodes...),
 		BandwidthGBs: s.BandwidthGBs,
 		LatencyUS:    s.LatencyUS,
+		linkBW:       append([]float64(nil), s.LinkBandwidthGBs...),
+		linkLat:      append([]float64(nil), s.LinkLatencyUS...),
 	}
 	t.finalize()
+	t.finalizeLinks()
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}

@@ -62,3 +62,80 @@ func TestSpecImportRejectsCorrupt(t *testing.T) {
 		t.Error("empty spec accepted")
 	}
 }
+
+func TestSpecRoundTripHeterogeneous(t *testing.T) {
+	b := NewBuilder()
+	sw1 := b.AddSwitch(b.Root(), "SW1")
+	b.AddGPU(sw1)
+	b.AddGPU(sw1)
+	b.SetNodeLink(2, 4, 20)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, err := Import(tree.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !twin.Heterogeneous() {
+		t.Fatal("heterogeneity lost in round trip")
+	}
+	if twin.Key() != tree.Key() {
+		t.Fatalf("key %q != twin %q", tree.Key(), twin.Key())
+	}
+	for l := 0; l < tree.NumLinks(); l++ {
+		if tree.LinkBandwidthGBs(l) != twin.LinkBandwidthGBs(l) || tree.LinkLatencyUS(l) != twin.LinkLatencyUS(l) {
+			t.Fatalf("link %d params differ after round trip", l)
+		}
+	}
+}
+
+func TestSpecImportRejectsBadLinkParams(t *testing.T) {
+	base := FourGPUTree().Export()
+
+	bad := base
+	bad.LinkBandwidthGBs = []float64{8} // wrong length
+	if _, err := Import(bad); err == nil {
+		t.Error("short link bandwidth vector accepted")
+	}
+
+	bad = base
+	bad.LinkLatencyUS = make([]float64, 2*(len(base.Parents)-1)+1)
+	if _, err := Import(bad); err == nil {
+		t.Error("long link latency vector accepted")
+	}
+
+	bad = base
+	bad.LinkBandwidthGBs = make([]float64, 2*(len(base.Parents)-1)) // zeros: non-positive bandwidth
+	if _, err := Import(bad); err == nil {
+		t.Error("non-positive per-link bandwidth accepted")
+	}
+
+	bad = base
+	bad.LinkLatencyUS = make([]float64, 2*(len(base.Parents)-1))
+	bad.LinkLatencyUS[3] = -1
+	if _, err := Import(bad); err == nil {
+		t.Error("negative per-link latency accepted")
+	}
+}
+
+func TestSpecImportCanonicalizesAllDefaultLinks(t *testing.T) {
+	base := FourGPUTree().Export()
+	nl := 2 * (len(base.Parents) - 1)
+	base.LinkBandwidthGBs = make([]float64, nl)
+	base.LinkLatencyUS = make([]float64, nl)
+	for i := 0; i < nl; i++ {
+		base.LinkBandwidthGBs[i] = base.BandwidthGBs
+		base.LinkLatencyUS[i] = base.LatencyUS
+	}
+	tr, err := Import(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Heterogeneous() {
+		t.Error("all-default link vectors must canonicalize to homogeneous")
+	}
+	if tr.Key() != FourGPUTree().Key() {
+		t.Error("canonicalized tree must share the homogeneous key")
+	}
+}

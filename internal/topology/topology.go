@@ -11,7 +11,11 @@
 // the transfer from GPU i to GPU j iff i is a child of l and j is not".
 package topology
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Host is the endpoint index representing the host (CPU) in routes and
 // transfer pairs.
@@ -65,9 +69,41 @@ type Tree struct {
 	routes     [][]int // (src+1)*(NumGPUs()+1) + (dst+1) -> link ids
 	hostRoutes [][]int // same index; the via-host staging of the pair
 
-	BandwidthGBs float64 // per-link per-direction bandwidth
-	LatencyUS    float64 // per-transfer initial latency
+	// linkBW and linkLat, when non-nil, hold the effective per-directed-link
+	// bandwidth (GB/s) and latency (µs), indexed by link id. They are nil on
+	// homogeneous trees — the common case — so every consumer that reads the
+	// parameters through LinkBandwidthGBs/LinkLatencyUS performs exactly the
+	// arithmetic of the scalar fields when no link deviates. finalizeLinks
+	// canonicalizes: a slice whose entries all equal the tree default is
+	// dropped back to nil, so Key() and Export() have one form per machine.
+	linkBW  []float64
+	linkLat []float64
+
+	BandwidthGBs float64 // default per-link per-direction bandwidth
+	LatencyUS    float64 // default per-transfer initial latency
 }
+
+// LinkBandwidthGBs returns directed link l's bandwidth: the per-link
+// override when the tree is heterogeneous, the tree default otherwise.
+func (t *Tree) LinkBandwidthGBs(l int) float64 {
+	if t.linkBW != nil {
+		return t.linkBW[l]
+	}
+	return t.BandwidthGBs
+}
+
+// LinkLatencyUS returns directed link l's latency: the per-link override
+// when the tree is heterogeneous, the tree default otherwise.
+func (t *Tree) LinkLatencyUS(l int) float64 {
+	if t.linkLat != nil {
+		return t.linkLat[l]
+	}
+	return t.LatencyUS
+}
+
+// Heterogeneous reports whether any link deviates from the tree-level
+// default parameters.
+func (t *Tree) Heterogeneous() bool { return t.linkBW != nil || t.linkLat != nil }
 
 // routeIdx flattens an endpoint pair (each Host or a GPU index) into the
 // route-table index.
@@ -75,9 +111,14 @@ func (t *Tree) routeIdx(src, dst int) int {
 	return (src+1)*(len(t.gpuNode)+1) + (dst + 1)
 }
 
-// Builder assembles a Tree.
+// Builder assembles a Tree. After Build returns, the builder is spent:
+// further AddGPU/AddSwitch/SetLink calls panic instead of silently
+// mutating the finalized, route-table-cached tree.
 type Builder struct {
 	t *Tree
+	// nodeLink holds per-edge parameter overrides keyed by the child node
+	// of the edge, applied to both directed links at Build time.
+	nodeLink map[int][2]float64 // node -> {bandwidthGBs, latencyUS}
 }
 
 // NewBuilder starts a tree with only the host root node.
@@ -93,11 +134,36 @@ func NewBuilder() *Builder {
 	return &Builder{t: t}
 }
 
-// SetLink overrides the per-direction bandwidth (GB/s) and latency (µs).
+// SetLink overrides the default per-direction bandwidth (GB/s) and latency
+// (µs) applied to every link without a per-link override.
 func (b *Builder) SetLink(bandwidthGBs, latencyUS float64) *Builder {
+	b.live()
 	b.t.BandwidthGBs = bandwidthGBs
 	b.t.LatencyUS = latencyUS
 	return b
+}
+
+// SetNodeLink overrides the parameters of the tree edge above node — both
+// its directed links — making the tree heterogeneous. The values replace
+// the tree defaults for that edge; Build validates them (bandwidth must be
+// positive, latency non-negative).
+func (b *Builder) SetNodeLink(node int, bandwidthGBs, latencyUS float64) *Builder {
+	b.live()
+	if node <= 0 || node >= len(b.t.parent) {
+		panic(fmt.Sprintf("topology: SetNodeLink: node %d has no parent link", node))
+	}
+	if b.nodeLink == nil {
+		b.nodeLink = map[int][2]float64{}
+	}
+	b.nodeLink[node] = [2]float64{bandwidthGBs, latencyUS}
+	return b
+}
+
+// live panics when the builder has already built its tree.
+func (b *Builder) live() {
+	if b.t == nil {
+		panic("topology: builder used after Build")
+	}
 }
 
 // Root returns the host node index (always 0).
@@ -118,6 +184,7 @@ func (b *Builder) AddGPU(parent int) int {
 }
 
 func (b *Builder) addNode(parent int, name string) int {
+	b.live()
 	if parent < 0 || parent >= len(b.t.parent) {
 		panic(fmt.Sprintf("topology: bad parent %d", parent))
 	}
@@ -127,14 +194,67 @@ func (b *Builder) addNode(parent int, name string) int {
 	return id
 }
 
-// Build finalizes the tree.
+// Build finalizes and validates the tree. The builder's alias to the tree
+// is severed first: once a tree's route tables exist (and may already sit
+// behind cache keys), no builder method can mutate it.
 func (b *Builder) Build() (*Tree, error) {
+	b.live()
 	t := b.t
+	b.t = nil
 	if len(t.gpuNode) == 0 {
 		return nil, fmt.Errorf("topology: no GPUs")
 	}
 	t.finalize()
+	if len(b.nodeLink) > 0 {
+		t.linkBW = make([]float64, len(t.links))
+		t.linkLat = make([]float64, len(t.links))
+		for l := range t.links {
+			t.linkBW[l] = t.BandwidthGBs
+			t.linkLat[l] = t.LatencyUS
+		}
+		for node, p := range b.nodeLink {
+			t.linkBW[t.upLink[node]], t.linkBW[t.downLink[node]] = p[0], p[0]
+			t.linkLat[t.upLink[node]], t.linkLat[t.downLink[node]] = p[1], p[1]
+		}
+	}
+	t.finalizeLinks()
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
 	return t, nil
+}
+
+// finalizeLinks canonicalizes the per-link override slices: a slice whose
+// every entry equals the tree default carries no information, so it is
+// dropped back to nil. This keeps one representation per machine —
+// Heterogeneous(), Key() and Export() all agree — regardless of whether the
+// tree came from SetNodeLink calls that happened to restate the defaults,
+// from a Spec round-trip, or from Degrade carrying params onto a sub-tree.
+func (t *Tree) finalizeLinks() {
+	if t.linkBW != nil {
+		uniform := true
+		for _, v := range t.linkBW {
+			if v != t.BandwidthGBs {
+				uniform = false
+				break
+			}
+		}
+		if uniform {
+			t.linkBW = nil
+		}
+	}
+	if t.linkLat != nil {
+		uniform := true
+		for _, v := range t.linkLat {
+			if v != t.LatencyUS {
+				uniform = false
+				break
+			}
+		}
+		if uniform {
+			t.linkLat = nil
+		}
+	}
 }
 
 // FourGPUTree reproduces the paper's Figure 3.3: host - SW1 - {SW2(gpu1,
@@ -180,17 +300,47 @@ func PairedTree(g int) *Tree {
 
 // Key returns a canonical string identifying the tree's shape and link
 // parameters: two trees with equal keys route and cost transfers
-// identically. core.Service uses it in compile-cache keys.
+// identically. core.Service uses it in compile-cache keys, so it must be
+// cheap — a single pre-sized strings.Builder pass, not repeated string
+// concatenation. Homogeneous trees keep the historical key format; per-link
+// overrides append lbw/llat sections (a heterogeneous tree never collides
+// with a homogeneous one).
 func (t *Tree) Key() string {
-	key := fmt.Sprintf("bw=%g;lat=%g;p=", t.BandwidthGBs, t.LatencyUS)
+	var b strings.Builder
+	b.Grow(24 + 4*(len(t.parent)+len(t.gpuNode)) + 8*(len(t.linkBW)+len(t.linkLat)))
+	var scratch [32]byte
+	float := func(v float64) {
+		b.Write(strconv.AppendFloat(scratch[:0], v, 'g', -1, 64))
+	}
+	b.WriteString("bw=")
+	float(t.BandwidthGBs)
+	b.WriteString(";lat=")
+	float(t.LatencyUS)
+	b.WriteString(";p=")
 	for _, p := range t.parent {
-		key += fmt.Sprintf("%d,", p)
+		b.WriteString(strconv.Itoa(p))
+		b.WriteByte(',')
 	}
-	key += ";g="
+	b.WriteString(";g=")
 	for _, n := range t.gpuNode {
-		key += fmt.Sprintf("%d,", n)
+		b.WriteString(strconv.Itoa(n))
+		b.WriteByte(',')
 	}
-	return key
+	if t.linkBW != nil {
+		b.WriteString(";lbw=")
+		for _, v := range t.linkBW {
+			float(v)
+			b.WriteByte(',')
+		}
+	}
+	if t.linkLat != nil {
+		b.WriteString(";llat=")
+		for _, v := range t.linkLat {
+			float(v)
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
 }
 
 // NumGPUs returns the number of GPU leaves.
@@ -342,8 +492,10 @@ func (t *Tree) computeRouteViaHost(src, dst int) []int {
 }
 
 // TransferUS returns the uncontended time for one transfer of `bytes` over a
-// route: latency plus bytes/bandwidth (the route is pipelined cut-through,
-// so length does not multiply the bandwidth term).
+// route at the tree's nominal (default) link parameters: latency plus
+// bytes/bandwidth (the route is pipelined cut-through, so length does not
+// multiply the bandwidth term). Heterogeneity-aware consumers cost each
+// link with LinkBandwidthGBs/LinkLatencyUS instead.
 func (t *Tree) TransferUS(bytes int64) float64 {
 	if bytes <= 0 {
 		return 0
@@ -355,6 +507,22 @@ func (t *Tree) TransferUS(bytes int64) float64 {
 func (t *Tree) Validate() error {
 	if t.BandwidthGBs <= 0 || t.LatencyUS < 0 {
 		return fmt.Errorf("topology: bad link parameters")
+	}
+	if t.linkBW != nil && len(t.linkBW) != len(t.links) {
+		return fmt.Errorf("topology: %d link bandwidth overrides for %d links", len(t.linkBW), len(t.links))
+	}
+	if t.linkLat != nil && len(t.linkLat) != len(t.links) {
+		return fmt.Errorf("topology: %d link latency overrides for %d links", len(t.linkLat), len(t.links))
+	}
+	for l, v := range t.linkBW {
+		if v <= 0 {
+			return fmt.Errorf("topology: link %d has non-positive bandwidth %g", l, v)
+		}
+	}
+	for l, v := range t.linkLat {
+		if v < 0 {
+			return fmt.Errorf("topology: link %d has negative latency %g", l, v)
+		}
 	}
 	for gi, node := range t.gpuNode {
 		for n := node; ; {

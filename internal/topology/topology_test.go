@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -183,5 +184,150 @@ func TestTransferTime(t *testing.T) {
 	}
 	if tr.TransferUS(0) != 0 {
 		t.Errorf("zero-byte transfer should be free")
+	}
+}
+
+func TestBuildValidates(t *testing.T) {
+	b := NewBuilder()
+	b.AddGPU(b.Root())
+	b.SetLink(-1, 10) // malformed: non-positive bandwidth
+	if _, err := b.Build(); err == nil {
+		t.Error("Build accepted non-positive bandwidth")
+	}
+
+	b = NewBuilder()
+	sw := b.AddSwitch(b.Root(), "SW1")
+	b.AddGPU(sw)
+	b.SetNodeLink(sw, 8, -5) // malformed: negative latency override
+	if _, err := b.Build(); err == nil {
+		t.Error("Build accepted negative per-link latency")
+	}
+
+	if _, err := NewBuilder().Build(); err == nil {
+		t.Error("Build accepted a tree with no GPUs")
+	}
+}
+
+func TestBuilderSpentAfterBuild(t *testing.T) {
+	b := NewBuilder()
+	b.AddGPU(b.Root())
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := tr.Key()
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s after Build did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AddGPU", func() { b.AddGPU(0) })
+	mustPanic("AddSwitch", func() { b.AddSwitch(0, "SWx") })
+	mustPanic("SetLink", func() { b.SetLink(1, 1) })
+	mustPanic("SetNodeLink", func() { b.SetNodeLink(1, 1, 1) })
+	if tr.Key() != key || tr.NumGPUs() != 1 {
+		t.Error("finalized tree mutated by spent builder")
+	}
+}
+
+func TestSetNodeLinkHeterogeneous(t *testing.T) {
+	b := NewBuilder()
+	sw := b.AddSwitch(b.Root(), "SW1")
+	g0 := b.AddGPU(sw)
+	b.AddGPU(sw)
+	b.SetNodeLink(b.Root()+2, 4, 20) // node 2 = gpu0's leaf
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Heterogeneous() {
+		t.Fatal("tree with an override must be heterogeneous")
+	}
+	n := tr.EndpointNode(g0)
+	up, down := 2*(n-1), 2*(n-1)+1
+	if tr.LinkBandwidthGBs(up) != 4 || tr.LinkBandwidthGBs(down) != 4 {
+		t.Errorf("override bandwidth not applied to both directions")
+	}
+	if tr.LinkLatencyUS(up) != 20 || tr.LinkLatencyUS(down) != 20 {
+		t.Errorf("override latency not applied to both directions")
+	}
+	// The other GPU's links keep the defaults.
+	other := tr.EndpointNode(1 - g0)
+	if tr.LinkBandwidthGBs(2*(other-1)) != tr.BandwidthGBs {
+		t.Errorf("default link picked up the override")
+	}
+}
+
+func TestSetNodeLinkRestatingDefaultsStaysHomogeneous(t *testing.T) {
+	b := NewBuilder()
+	b.AddGPU(b.Root())
+	b.SetNodeLink(1, 8, 10) // restates NewBuilder's defaults verbatim
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Heterogeneous() {
+		t.Error("all-default overrides must canonicalize away")
+	}
+	if !strings.HasPrefix(tr.Key(), "bw=8;lat=10;") || strings.Contains(tr.Key(), "lbw") {
+		t.Errorf("unexpected key %q", tr.Key())
+	}
+}
+
+func TestKeyDistinguishesHeterogeneity(t *testing.T) {
+	homo := FourGPUTree()
+	b := NewBuilder()
+	sw1 := b.AddSwitch(b.Root(), "SW1")
+	sw2 := b.AddSwitch(sw1, "SW2")
+	sw3 := b.AddSwitch(sw1, "SW3")
+	b.AddGPU(sw2)
+	b.AddGPU(sw2)
+	b.AddGPU(sw3)
+	b.AddGPU(sw3)
+	b.SetNodeLink(sw3, 16, 10)
+	het, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if homo.Key() == het.Key() {
+		t.Error("heterogeneous tree shares key with its homogeneous twin")
+	}
+	if !strings.HasPrefix(het.Key(), homo.Key()) {
+		// The hetero sections are appended; the shape prefix must match.
+		t.Errorf("keys diverge before the hetero sections:\n%q\n%q", homo.Key(), het.Key())
+	}
+}
+
+func BenchmarkTreeKey(b *testing.B) {
+	tr := PairedTree(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(tr.Key()) == 0 {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+func BenchmarkTreeKeyHeterogeneous(b *testing.B) {
+	bld := NewBuilder()
+	sw := bld.AddSwitch(bld.Root(), "SW1")
+	for g := 0; g < 64; g++ {
+		bld.AddGPU(sw)
+	}
+	bld.SetNodeLink(2, 4, 20)
+	tr, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(tr.Key()) == 0 {
+			b.Fatal("empty key")
+		}
 	}
 }
