@@ -5,7 +5,7 @@
 //
 //	experiments [-exp all|fig4.1|fig4.2|fig4.3|fig4.4|table5.1|ablation|scaling] [-quick] [-fragments N]
 //	experiments -exp loadtest [-server-url URL] [-requests 200] [-rps 100]
-//	            [-fleet 16] [-mix hot|unique|mixed|nodeloss] [-seed S] [-verify]
+//	            [-fleet 16] [-mix hot|unique|mixed|nodeloss|multinode] [-seed S] [-verify]
 //
 // Full runs sweep every N of every application and can take several
 // minutes; -quick trims each sweep to three sizes.
@@ -16,8 +16,11 @@
 // the server's cache/coalescing deltas. The nodeloss mix additionally
 // fails a device halfway through the run and feeds every subsequent
 // compile back through /v1/remap, asserting each in-flight request still
-// gets a valid degraded plan. It is excluded from -exp all: it benchmarks
-// the serving layer, not the paper.
+// gets a valid degraded plan. The multinode mix instead brings up a
+// 3-node serving fleet over one shared artifact store, kills one node
+// mid-run and re-adds it cold, asserting the fleet-wide hit rate survives
+// the churn and the rejoining node warm-starts from the store. Both are
+// excluded from -exp all: they benchmark the serving layer, not the paper.
 package main
 
 import (
@@ -44,11 +47,34 @@ func main() {
 	requests := flag.Int("requests", 200, "loadtest: total requests")
 	rps := flag.Float64("rps", 100, "loadtest: target request rate (0 = unpaced)")
 	fleet := flag.Int("fleet", 16, "loadtest: concurrent client workers")
-	mix := flag.String("mix", "mixed", "loadtest: traffic mix (hot, unique, mixed, nodeloss)")
+	mix := flag.String("mix", "mixed", "loadtest: traffic mix (hot, unique, mixed, nodeloss, multinode)")
 	seed := flag.Uint64("seed", 1, "loadtest: workload seed")
 	verify := flag.Bool("verify", false, "loadtest: check served artifacts against local compiles")
 	flag.Parse()
 
+	if *exp == "loadtest" && loadtest.Mix(*mix) == loadtest.MixMultiNode {
+		// The multinode mix owns its servers (it kills and re-adds one),
+		// so it cannot target -server-url.
+		res, err := loadtest.RunMultiNode(context.Background(), loadtest.MultiNodeParams{
+			Seed:             *seed,
+			RequestsPerPhase: *requests,
+			Workers:          *fleet,
+		})
+		if res != nil {
+			res.Fprint(os.Stdout)
+		}
+		if err == nil && !res.RejoinOK {
+			err = fmt.Errorf("re-added node did not warm-start from the shared store")
+		}
+		if err == nil && (res.Steady.Errors > 0 || res.Churn.Errors > 0) {
+			err = fmt.Errorf("requests failed during the run")
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *exp == "loadtest" {
 		if err := runLoadtest(*serverURL, loadtest.Params{
 			Seed:     *seed,

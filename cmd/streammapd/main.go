@@ -1,23 +1,46 @@
 // Command streammapd is the compile daemon: it serves the mapping
-// compiler over HTTP, fronting a two-tier (memory + disk) compile cache
-// with admission control and request coalescing.
+// compiler over HTTP, fronting a tiered compile cache (memory + disk +
+// optional shared store) with admission control and request coalescing.
+// Several daemons given each other's addresses serve as one fleet-wide
+// cache over a consistent-hash ring.
 //
 // Usage:
 //
 //	streammapd [-addr 127.0.0.1:8372] [-cache-dir DIR] [-cache-entries N]
 //	           [-max-inflight N] [-max-queue N] [-timeout 60s]
 //	           [-compile-workers N] [-drain-timeout 15s] [-port-file FILE]
+//	           [-self-url URL] [-peers URL,URL,...] [-store-dir DIR]
+//	           [-fleet-redirect]
 //
 // Endpoints:
 //
-//	POST /v1/compile  graph spec + options -> versioned artifact encoding
-//	GET  /healthz     liveness (503 while draining)
-//	GET  /stats       cache/admission/latency counters as JSON
+//	POST /v1/compile         graph spec + options -> versioned artifact encoding
+//	POST /v1/remap           artifact + degradation -> re-targeted artifact
+//	GET  /v1/artifact/{key}  raw artifact bytes by key hash (fleet peer fetch)
+//	GET  /healthz            liveness (503 while draining; fleet peer states)
+//	GET  /stats              cache/admission/latency counters as JSON
 //
 // -addr with port 0 binds an ephemeral port; the bound address is logged
 // and, with -port-file, written to a file (for scripts and CI). On
 // SIGTERM/SIGINT the daemon drains: /healthz flips to 503, new compiles
 // are refused, in-flight requests get -drain-timeout to finish.
+//
+// Fleet mode: give every daemon the same -peers list (each member's
+// advertised base URL) and its own entry as -self-url, and the processes
+// serve as one consistent-hash cache — a request landing on any node is
+// answered from the fleet's caches wherever the key lives. -store-dir
+// points every node at one shared content-addressed artifact directory
+// (NFS or any shared mount), which also warm-starts nodes that join
+// later. -fleet-redirect answers non-owned keys with a 307 to the owner
+// instead of proxying server-side. See DESIGN.md S17.
+//
+// Example (3-node fleet on one host):
+//
+//	PEERS=http://127.0.0.1:8471,http://127.0.0.1:8472,http://127.0.0.1:8473
+//	for p in 8471 8472 8473; do
+//	  streammapd -addr 127.0.0.1:$p -self-url http://127.0.0.1:$p \
+//	             -peers "$PEERS" -store-dir /var/cache/streammap-fleet &
+//	done
 //
 // Example:
 //
@@ -35,10 +58,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"streammap/internal/core"
+	"streammap/internal/fleet"
 	"streammap/internal/server"
 )
 
@@ -52,18 +77,46 @@ func main() {
 	compileWorkers := flag.Int("compile-workers", 0, "worker pool per compilation (default GOMAXPROCS)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
 	portFile := flag.String("port-file", "", "write the bound host:port to this file once listening")
+	selfURL := flag.String("self-url", "", "fleet: this node's advertised base URL (required with -peers)")
+	peers := flag.String("peers", "", "fleet: comma-separated base URLs of every member, self included")
+	storeDir := flag.String("store-dir", "", "shared content-addressed artifact store directory (fleet warm starts)")
+	fleetRedirect := flag.Bool("fleet-redirect", false, "fleet: answer non-owned keys with 307 to the owner instead of proxying")
 	flag.Parse()
 
+	svcCfg := core.ServiceConfig{
+		MaxEntries: *cacheEntries,
+		CacheDir:   *cacheDir,
+	}
+	if *storeDir != "" {
+		svcCfg.Shared = fleet.NewDirStore(*storeDir)
+	}
+	var fleetCfg fleet.Config
+	if *peers != "" {
+		if *selfURL == "" {
+			log.Fatal("streammapd: -peers requires -self-url (this node's own entry in the list)")
+		}
+		fleetCfg = fleet.Config{
+			SelfURL:  *selfURL,
+			Peers:    strings.Split(*peers, ","),
+			Redirect: *fleetRedirect,
+		}
+		if !fleetCfg.Enabled() {
+			log.Fatal("streammapd: -peers must name at least one member besides -self-url")
+		}
+	}
+
 	srv := server.New(server.Config{
-		Service: core.ServiceConfig{
-			MaxEntries: *cacheEntries,
-			CacheDir:   *cacheDir,
-		},
+		Service:        svcCfg,
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
 		RequestTimeout: *timeout,
 		CompileWorkers: *compileWorkers,
+		Fleet:          fleetCfg,
 	})
+	if fleetCfg.Enabled() {
+		log.Printf("streammapd: fleet member %s among %d peers (redirect=%v)",
+			*selfURL, len(fleetCfg.Peers), *fleetRedirect)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

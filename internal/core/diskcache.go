@@ -1,9 +1,6 @@
 package core
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
 	"os"
 	"path/filepath"
 
@@ -12,91 +9,141 @@ import (
 	"streammap/internal/sdf"
 )
 
-// The disk tier of the compile cache: a content-addressed store of encoded
-// compile artifacts under ServiceConfig.CacheDir. Entries are keyed by a
-// hash of (graph fingerprint, device, topology, normalized options) — the
-// same identity as the in-memory LRU — and written atomically
-// (temp file + rename), so concurrent services can share a directory and a
-// reader never observes a partial entry. Corrupt, truncated or
-// stale-version entries are treated as misses and overwritten by the next
-// successful compilation.
+// The persistent tiers of the compile cache, both content-addressed by
+// KeyHash of the canonical key — the same identity as the in-memory LRU
+// and the fleet ring:
+//
+//   - the disk tier (ServiceConfig.CacheDir): this node's private
+//     directory of encoded artifacts, written atomically (temp file +
+//     rename) so concurrent services can share a directory and a reader
+//     never observes a partial entry;
+//   - the shared tier (ServiceConfig.Shared): the fleet-wide
+//     ArtifactStore, consulted when both local tiers miss and written
+//     after every successful compilation, so a freshly started node
+//     warm-starts from every compile the fleet has ever finished.
+//
+// Corrupt, truncated or stale-version entries in either tier are treated
+// as misses and overwritten by the next successful compilation.
 
-// diskPath returns the content-addressed file for a cache key.
-func (s *Service) diskPath(key cacheKey) string {
-	sum := sha256.Sum256([]byte(fmt.Sprintf("%d|%s|%s|b=%d|p=%d|m=%d|ilp=%d|budget=%d|force=%v",
-		key.graph, key.device, key.topo, key.fragIters,
-		key.partitioner, key.mapper, key.ilpMax, key.ilpBudget, key.forceILP)))
-	return filepath.Join(s.cfg.CacheDir, hex.EncodeToString(sum[:16])+".artifact.json")
+// diskPath returns the content-addressed file for a key hash.
+func (s *Service) diskPath(hash string) string {
+	return filepath.Join(s.cfg.CacheDir, hash+".artifact.json")
 }
 
 // loadDisk tries to serve a request from the disk tier. It returns
 // (nil, false) on any miss — no entry, unreadable file, corrupt or
 // version-mismatched encoding, fingerprint mismatch, or import failure —
-// never an error: the caller falls through to a full compilation, whose
-// result overwrites the bad entry.
-func (s *Service) loadDisk(key cacheKey, g *sdf.Graph, opts Options) (*Compiled, bool) {
+// never an error: the caller falls through to the next tier.
+func (s *Service) loadDisk(hash string, g *sdf.Graph, opts Options) (*Compiled, bool) {
 	if s.cfg.CacheDir == "" {
 		return nil, false
 	}
-	data, err := os.ReadFile(s.diskPath(key))
+	data, err := os.ReadFile(s.diskPath(hash))
 	if err != nil {
 		return nil, false
 	}
-	a, err := artifact.Decode(data)
-	if err != nil {
-		return nil, false // corrupt, truncated or stale version: miss
-	}
-	if a.Fingerprint != g.Fingerprint() {
-		return nil, false // hash collision or foreign file: miss
-	}
-	c, err := driver.FromArtifact(g, a, opts)
+	c, err := rehydrate(data, g, opts)
 	if err != nil {
 		return nil, false
 	}
 	return c, true
 }
 
-// storeDisk persists a compilation to the disk tier with an atomic
-// write-rename. Failures are recorded but non-fatal: the disk tier is an
-// optimization, never a correctness dependency.
-func (s *Service) storeDisk(key cacheKey, c *Compiled) {
-	if s.cfg.CacheDir == "" {
+// loadShared tries to serve a request from the shared store, write-through
+// caching a hit into the local disk tier so the next restart of this node
+// needs no fleet at all.
+func (s *Service) loadShared(hash string, g *sdf.Graph, opts Options) (*Compiled, bool) {
+	if s.cfg.Shared == nil {
+		return nil, false
+	}
+	data, ok := s.cfg.Shared.Get(hash)
+	if !ok {
+		return nil, false
+	}
+	c, err := rehydrate(data, g, opts)
+	if err != nil {
+		return nil, false // corrupt or foreign entry: miss, recompile over it
+	}
+	if s.writeDisk(hash, data) == nil && s.cfg.CacheDir != "" {
+		s.diskWrites.Add(1)
+	}
+	return c, true
+}
+
+// rehydrate decodes an encoded artifact and rebuilds a servable Compiled
+// from it — partitions re-extracted, estimates/PDG/assignment restored
+// verbatim, plan reassembled — without running any pipeline stage. The
+// fingerprint check rejects hash collisions and foreign files.
+func rehydrate(data []byte, g *sdf.Graph, opts Options) (*Compiled, error) {
+	a, err := artifact.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if a.Fingerprint != g.Fingerprint() {
+		return nil, errFingerprint
+	}
+	return driver.FromArtifact(g, a, opts)
+}
+
+// persistEncoded writes one successful compilation's encoded artifact to
+// every configured persistent tier, encoding once. Failures are recorded
+// but non-fatal: both tiers are optimizations, never a correctness
+// dependency.
+func (s *Service) persistEncoded(hash string, c *Compiled) {
+	if s.cfg.CacheDir == "" && s.cfg.Shared == nil {
 		return
 	}
-	err := func() error {
-		if err := os.MkdirAll(s.cfg.CacheDir, 0o755); err != nil {
-			return err
-		}
-		a, err := c.Artifact()
-		if err != nil {
-			return err
-		}
-		data, err := a.Encode()
-		if err != nil {
-			return err
-		}
-		tmp, err := os.CreateTemp(s.cfg.CacheDir, ".artifact-*.tmp")
-		if err != nil {
-			return err
-		}
-		if _, err := tmp.Write(data); err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-			return err
-		}
-		if err := tmp.Close(); err != nil {
-			os.Remove(tmp.Name())
-			return err
-		}
-		if err := os.Rename(tmp.Name(), s.diskPath(key)); err != nil {
-			os.Remove(tmp.Name())
-			return err
-		}
-		return nil
-	}()
+	a, err := c.Artifact()
 	if err != nil {
 		s.diskErrors.Add(1)
 		return
 	}
-	s.diskWrites.Add(1)
+	data, err := a.Encode()
+	if err != nil {
+		s.diskErrors.Add(1)
+		return
+	}
+	if s.cfg.CacheDir != "" {
+		if err := s.writeDisk(hash, data); err != nil {
+			s.diskErrors.Add(1)
+		} else {
+			s.diskWrites.Add(1)
+		}
+	}
+	if s.cfg.Shared != nil {
+		if err := s.cfg.Shared.Put(hash, data); err != nil {
+			s.storeErrors.Add(1)
+		} else {
+			s.storeWrites.Add(1)
+		}
+	}
+}
+
+// writeDisk persists encoded bytes to the disk tier with an atomic
+// write-rename. A nil error with CacheDir unset means "nothing to do".
+func (s *Service) writeDisk(hash string, data []byte) error {
+	if s.cfg.CacheDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.CacheDir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.cfg.CacheDir, ".artifact-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.diskPath(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"streammap/internal/artifact"
+	"streammap/internal/driver"
+	"streammap/internal/sdf"
+)
+
+// The canonical cache identity. One compilation has one name everywhere:
+// the serving layer's request coalescing, the ring that decides which
+// fleet node owns it, the disk tier's filename and the shared store's key
+// all derive from CanonicalKey/KeyHash, so "the same compile" can never
+// mean different things on different nodes.
+
+// CanonicalKey names a compilation: the graph fingerprint plus the
+// canonical (deterministically marshalled) wire form of its normalized
+// options — exactly the identity the artifact itself records.
+func CanonicalKey(fingerprint uint64, w artifact.Options) (string, error) {
+	b, err := json.Marshal(w)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%016x|%s", fingerprint, b), nil
+}
+
+// KeyOf is CanonicalKey for a live (graph, options) pair, normalizing the
+// options first so a zero-value request and its explicit-default twin
+// share one identity.
+func KeyOf(g *sdf.Graph, opts Options) (string, error) {
+	return CanonicalKey(g.Fingerprint(), driver.ExportOptions(driver.Normalized(opts)))
+}
+
+// KeyHash is the content address of a canonical key: 32 hex characters,
+// filesystem- and URL-safe. It names disk-tier files, shared-store
+// entries and the /v1/artifact/{key} peer-fetch route.
+func KeyHash(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:16])
+}
+
+// ArtifactStore is the seam for the shared, fleet-wide artifact tier: a
+// content-addressed blob store consulted after the local tiers miss and
+// written after every successful compilation. fleet.DirStore is the
+// local-filesystem implementation; any keyed blob service satisfies it.
+// Implementations must be safe for concurrent use and must make Put
+// atomic with respect to Get (no torn reads). The tier is best-effort:
+// Get misses fall through to a compile, Put failures are counted
+// (ServiceStats.StoreErrors) and dropped.
+type ArtifactStore interface {
+	Get(key string) (data []byte, ok bool)
+	Put(key string, data []byte) error
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"streammap/internal/artifact"
+	"streammap/internal/sdf"
+)
+
+// The hash-keyed face of the service, for fleet serving: a peer (or the
+// local routing layer) names a compilation by KeyHash alone — no graph,
+// no options — and gets back either the live result or its encoded bytes
+// from whichever tier holds them. See DESIGN.md S17.
+
+var errFingerprint = errors.New("core: artifact fingerprint does not match the requested graph")
+
+// CompiledByHash returns the live in-memory result for a key hash, if one
+// is cached and complete. It never blocks on an in-flight compilation —
+// peer fetches must be cheap or absent, never queued behind a compile.
+func (s *Service) CompiledByHash(hash string) (*Compiled, bool) {
+	s.mu.Lock()
+	el, ok := s.byHash[hash]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	e := el.Value.(*lruItem).e
+	s.mu.Unlock()
+	select {
+	case <-e.done:
+		if e.err != nil || e.c == nil {
+			return nil, false
+		}
+		return e.c, true
+	default:
+		return nil, false // still compiling: a miss, not a wait
+	}
+}
+
+// EncodedFromTiers returns the encoded artifact bytes for a key hash from
+// the persistent tiers — local disk first, then the shared store. The
+// bytes are decode-validated before being returned, so a corrupt entry is
+// a miss, never a served poison. The in-memory tier is CompiledByHash's
+// job: callers that can encode a live result should prefer it.
+func (s *Service) EncodedFromTiers(hash string) ([]byte, bool) {
+	if s.cfg.CacheDir != "" {
+		if data, err := os.ReadFile(s.diskPath(hash)); err == nil {
+			if _, derr := artifact.Decode(data); derr == nil {
+				return data, true
+			}
+		}
+	}
+	if s.cfg.Shared != nil {
+		if data, ok := s.cfg.Shared.Get(hash); ok {
+			if _, derr := artifact.Decode(data); derr == nil {
+				return data, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// IngestEncoded installs an artifact fetched from a fleet peer into this
+// node's caches as if it had been compiled here: the in-memory tier
+// always (rehydrated against the request's own graph), the disk tier when
+// configured. This is what makes hot keys replicate — the first request
+// for a foreign key pays one peer fetch, every later one is a local
+// memory hit. The shared store is not written: the key's owner already
+// did that.
+func (s *Service) IngestEncoded(g *sdf.Graph, opts Options, data []byte) error {
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	if err := s.ensureSteady(g); err != nil {
+		return err
+	}
+	c, err := rehydrate(data, g, opts)
+	if err != nil {
+		return fmt.Errorf("core: ingesting peer artifact: %w", err)
+	}
+	ck, err := KeyOf(g, opts)
+	if err != nil {
+		return err
+	}
+	hash := KeyHash(ck)
+	key := keyOf(g, opts)
+
+	s.mu.Lock()
+	if _, ok := s.byKey[key]; !ok {
+		e := &entry{done: make(chan struct{}), c: c}
+		close(e.done)
+		el := s.lru.PushFront(&lruItem{key: key, hash: hash, e: e})
+		s.byKey[key] = el
+		s.byHash[hash] = el
+		s.evictLocked()
+	}
+	s.mu.Unlock()
+
+	if s.cfg.CacheDir != "" {
+		if err := s.writeDisk(hash, data); err != nil {
+			s.diskErrors.Add(1)
+		} else {
+			s.diskWrites.Add(1)
+		}
+	}
+	return nil
+}

@@ -28,6 +28,14 @@ type ServiceConfig struct {
 	// truncated or format-version-mismatched entries are ignored and
 	// overwritten. Empty disables the tier.
 	CacheDir string
+	// Shared, when set, enables the third cache tier: a fleet-wide
+	// content-addressed artifact store (typically fleet.DirStore on a
+	// shared filesystem) consulted after both local tiers miss and written
+	// after every successful compilation. A freshly started node
+	// warm-starts from it, so joining a fleet never means cold compiles
+	// for keys the fleet already knows. Hits are write-through cached into
+	// CacheDir. Nil disables the tier.
+	Shared ArtifactStore
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
@@ -44,13 +52,16 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 // are part of the serving wire format: internal/server's /stats endpoint
 // embeds this struct verbatim.
 type ServiceStats struct {
-	Hits       int64 `json:"hits"`       // requests served from the in-memory tier (incl. join-in-flight)
-	Misses     int64 `json:"misses"`     // requests that ran a full compilation
-	Evictions  int64 `json:"evictions"`  // LRU entries dropped by the MaxEntries bound
-	DiskHits   int64 `json:"diskHits"`   // requests served from the disk tier without compiling
-	DiskWrites int64 `json:"diskWrites"` // artifacts persisted to the disk tier
-	DiskErrors int64 `json:"diskErrors"` // failed disk-tier writes (the tier is best-effort)
-	Entries    int   `json:"entries"`    // entries currently in the in-memory tier
+	Hits        int64 `json:"hits"`        // requests served from the in-memory tier (incl. join-in-flight)
+	Misses      int64 `json:"misses"`      // requests that ran a full compilation
+	Evictions   int64 `json:"evictions"`   // LRU entries dropped by the MaxEntries bound
+	DiskHits    int64 `json:"diskHits"`    // requests served from the disk tier without compiling
+	DiskWrites  int64 `json:"diskWrites"`  // artifacts persisted to the disk tier
+	DiskErrors  int64 `json:"diskErrors"`  // failed disk-tier writes (the tier is best-effort)
+	StoreHits   int64 `json:"storeHits"`   // requests served from the shared store without compiling
+	StoreWrites int64 `json:"storeWrites"` // artifacts persisted to the shared store
+	StoreErrors int64 `json:"storeErrors"` // failed shared-store writes (the tier is best-effort)
+	Entries     int   `json:"entries"`     // entries currently in the in-memory tier
 
 	// Engine aggregates the estimation-engine memo counters over every
 	// compilation this service actually ran (cache and disk hits don't
@@ -122,11 +133,12 @@ type entry struct {
 }
 
 // Service compiles many stream graphs concurrently, deduplicating identical
-// in-flight requests and caching results in two tiers keyed by (graph
-// fingerprint, device, topology, options): an in-memory LRU of live
-// results, and optionally (ServiceConfig.CacheDir) a content-addressed
-// on-disk store of encoded compile artifacts that survives restarts. It is
-// safe for concurrent use.
+// in-flight requests and caching results in up to three tiers keyed by
+// (graph fingerprint, device, topology, options): an in-memory LRU of live
+// results, optionally (ServiceConfig.CacheDir) a content-addressed on-disk
+// store of encoded compile artifacts that survives restarts, and optionally
+// (ServiceConfig.Shared) a fleet-wide shared artifact store that survives
+// the node itself. It is safe for concurrent use.
 //
 // The cache returns the same *Compiled to every caller with an equal key;
 // treat compiled results as immutable (copy the Plan before mutating it, as
@@ -143,16 +155,20 @@ type Service struct {
 	// requests may share one *Graph, and Graph.Steady mutates it.
 	steadyMu sync.Mutex
 
-	mu    sync.Mutex
-	lru   *list.List // of *lruItem, most recent at front
-	byKey map[cacheKey]*list.Element
+	mu     sync.Mutex
+	lru    *list.List // of *lruItem, most recent at front
+	byKey  map[cacheKey]*list.Element
+	byHash map[string]*list.Element // same entries, keyed by KeyHash (fleet lookups)
 
-	hits       atomic.Int64
-	misses     atomic.Int64
-	evictions  atomic.Int64
-	diskHits   atomic.Int64
-	diskWrites atomic.Int64
-	diskErrors atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	evictions   atomic.Int64
+	diskHits    atomic.Int64
+	diskWrites  atomic.Int64
+	diskErrors  atomic.Int64
+	storeHits   atomic.Int64
+	storeWrites atomic.Int64
+	storeErrors atomic.Int64
 
 	engQueries    atomic.Int64
 	engMisses     atomic.Int64
@@ -160,8 +176,9 @@ type Service struct {
 }
 
 type lruItem struct {
-	key cacheKey
-	e   *entry
+	key  cacheKey
+	hash string // KeyHash of the canonical key
+	e    *entry
 }
 
 // NewService returns a compile service.
@@ -173,6 +190,7 @@ func NewService(cfg ServiceConfig) *Service {
 		compileFn: driver.Compile,
 		lru:       list.New(),
 		byKey:     map[cacheKey]*list.Element{},
+		byHash:    map[string]*list.Element{},
 	}
 }
 
@@ -182,13 +200,16 @@ func (s *Service) Stats() ServiceStats {
 	entries := s.lru.Len()
 	s.mu.Unlock()
 	return ServiceStats{
-		Hits:       s.hits.Load(),
-		Misses:     s.misses.Load(),
-		Evictions:  s.evictions.Load(),
-		DiskHits:   s.diskHits.Load(),
-		DiskWrites: s.diskWrites.Load(),
-		DiskErrors: s.diskErrors.Load(),
-		Entries:    entries,
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Evictions:   s.evictions.Load(),
+		DiskHits:    s.diskHits.Load(),
+		DiskWrites:  s.diskWrites.Load(),
+		DiskErrors:  s.diskErrors.Load(),
+		StoreHits:   s.storeHits.Load(),
+		StoreWrites: s.storeWrites.Load(),
+		StoreErrors: s.storeErrors.Load(),
+		Entries:     entries,
 		Engine: EngineStatsOf(pee.Stats{
 			Queries:    s.engQueries.Load(),
 			Misses:     s.engMisses.Load(),
@@ -197,25 +218,28 @@ func (s *Service) Stats() ServiceStats {
 	}
 }
 
-// Compile returns the compilation of g under opts, serving repeats from the
-// two cache tiers — the in-memory LRU, then the on-disk artifact store —
-// and joining concurrent duplicates onto one in-flight compilation.
-// Failed compilations are not cached. Results served from disk carry empty
-// Stages provenance: no pipeline pass ran for them.
+// Compile returns the compilation of g under opts, serving repeats from
+// the cache tiers — the in-memory LRU, then the on-disk artifact store,
+// then the shared fleet store — and joining concurrent duplicates onto one
+// in-flight compilation. Failed compilations are not cached. Results
+// served from the persistent tiers carry empty Stages provenance: no
+// pipeline pass ran for them.
 func (s *Service) Compile(ctx context.Context, g *sdf.Graph, opts Options) (*Compiled, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	s.steadyMu.Lock()
-	var steadyErr error
-	if !g.HasSteady() {
-		steadyErr = g.Steady()
-	}
-	s.steadyMu.Unlock()
-	if steadyErr != nil {
-		return nil, steadyErr
+	if err := s.ensureSteady(g); err != nil {
+		return nil, err
 	}
 	key := keyOf(g, opts)
+	// The canonical hash names this compilation in the persistent tiers
+	// and the fleet ring; its cost (one options marshal) is on par with
+	// keyOf's own normalization.
+	ck, err := KeyOf(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	hash := KeyHash(ck)
 
 	s.mu.Lock()
 	if el, ok := s.byKey[key]; ok {
@@ -231,8 +255,9 @@ func (s *Service) Compile(ctx context.Context, g *sdf.Graph, opts Options) (*Com
 		}
 	}
 	e := &entry{done: make(chan struct{})}
-	el := s.lru.PushFront(&lruItem{key: key, e: e})
+	el := s.lru.PushFront(&lruItem{key: key, hash: hash, e: e})
 	s.byKey[key] = el
+	s.byHash[hash] = el
 	s.evictLocked()
 	s.mu.Unlock()
 
@@ -243,11 +268,16 @@ func (s *Service) Compile(ctx context.Context, g *sdf.Graph, opts Options) (*Com
 	go func() {
 		s.sem <- struct{}{}
 		var persist *Compiled
-		if c, ok := s.loadDisk(key, g, opts); ok {
+		if c, ok := s.loadDisk(hash, g, opts); ok {
 			// Disk tier hit: the artifact is rehydrated (partitions
 			// re-extracted, estimates/PDG/assignment restored verbatim, plan
 			// reassembled) without running any pipeline stage.
 			s.diskHits.Add(1)
+			e.c = c
+		} else if c, ok := s.loadShared(hash, g, opts); ok {
+			// Shared-store hit: some fleet node compiled this key before;
+			// rehydrate it here the same way, again with no pipeline stage.
+			s.storeHits.Add(1)
 			e.c = c
 		} else {
 			s.misses.Add(1)
@@ -271,11 +301,12 @@ func (s *Service) Compile(ctx context.Context, g *sdf.Graph, opts Options) (*Com
 			s.drop(key, el)
 		}
 		close(e.done)
-		// Persist after waiters are released: the disk tier is best-effort
-		// and must never sit on the compile critical path. Compiled results
-		// are immutable once published, so encoding after close is safe.
+		// Persist after waiters are released: the persistent tiers are
+		// best-effort and must never sit on the compile critical path.
+		// Compiled results are immutable once published, so encoding after
+		// close is safe.
 		if persist != nil {
-			s.storeDisk(key, persist)
+			s.persistEncoded(hash, persist)
 		}
 	}()
 	select {
@@ -286,12 +317,23 @@ func (s *Service) Compile(ctx context.Context, g *sdf.Graph, opts Options) (*Com
 	}
 }
 
+// ensureSteady lazily computes g's steady state under the service's lock:
+// concurrent first requests may share one *Graph, and Graph.Steady
+// mutates it.
+func (s *Service) ensureSteady(g *sdf.Graph) error {
+	s.steadyMu.Lock()
+	defer s.steadyMu.Unlock()
+	if g.HasSteady() {
+		return nil
+	}
+	return g.Steady()
+}
+
 // drop removes a failed or abandoned entry so later requests retry.
 func (s *Service) drop(key cacheKey, el *list.Element) {
 	s.mu.Lock()
 	if cur, ok := s.byKey[key]; ok && cur == el {
-		s.lru.Remove(el)
-		delete(s.byKey, key)
+		s.removeLocked(el)
 	}
 	s.mu.Unlock()
 }
@@ -305,9 +347,18 @@ func (s *Service) evictLocked() {
 		if back == nil {
 			return
 		}
-		it := back.Value.(*lruItem)
-		s.lru.Remove(back)
-		delete(s.byKey, it.key)
+		s.removeLocked(back)
 		s.evictions.Add(1)
+	}
+}
+
+// removeLocked unlinks one entry from the LRU and both indexes; the
+// caller holds s.mu.
+func (s *Service) removeLocked(el *list.Element) {
+	it := el.Value.(*lruItem)
+	s.lru.Remove(el)
+	delete(s.byKey, it.key)
+	if it.hash != "" && s.byHash[it.hash] == el {
+		delete(s.byHash, it.hash)
 	}
 }

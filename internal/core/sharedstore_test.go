@@ -1,0 +1,172 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"streammap/internal/core"
+	"streammap/internal/driver"
+	"streammap/internal/fleet"
+)
+
+// waitStoreWrites blocks until the service has persisted `writes` artifacts
+// to the shared store (written off the compile critical path, like the
+// disk tier).
+func waitStoreWrites(t *testing.T, s *core.Service, writes int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.Stats()
+		if st.StoreErrors > 0 {
+			t.Fatalf("shared-store write failed: %+v", st)
+		}
+		if st.StoreWrites >= writes {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shared-store write did not complete: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestServiceWarmStartsFromSharedStore is the fleet-join acceptance check
+// at the core layer: a brand-new node (fresh LRU, empty private disk dir)
+// pointed at a shared store another node populated serves its first
+// request for a fleet-known key as a hit — zero pipeline stages — and
+// write-through caches the entry into its own disk tier.
+func TestServiceWarmStartsFromSharedStore(t *testing.T) {
+	shared := fleet.NewDirStore(t.TempDir())
+	ctx := context.Background()
+
+	// "Node A" compiles and persists to the shared store (no private disk).
+	a := core.NewService(core.ServiceConfig{Shared: shared})
+	c1, err := a.Compile(ctx, cacheGraph(t, "fleetwarm"), cacheOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStoreWrites(t, a, 1)
+	if st := a.Stats(); st.Misses != 1 || st.StoreWrites != 1 || st.StoreHits != 0 {
+		t.Fatalf("node A stats %+v", st)
+	}
+
+	// "Node B" joins later with its own empty disk dir and the same store.
+	bDir := t.TempDir()
+	b := core.NewService(core.ServiceConfig{CacheDir: bDir, Shared: shared})
+	c2, err := b.Compile(ctx, cacheGraph(t, "fleetwarm"), cacheOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := b.Stats(); st.StoreHits != 1 || st.Misses != 0 || st.DiskHits != 0 {
+		t.Fatalf("joining node did not warm-start from the shared store: %+v", st)
+	}
+	if len(c2.Stages) != 0 {
+		t.Errorf("store-served result claims stage provenance %v — a pipeline stage ran", c2.Stages)
+	}
+	if err := driver.Equivalent(c1, c2); err != nil {
+		t.Fatalf("store-served result differs from node A's compile: %v", err)
+	}
+	if n := len(artifactFiles(t, bDir)); n != 1 {
+		t.Fatalf("shared-store hit was not write-through cached to disk (%d files)", n)
+	}
+
+	// B restarted offline (store gone) still hits its own disk tier.
+	b2 := core.NewService(core.ServiceConfig{CacheDir: bDir})
+	if _, err := b2.Compile(ctx, cacheGraph(t, "fleetwarm"), cacheOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if st := b2.Stats(); st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("write-through entry not served from disk: %+v", st)
+	}
+}
+
+// TestServiceTierOrder: local disk is consulted before the shared store —
+// a key present in both costs no store read.
+func TestServiceTierOrder(t *testing.T) {
+	dir := t.TempDir()
+	shared := fleet.NewDirStore(t.TempDir())
+	ctx := context.Background()
+
+	s1 := core.NewService(core.ServiceConfig{CacheDir: dir, Shared: shared})
+	if _, err := s1.Compile(ctx, cacheGraph(t, "tiers"), cacheOpts()); err != nil {
+		t.Fatal(err)
+	}
+	waitStoreWrites(t, s1, 1)
+
+	s2 := core.NewService(core.ServiceConfig{CacheDir: dir, Shared: shared})
+	if _, err := s2.Compile(ctx, cacheGraph(t, "tiers"), cacheOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.DiskHits != 1 || st.StoreHits != 0 || st.Misses != 0 {
+		t.Fatalf("tier order wrong: %+v", st)
+	}
+}
+
+// TestEncodedByHashAndIngest: the hash-keyed peer-serving face — a node
+// can export any cached compile as raw bytes, and another node can ingest
+// those bytes into its own tiers and serve them as a memory hit.
+func TestEncodedByHashAndIngest(t *testing.T) {
+	ctx := context.Background()
+	g := cacheGraph(t, "peerbytes")
+	opts := cacheOpts()
+	ck, err := core.KeyOf(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := core.KeyHash(ck)
+
+	owner := core.NewService(core.ServiceConfig{CacheDir: t.TempDir()})
+	if _, err := owner.Compile(ctx, g, opts); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := owner.CompiledByHash(hash)
+	if !ok || c == nil {
+		t.Fatal("owner cannot look up its own compile by hash")
+	}
+	a, err := c.Artifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The persistent tiers answer by hash too (disk write is async).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, ok := owner.EncodedFromTiers(hash); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("EncodedFromTiers never served the persisted entry")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, ok := owner.CompiledByHash("feedfeedfeedfeedfeedfeedfeedfeed"); ok {
+		t.Fatal("unknown hash reported a hit")
+	}
+
+	// A fetching node ingests the bytes: memory tier hit, no compile.
+	fetcher := core.NewService(core.ServiceConfig{})
+	g2 := cacheGraph(t, "peerbytes")
+	if err := fetcher.IngestEncoded(g2, opts, data); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := fetcher.Compile(ctx, g2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := fetcher.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("ingested artifact not served from memory: %+v", st)
+	}
+	if err := driver.Equivalent(c, c2); err != nil {
+		t.Fatalf("ingested result differs: %v", err)
+	}
+
+	// Ingest refuses bytes for a different graph.
+	other := cacheGraph(t, "different-name")
+	if err := fetcher.IngestEncoded(other, opts, data); err == nil {
+		t.Fatal("IngestEncoded accepted an artifact for a different graph")
+	}
+}

@@ -1,0 +1,104 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func testMembership(t *testing.T, peers ...string) *Membership {
+	t.Helper()
+	m, err := NewMembership(Config{SelfURL: peers[0], Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMembershipNormalizesSelfAndPeers(t *testing.T) {
+	m, err := NewMembership(Config{
+		SelfURL: "http://a:1/",
+		Peers:   []string{"http://b:2", "http://b:2/", " http://c:3 "},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Self(); got != "http://a:1" {
+		t.Errorf("Self = %q", got)
+	}
+	if got := m.Peers(); len(got) != 2 || got[0] != "http://b:2" || got[1] != "http://c:3" {
+		t.Errorf("Peers = %v, want deduplicated [http://b:2 http://c:3]", got)
+	}
+	if got := len(m.Alive()); got != 3 {
+		t.Errorf("Alive set has %d members, want 3 (self added)", got)
+	}
+	if _, err := NewMembership(Config{Peers: []string{"http://b:2"}}); err == nil {
+		t.Error("NewMembership accepted an empty SelfURL")
+	}
+}
+
+// TestMembershipMarkDownReroutes: a downed peer's keys move to survivors,
+// revive after the cooldown, and the keyspace churn lands in RingMoves.
+func TestMembershipMarkDownReroutes(t *testing.T) {
+	m := testMembership(t, "http://a:1", "http://b:2", "http://c:3")
+	clock := time.Now()
+	m.now = func() time.Time { return clock }
+
+	keys := testKeys(3000)
+	ownedByB := 0
+	for _, k := range keys {
+		if m.Owner(k) == "http://b:2" {
+			ownedByB++
+		}
+	}
+	if ownedByB == 0 {
+		t.Fatal("node b owns no keys before MarkDown")
+	}
+
+	m.MarkDown("http://b:2")
+	for _, k := range keys {
+		if got := m.Owner(k); got == "http://b:2" {
+			t.Fatalf("key %q still routed to downed peer", k)
+		}
+	}
+	if got := len(m.Alive()); got != 2 {
+		t.Errorf("Alive after MarkDown = %d members, want 2", got)
+	}
+	if moves := m.RingMoves(); moves < 200 || moves > 500 {
+		t.Errorf("RingMoves = %d after 1-of-3 leave, want ~333 (1/3 of keyspace, per mille)", moves)
+	}
+
+	// Cooldown lapse revives the peer and restores its exact ownership
+	// (consistent hashing: the revived ring is the original ring).
+	clock = clock.Add(m.Config().DownCooldown + time.Second)
+	backToB := 0
+	for _, k := range keys {
+		if m.Owner(k) == "http://b:2" {
+			backToB++
+		}
+	}
+	if backToB != ownedByB {
+		t.Errorf("revived peer owns %d keys, want its original %d", backToB, ownedByB)
+	}
+}
+
+// TestMembershipSelfNeverDown: a node always routes its own keys to
+// itself, whatever it is told about its own health.
+func TestMembershipSelfNeverDown(t *testing.T) {
+	m := testMembership(t, "http://a:1", "http://b:2")
+	m.MarkDown("http://a:1")
+	if got := len(m.Alive()); got != 2 {
+		t.Errorf("MarkDown(self) shrank the alive set to %d", got)
+	}
+}
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{SelfURL: "http://a:1", Peers: []string{"http://a:1/"}}).Enabled() {
+		t.Error("self-only fleet reported enabled")
+	}
+	if !(Config{SelfURL: "http://a:1", Peers: []string{"http://a:1", "http://b:2"}}).Enabled() {
+		t.Error("two-node fleet reported disabled")
+	}
+	if (Config{}).Enabled() {
+		t.Error("zero config reported enabled")
+	}
+}

@@ -1,0 +1,107 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is a shared content-addressed artifact store: the fleet-wide
+// third cache tier behind every node's memory LRU and private disk dir.
+// Keys are content-address hashes (hex, core.KeyHash); values are encoded
+// artifact bytes. Implementations must be safe for concurrent use by many
+// processes and must never return a partially written value — readers
+// validate content (artifact.Decode + fingerprint check) but rely on the
+// store for write atomicity.
+//
+// The store is best-effort by contract: a Get miss falls through to a
+// compile, a Put failure is counted and dropped. Nothing in the serving
+// path may block on it beyond a single read or write.
+type Store interface {
+	// Get returns the value for key, or ok=false on any miss (absent,
+	// unreadable — the caller cannot distinguish and must not need to).
+	Get(key string) (data []byte, ok bool)
+	// Put durably stores value under key, atomically: a concurrent Get
+	// sees either the complete value or a miss, never a prefix. Replays
+	// of the same content-addressed key are idempotent overwrites.
+	Put(key string, data []byte) error
+}
+
+// DirStore is the local-directory Store: one file per key under a root
+// directory, written with the same temp-file + rename discipline as the
+// service's disk cache tier. Pointing every node of a fleet at one
+// DirStore on a shared filesystem gives the fleet a common backing store;
+// rename is atomic on POSIX filesystems, so cross-process readers never
+// observe torn entries.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore returns a store rooted at dir. The directory is created
+// lazily on first Put, so constructing a store is side-effect free.
+func NewDirStore(dir string) *DirStore { return &DirStore{dir: dir} }
+
+// Dir returns the store's root directory.
+func (s *DirStore) Dir() string { return s.dir }
+
+// path maps a key to its file. Keys are hex content hashes; anything else
+// is rejected by validKey before touching the filesystem.
+func (s *DirStore) path(key string) string {
+	return filepath.Join(s.dir, key+".artifact.json")
+}
+
+// validKey guards the filesystem namespace: only lowercase-hex content
+// hashes are legal keys, so a malicious or corrupted key can never
+// traverse out of the store directory.
+func validKey(key string) bool {
+	if len(key) == 0 || len(key) > 128 {
+		return false
+	}
+	for _, c := range key {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Get implements Store.
+func (s *DirStore) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put implements Store.
+func (s *DirStore) Put(key string, data []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("fleet: invalid store key %q", key)
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".store-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package fleet
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	s := NewDirStore(t.TempDir())
+	key := strings.Repeat("ab", 16)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get on empty store reported a hit")
+	}
+	want := []byte(`{"format":1}`)
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, want)
+	}
+	// Content-addressed overwrite is idempotent.
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirStoreRejectsHostileKeys: only hex content hashes may reach the
+// filesystem — traversal and separator bytes must be refused, not
+// sanitized.
+func TestDirStoreRejectsHostileKeys(t *testing.T) {
+	dir := t.TempDir()
+	s := NewDirStore(filepath.Join(dir, "store"))
+	for _, key := range []string{"", "../escape", "a/b", "ABCDEF", "zz", strings.Repeat("a", 200)} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted a non-hash key", key)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("Get(%q) reported a hit for a non-hash key", key)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "escape")); err == nil {
+		t.Fatal("hostile key escaped the store directory")
+	}
+}
+
+// TestDirStoreNoTornReads: concurrent writers of the same key against a
+// reader must never yield a partial value — the rename is the commit.
+func TestDirStoreNoTornReads(t *testing.T) {
+	s := NewDirStore(t.TempDir())
+	key := strings.Repeat("cd", 16)
+	val := bytes.Repeat([]byte("streammap-artifact-bytes"), 512)
+	stop := time.Now().Add(100 * time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				if err := s.Put(key, val); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for time.Now().Before(stop) {
+		if got, ok := s.Get(key); ok && !bytes.Equal(got, val) {
+			t.Fatalf("torn read: %d bytes, want %d", len(got), len(val))
+		}
+	}
+	wg.Wait()
+}
+
+// TestDirStoreLazyDir: constructing a store creates nothing; the first
+// Put does.
+func TestDirStoreLazyDir(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "sub", "store")
+	s := NewDirStore(root)
+	if _, err := os.Stat(root); !os.IsNotExist(err) {
+		t.Fatalf("NewDirStore created %s", root)
+	}
+	if err := s.Put(strings.Repeat("ef", 16), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(root); err != nil {
+		t.Fatalf("Put did not create the store dir: %v", err)
+	}
+}

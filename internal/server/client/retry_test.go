@@ -1,0 +1,219 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streammap/internal/server"
+	"streammap/internal/server/client"
+)
+
+// okArtifact answers one request with real artifact bytes.
+func okArtifact(t *testing.T, w http.ResponseWriter) {
+	t.Helper()
+	body, err := testArtifact(t).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// TestClientRetry429: with Retry429 on, a throttled request is retried
+// exactly once after a decorrelated-jitter sleep whose floor is the
+// server's Retry-After hint and whose ceiling is three times it.
+func TestClientRetry429(t *testing.T) {
+	var calls atomic.Int64
+	cl := scripted(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		okArtifact(t, w)
+	})
+	cl.Config.Retry429 = true
+	var slept []time.Duration
+	cl.Sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	a, err := cl.Compile(context.Background(), server.CompileRequest{})
+	if err != nil {
+		t.Fatalf("retry did not recover from 429: %v", err)
+	}
+	if a == nil || calls.Load() != 2 {
+		t.Fatalf("expected exactly one retry, got %d calls", calls.Load())
+	}
+	if len(slept) != 1 {
+		t.Fatalf("expected exactly one backoff sleep, got %v", slept)
+	}
+	if slept[0] < 2*time.Second || slept[0] >= 6*time.Second {
+		t.Errorf("backoff %v outside decorrelated-jitter bounds [2s, 6s)", slept[0])
+	}
+}
+
+// TestClientRetry429OnlyOnce: a server that keeps shedding gets exactly
+// one retry before the 429 surfaces as *Throttled — the client never
+// turns into its own retry storm.
+func TestClientRetry429OnlyOnce(t *testing.T) {
+	var calls atomic.Int64
+	cl := scripted(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "still shedding", http.StatusTooManyRequests)
+	})
+	cl.Config.Retry429 = true
+	cl.Sleep = func(time.Duration) {}
+
+	_, err := cl.Compile(context.Background(), server.CompileRequest{})
+	if _, ok := client.IsThrottled(err); !ok {
+		t.Fatalf("expected *Throttled after exhausted retry, got %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("expected 2 attempts (original + one retry), got %d", calls.Load())
+	}
+}
+
+// TestClientRetry429OffByDefault: the zero Config preserves single-shot
+// semantics — no sleep, no second request.
+func TestClientRetry429OffByDefault(t *testing.T) {
+	var calls atomic.Int64
+	cl := scripted(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "shed", http.StatusTooManyRequests)
+	})
+	cl.Sleep = func(time.Duration) { t.Error("zero-config client slept") }
+
+	_, err := cl.Compile(context.Background(), server.CompileRequest{})
+	if _, ok := client.IsThrottled(err); !ok {
+		t.Fatalf("expected *Throttled, got %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("zero-config client retried: %d calls", calls.Load())
+	}
+}
+
+// TestClientFollowsOneRedirect: with FollowRedirect on, a fleet node's
+// 307 is followed to the owner it names — once — and the owner's
+// artifact comes back as if the client had asked it directly.
+func TestClientFollowsOneRedirect(t *testing.T) {
+	var ownerCalls atomic.Int64
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ownerCalls.Add(1)
+		if r.Method != http.MethodPost {
+			t.Errorf("redirect re-issued as %s, want POST", r.Method)
+		}
+		okArtifact(t, w)
+	}))
+	t.Cleanup(owner.Close)
+	cl := scripted(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Location", owner.URL+"/v1/compile")
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	})
+	cl.Config.FollowRedirect = true
+
+	a, err := cl.Compile(context.Background(), server.CompileRequest{})
+	if err != nil {
+		t.Fatalf("redirect not followed: %v", err)
+	}
+	if a == nil || ownerCalls.Load() != 1 {
+		t.Fatalf("owner saw %d requests, want 1", ownerCalls.Load())
+	}
+}
+
+// TestClientFollowsRelativeRedirect: a relative Location resolves against
+// the redirecting node's URL.
+func TestClientFollowsRelativeRedirect(t *testing.T) {
+	cl := scripted(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/compile" {
+			w.Header().Set("Location", "/elsewhere")
+			w.WriteHeader(http.StatusTemporaryRedirect)
+			return
+		}
+		okArtifact(t, w)
+	})
+	cl.Config.FollowRedirect = true
+	if _, err := cl.Compile(context.Background(), server.CompileRequest{}); err != nil {
+		t.Fatalf("relative redirect not followed: %v", err)
+	}
+}
+
+// TestClientRedirectSingleHop: a second redirect is fleet
+// misconfiguration (ownership is a pure ring function — the first hop is
+// final) and surfaces as a *StatusError instead of being chased.
+func TestClientRedirectSingleHop(t *testing.T) {
+	var calls atomic.Int64
+	cl := scripted(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Location", "/again")
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	})
+	cl.Config.FollowRedirect = true
+
+	_, err := cl.Compile(context.Background(), server.CompileRequest{})
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusTemporaryRedirect {
+		t.Fatalf("expected surfaced 307 after one hop, got %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("expected exactly 2 attempts (original + one hop), got %d", calls.Load())
+	}
+}
+
+// TestClientRedirectOffByDefault: the zero Config surfaces a 307 as
+// *StatusError — and in particular net/http's transparent POST-redirect
+// following (the request carries GetBody) must stay disabled, or fleet
+// routing decisions would be invisible to callers.
+func TestClientRedirectOffByDefault(t *testing.T) {
+	var followed atomic.Int64
+	cl := scripted(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/followed" {
+			followed.Add(1)
+			okArtifact(t, w)
+			return
+		}
+		w.Header().Set("Location", "/followed")
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	})
+
+	_, err := cl.Compile(context.Background(), server.CompileRequest{})
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusTemporaryRedirect {
+		t.Fatalf("expected surfaced 307, got %v", err)
+	}
+	if followed.Load() != 0 {
+		t.Fatal("zero-config client transparently followed a redirect")
+	}
+}
+
+// TestClientRedirectThenThrottleRetries: the knobs compose — a redirect
+// hop answering 429 is retried (once, at the redirected URL).
+func TestClientRedirectThenThrottleRetries(t *testing.T) {
+	var ownerCalls atomic.Int64
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ownerCalls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		okArtifact(t, w)
+	}))
+	t.Cleanup(owner.Close)
+	cl := scripted(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Location", owner.URL+"/v1/compile")
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	})
+	cl.Config = client.Config{Retry429: true, FollowRedirect: true}
+	cl.Sleep = func(time.Duration) {}
+
+	if _, err := cl.Compile(context.Background(), server.CompileRequest{}); err != nil {
+		t.Fatalf("redirect+retry composition failed: %v", err)
+	}
+	if ownerCalls.Load() != 2 {
+		t.Fatalf("owner saw %d requests, want 2 (throttled + retry)", ownerCalls.Load())
+	}
+}

@@ -1,0 +1,281 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"streammap/internal/artifact"
+	"streammap/internal/core"
+	"streammap/internal/sdf"
+)
+
+// Fleet serving: how N servers act as one cache. Ownership of a compile
+// key is a pure function of the consistent-hash ring (fleet.Ring), so
+// every node routes identically with no coordination. A node receiving a
+// request for a key it does not own tries, in order:
+//
+//  1. its own caches — a hot key that was fetched or proxied before is
+//     served locally, which is how hot keys replicate beyond their owner;
+//  2. redirect (307) to the owner, when configured — the cheap path for
+//     clients that opted into following it;
+//  3. a peer artifact fetch: GET {owner}/v1/artifact/{hash} returns raw
+//     encoded artifact bytes if the owner has them cached in any tier.
+//     The body is verified by content hash on receipt and ingested into
+//     the local caches;
+//  4. a one-hop proxy of the full compile request to the owner, marked
+//     with headerForwarded so it can never cycle; the owner compiles
+//     (and persists to the shared store), this node caches the response;
+//  5. local fallback: the owner is unreachable — it is marked down,
+//     routed around for a cooldown, and this node compiles the key
+//     itself. Degraded means slower, never unavailable.
+//
+// See DESIGN.md S17.
+
+const (
+	// headerForwarded marks a request proxied by a fleet peer (value: the
+	// proxying node's URL). Forwarded requests are always served locally —
+	// one hop, never a cycle — and are excluded from the owner's latency
+	// window, which records them under the proxying node instead.
+	headerForwarded = "X-Streammap-Forwarded"
+	// headerContentHash carries the SHA-256 of a /v1/artifact response
+	// body; the fetching peer verifies it before trusting the bytes.
+	headerContentHash = "X-Streammap-Content-Hash"
+	// headerProbe marks a /healthz request from a fleet peer. A probed
+	// node answers its own state without probing ITS peers — otherwise
+	// every probe fans out into a fleet-wide probe storm whose recursion
+	// makes perfectly healthy peers miss each other's probe budgets.
+	headerProbe = "X-Streammap-Probe"
+)
+
+// contentHash is the transport-integrity hash of an artifact body.
+func contentHash(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// handleArtifact serves the raw encoded artifact bytes for a key hash
+// from this node's caches — memory (re-using the response memo), disk,
+// then shared store — without ever running a pipeline stage. 404 means
+// "not cached here", which a fetching peer treats as "proxy the compile
+// instead". Serving continues while draining: the route is read-only and
+// peers may be mid-fetch.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.localEncoded(r.PathValue("key"))
+	if !ok {
+		http.Error(w, "artifact not cached on this node", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(headerContentHash, contentHash(body))
+	w.Write(body)
+}
+
+// localEncoded returns the encoded artifact for a key hash from this
+// node's caches: the live in-memory result (through the response-byte
+// memo, so repeated fetches of a hot key cost a map lookup), then the
+// persistent tiers.
+func (s *Server) localEncoded(hash string) ([]byte, bool) {
+	if c, ok := s.svc.CompiledByHash(hash); ok {
+		if body, err := s.encodedResponse(c); err == nil {
+			return body, true
+		}
+	}
+	return s.svc.EncodedFromTiers(hash)
+}
+
+// routeToOwner answers a compile request whose key belongs to owner. It
+// reports whether the response was written; false means the owner could
+// not be reached and the caller should serve locally.
+func (s *Server) routeToOwner(w http.ResponseWriter, r *http.Request, start time.Time,
+	owner, key string, g *sdf.Graph, opts core.Options, rawBody []byte) bool {
+	hash := core.KeyHash(key)
+
+	// Local read-through: a previously fetched or proxied hot key is
+	// served from this node's own caches, owner untouched.
+	if body, ok := s.localEncoded(hash); ok {
+		s.localHits.Add(1)
+		s.writeArtifact(w, body)
+		s.lat.record(float64(time.Since(start).Microseconds()) / 1e3)
+		return true
+	}
+
+	if s.fleetM.Config().Redirect {
+		s.redirects.Add(1)
+		w.Header().Set("Location", owner+"/v1/compile")
+		w.WriteHeader(http.StatusTemporaryRedirect)
+		fmt.Fprintf(w, "key %s is owned by %s\n", hash, owner)
+		return true
+	}
+
+	if body, ok, ownerUp := s.peerFetch(r.Context(), owner, hash, g, opts); ok {
+		s.peerHits.Add(1)
+		s.writeArtifact(w, body)
+		s.lat.record(float64(time.Since(start).Microseconds()) / 1e3)
+		return true
+	} else if !ownerUp {
+		s.fleetM.MarkDown(owner)
+		return false
+	}
+
+	return s.proxyCompile(w, r, start, owner, hash, g, opts, rawBody)
+}
+
+// writeArtifact writes a cache-served artifact body.
+func (s *Server) writeArtifact(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// peerFetch asks owner for the encoded artifact of a key hash. ok means
+// verified bytes were fetched and ingested; ownerUp=false means the owner
+// did not answer HTTP at all (as opposed to answering 404/500, which is a
+// healthy owner without the bytes).
+func (s *Server) peerFetch(ctx context.Context, owner, hash string, g *sdf.Graph, opts core.Options) (body []byte, ok, ownerUp bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/v1/artifact/"+hash, nil)
+	if err != nil {
+		return nil, false, true
+	}
+	resp, err := s.peerHTTP.Do(req)
+	if err != nil {
+		return nil, false, false
+	}
+	defer resp.Body.Close()
+	data, err := readBounded(resp.Body, s.cfg.MaxBodyBytes)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil, false, true
+	}
+	// Trust nothing off the wire: the transport hash must match when the
+	// peer sent one, and the bytes must decode to an artifact for exactly
+	// the graph this request is about. IngestEncoded re-validates and
+	// installs it in the local caches.
+	if want := resp.Header.Get(headerContentHash); want != "" && want != contentHash(data) {
+		return nil, false, true
+	}
+	if a, err := artifact.Decode(data); err != nil || a.Fingerprint != g.Fingerprint() {
+		return nil, false, true
+	}
+	if err := s.svc.IngestEncoded(g, opts, data); err != nil {
+		return nil, false, true
+	}
+	return data, true, true
+}
+
+// proxyCompile forwards the verbatim compile request to the owner and
+// relays its response, caching a 200 body locally so the next request for
+// this key is a local hit. Reports false (nothing written) when the owner
+// is unreachable.
+func (s *Server) proxyCompile(w http.ResponseWriter, r *http.Request, start time.Time,
+	owner, hash string, g *sdf.Graph, opts core.Options, rawBody []byte) bool {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, owner+"/v1/compile", bytes.NewReader(rawBody))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(headerForwarded, s.fleetM.Self())
+	resp, err := s.peerHTTP.Do(req)
+	if err != nil {
+		s.fleetM.MarkDown(owner)
+		return false
+	}
+	defer resp.Body.Close()
+	body, err := readBounded(resp.Body, s.cfg.MaxBodyBytes)
+	if err != nil {
+		s.fleetM.MarkDown(owner)
+		return false
+	}
+	s.proxied.Add(1)
+	if resp.StatusCode == http.StatusOK {
+		// Best-effort replication: a decode failure just means the next
+		// request for this key proxies again.
+		s.svc.IngestEncoded(g, opts, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+	// The proxied request is recorded here, under the node the client
+	// actually talked to; the owner skips it (headerForwarded).
+	if resp.StatusCode != http.StatusTooManyRequests {
+		s.lat.record(float64(time.Since(start).Microseconds()) / 1e3)
+	}
+	return true
+}
+
+// readBounded reads a peer response defensively: a body exceeding the
+// server's own request limit is an error, never an allocation.
+func readBounded(r io.Reader, max int64) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, max+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > max {
+		return nil, fmt.Errorf("fleet: peer response exceeds %d-byte body limit", max)
+	}
+	return data, nil
+}
+
+// PeerState is one peer's reachability as seen from this node, reported
+// by /healthz.
+type PeerState struct {
+	URL string `json:"url"`
+	// State is "ok" (answered 200), "draining" (answered, refusing new
+	// work) or "unreachable" (no HTTP answer within the probe budget).
+	State string `json:"state"`
+}
+
+// Health is the /healthz payload. Status is "ok", "degraded" (this node
+// serves, but a peer is draining or unreachable — still 200) or
+// "draining" (503: stop routing here).
+type Health struct {
+	Status string      `json:"status"`
+	Peers  []PeerState `json:"peers,omitempty"`
+}
+
+// probePeers checks every configured peer's /healthz concurrently, each
+// under the fleet probe budget. Probes are on-demand: /healthz is not a
+// hot path, and a point-in-time answer beats a stale cached one.
+func (s *Server) probePeers(ctx context.Context) []PeerState {
+	peers := s.fleetM.Peers()
+	states := make([]PeerState, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			states[i] = PeerState{URL: p, State: s.probeOne(ctx, p)}
+		}()
+	}
+	wg.Wait()
+	return states
+}
+
+func (s *Server) probeOne(ctx context.Context, peer string) string {
+	ctx, cancel := context.WithTimeout(ctx, s.fleetM.Config().ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
+	if err != nil {
+		return "unreachable"
+	}
+	req.Header.Set(headerProbe, s.fleetM.Self())
+	resp, err := s.peerHTTP.Do(req)
+	if err != nil {
+		return "unreachable"
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return "ok"
+	}
+	return "draining"
+}

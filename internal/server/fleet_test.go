@@ -1,0 +1,406 @@
+package server_test
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"streammap/internal/artifact"
+	"streammap/internal/core"
+	"streammap/internal/driver"
+	"streammap/internal/fleet"
+	"streammap/internal/sdf"
+	"streammap/internal/server"
+	"streammap/internal/server/client"
+)
+
+// fleetNode is one in-process fleet member.
+type fleetNode struct {
+	srv *server.Server
+	ts  *httptest.Server
+	url string
+	cl  *client.Client
+}
+
+// startFleetNodes brings up n servers that know each other as one fleet.
+// Listeners are created unstarted first so every node's config can name
+// every URL before any server exists.
+func startFleetNodes(t *testing.T, n int, mutate func(i int, cfg *server.Config)) []*fleetNode {
+	t.Helper()
+	tss := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range tss {
+		tss[i] = httptest.NewUnstartedServer(nil)
+		urls[i] = "http://" + tss[i].Listener.Addr().String()
+	}
+	nodes := make([]*fleetNode, n)
+	for i := range tss {
+		cfg := server.Config{
+			Fleet: fleet.Config{
+				SelfURL: urls[i],
+				Peers:   urls,
+				// Tests observe MarkDown effects; keep them from expiring
+				// mid-assertion.
+				DownCooldown: time.Hour,
+			},
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		srv := server.New(cfg)
+		tss[i].Config.Handler = srv.Handler()
+		tss[i].Start()
+		t.Cleanup(tss[i].Close)
+		nodes[i] = &fleetNode{srv: srv, ts: tss[i], url: urls[i], cl: client.New(urls[i])}
+	}
+	return nodes
+}
+
+// fleetRing rebuilds the ring the nodes share, for picking owners from
+// the outside. Deterministic ownership across processes is the ring
+// contract (TestRingDeterministicOwnership); this helper leans on it.
+func fleetRing(t *testing.T, nodes []*fleetNode) *fleet.Membership {
+	t.Helper()
+	urls := make([]string, len(nodes))
+	for i, n := range nodes {
+		urls[i] = n.url
+	}
+	m, err := fleet.NewMembership(fleet.Config{SelfURL: urls[0], Peers: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// keyHashOf computes the fleet routing hash of (g, opts) — the same
+// identity the server derives, since Workers never enters the key.
+func keyHashOf(t *testing.T, g *sdf.Graph, opts driver.Options) string {
+	t.Helper()
+	key, err := core.KeyOf(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.KeyHash(key)
+}
+
+// graphOwnedBy scans graph sizes until one's key lands on nodes[want],
+// so tests can aim a request at a chosen owner deterministically.
+func graphOwnedBy(t *testing.T, nodes []*fleetNode, want int) (*sdf.Graph, driver.Options) {
+	t.Helper()
+	opts := testOpts(2)
+	ring := fleetRing(t, nodes)
+	for size := 2; size <= 64; size++ {
+		g := appGraph(t, "DES", size)
+		if ring.Owner(keyHashOf(t, g, opts)) == nodes[want].url {
+			return g, opts
+		}
+	}
+	t.Fatal("no graph size in [2,64] hashed to the wanted owner")
+	return nil, opts
+}
+
+// TestFleetPeerArtifactFetch: a key compiled on its owner is served to a
+// request arriving at any other node via peer artifact fetch — no
+// pipeline stage runs on the non-owner, and the fetched copy makes the
+// key a local hit from then on.
+func TestFleetPeerArtifactFetch(t *testing.T) {
+	nodes := startFleetNodes(t, 3, nil)
+	g, opts := graphOwnedBy(t, nodes, 0)
+	ctx := context.Background()
+	req := server.NewRequest(g, opts)
+
+	want, err := nodes[0].cl.Compile(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := nodes[0].srv.Stats(); st.Service.Misses != 1 || st.Fleet.Proxied != 0 {
+		t.Fatalf("owner should compile its own key locally: %+v", st)
+	}
+
+	got, err := nodes[1].cl.Compile(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := driver.EquivalentArtifacts(want, got); err != nil {
+		t.Fatalf("peer-fetched artifact differs from owner's: %v", err)
+	}
+	st := nodes[1].srv.Stats()
+	if st.Fleet.PeerHits != 1 || st.Fleet.Proxied != 0 {
+		t.Fatalf("expected one peer hit, no proxy: %+v", st.Fleet)
+	}
+	if st.Service.Misses != 0 {
+		t.Fatalf("non-owner ran the pipeline (%d misses) for a fleet-cached key", st.Service.Misses)
+	}
+
+	// The fetched copy replicated the key: next time it's a local answer.
+	if _, err := nodes[1].cl.Compile(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if st := nodes[1].srv.Stats(); st.Fleet.LocalHits != 1 {
+		t.Fatalf("hot non-owned key not served locally: %+v", st.Fleet)
+	}
+}
+
+// TestFleetProxyColdKey: a cold key arriving at a non-owner is proxied to
+// its owner — the owner compiles it (once), the proxying node caches the
+// answer, and the latency sample lands in the proxying node's window
+// only.
+func TestFleetProxyColdKey(t *testing.T) {
+	nodes := startFleetNodes(t, 3, nil)
+	g, opts := graphOwnedBy(t, nodes, 0)
+	ctx := context.Background()
+	req := server.NewRequest(g, opts)
+
+	if _, err := nodes[2].cl.Compile(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	proxier, owner := nodes[2].srv.Stats(), nodes[0].srv.Stats()
+	if proxier.Fleet.Proxied != 1 || proxier.Service.Misses != 0 {
+		t.Fatalf("expected one proxied request, no local compile: %+v / %+v", proxier.Fleet, proxier.Service)
+	}
+	if owner.Service.Misses != 1 || owner.Fleet.ForwardedServed != 1 {
+		t.Fatalf("owner should have compiled the forwarded request: %+v / %+v", owner.Fleet, owner.Service)
+	}
+	if owner.Latency.Count != 0 {
+		t.Errorf("forwarded request entered the owner's latency window (count %d) — double-counted", owner.Latency.Count)
+	}
+	if proxier.Latency.Count == 0 {
+		t.Error("proxying node recorded no latency sample for the request it answered")
+	}
+
+	// The proxied answer was ingested: the key is now local on the proxier.
+	if _, err := nodes[2].cl.Compile(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if st := nodes[2].srv.Stats(); st.Fleet.LocalHits != 1 {
+		t.Fatalf("proxied answer not cached locally: %+v", st.Fleet)
+	}
+}
+
+// TestFleetForwardedRequestsNeverHopAgain: a request already carrying the
+// forwarded marker is served where it lands, even by a node that does not
+// own the key — the one-hop guarantee that makes routing cycle-free.
+func TestFleetForwardedRequestsNeverHopAgain(t *testing.T) {
+	nodes := startFleetNodes(t, 3, nil)
+	g, opts := graphOwnedBy(t, nodes, 0)
+	body, err := json.Marshal(server.NewRequest(g, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 1 does not own the key; a forwarded request must not travel on.
+	hreq, err := http.NewRequest(http.MethodPost, nodes[1].url+"/v1/compile", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Streammap-Forwarded", "test")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded request answered %d", resp.StatusCode)
+	}
+	st := nodes[1].srv.Stats()
+	if st.Service.Misses != 1 {
+		t.Fatalf("forwarded request was not compiled locally: %+v", st.Service)
+	}
+	if st.Fleet.Proxied != 0 || st.Fleet.Redirects != 0 || st.Fleet.PeerHits != 0 {
+		t.Fatalf("forwarded request hopped again: %+v", st.Fleet)
+	}
+	if owner := nodes[0].srv.Stats(); owner.Requests != 0 {
+		t.Fatalf("owner saw %d requests for a forwarded-elsewhere key", owner.Requests)
+	}
+}
+
+// TestFleetRedirectMode: with Redirect on, a non-owner answers 307
+// naming the owner's compile route, and a client with FollowRedirect
+// lands there end to end.
+func TestFleetRedirectMode(t *testing.T) {
+	nodes := startFleetNodes(t, 3, func(_ int, cfg *server.Config) { cfg.Fleet.Redirect = true })
+	g, opts := graphOwnedBy(t, nodes, 1)
+	req := server.NewRequest(g, opts)
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Raw request, redirects unfollowed: inspect the 307 itself.
+	hreq, err := http.NewRequest(http.MethodPost, nodes[0].url+"/v1/compile", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse }}
+	resp, err := noFollow.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("redirect-mode non-owner answered %d, want 307", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != nodes[1].url+"/v1/compile" {
+		t.Fatalf("Location %q does not name the owner %q", loc, nodes[1].url)
+	}
+	if st := nodes[0].srv.Stats(); st.Fleet.Redirects != 1 {
+		t.Fatalf("redirect not counted: %+v", st.Fleet)
+	}
+
+	// The opt-in client follows the hop and gets the artifact.
+	cl := client.New(nodes[0].url)
+	cl.Config.FollowRedirect = true
+	if _, err := cl.Compile(context.Background(), req); err != nil {
+		t.Fatalf("redirect-following client failed: %v", err)
+	}
+	if st := nodes[1].srv.Stats(); st.Service.Misses != 1 {
+		t.Fatalf("owner did not serve the redirected compile: %+v", st.Service)
+	}
+}
+
+// TestFleetOwnerDownFallback: an unreachable owner is marked down and the
+// receiving node compiles the key itself — degraded, never unavailable —
+// and the ring-churn counter reflects the lost node.
+func TestFleetOwnerDownFallback(t *testing.T) {
+	nodes := startFleetNodes(t, 3, nil)
+	g, opts := graphOwnedBy(t, nodes, 0)
+	nodes[0].ts.Close()
+
+	if _, err := nodes[1].cl.Compile(context.Background(), server.NewRequest(g, opts)); err != nil {
+		t.Fatalf("request failed with one node down: %v", err)
+	}
+	st := nodes[1].srv.Stats()
+	if st.Fleet.Fallbacks != 1 || st.Service.Misses != 1 {
+		t.Fatalf("expected local-compile fallback: %+v / %+v", st.Fleet, st.Service)
+	}
+	if st.Fleet.PeersAlive != 2 {
+		t.Fatalf("dead owner still in the alive set: %+v", st.Fleet)
+	}
+	// A third of a 3-node keyspace changed owners (within sampling slack).
+	if st.Fleet.RingMoves < 200 || st.Fleet.RingMoves > 500 {
+		t.Fatalf("ringMoves %d outside ~1/3 keyspace for one lost node of three", st.Fleet.RingMoves)
+	}
+}
+
+// TestFleetHealthzPeers: /healthz carries per-peer reachability; a lost
+// or draining peer degrades the status while this node keeps answering
+// 200 — only draining itself is a 503.
+func TestFleetHealthzPeers(t *testing.T) {
+	nodes := startFleetNodes(t, 3, nil)
+	readHealth := func(url string) (int, server.Health) {
+		t.Helper()
+		resp, err := http.Get(url + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h server.Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, h
+	}
+
+	code, h := readHealth(nodes[0].url)
+	if code != http.StatusOK || h.Status != "ok" || len(h.Peers) != 2 {
+		t.Fatalf("healthy fleet reported %d %+v", code, h)
+	}
+	for _, p := range h.Peers {
+		if p.State != "ok" {
+			t.Fatalf("healthy peer reported %+v", p)
+		}
+	}
+
+	// A draining peer: still serving, so this node is merely degraded.
+	nodes[1].srv.SetDraining(true)
+	code, h = readHealth(nodes[0].url)
+	if code != http.StatusOK || h.Status != "degraded" {
+		t.Fatalf("draining peer should degrade, got %d %+v", code, h)
+	}
+	states := map[string]string{}
+	for _, p := range h.Peers {
+		states[p.URL] = p.State
+	}
+	if states[nodes[1].url] != "draining" || states[nodes[2].url] != "ok" {
+		t.Fatalf("peer states wrong: %v", states)
+	}
+
+	// A dead peer reads as unreachable; the draining node itself says 503.
+	nodes[2].ts.Close()
+	code, h = readHealth(nodes[0].url)
+	if code != http.StatusOK || h.Status != "degraded" {
+		t.Fatalf("lost peer should degrade, got %d %+v", code, h)
+	}
+	for _, p := range h.Peers {
+		if p.URL == nodes[2].url && p.State != "unreachable" {
+			t.Fatalf("dead peer reported %+v", p)
+		}
+	}
+	if code, h = readHealth(nodes[1].url); code != http.StatusServiceUnavailable || h.Status != "draining" {
+		t.Fatalf("draining node reported %d %+v", code, h)
+	}
+}
+
+// TestFleetArtifactEndpoint: the peer-fetch route serves verifiable raw
+// artifact bytes for cached keys and 404 for everything else.
+func TestFleetArtifactEndpoint(t *testing.T) {
+	nodes := startFleetNodes(t, 3, nil)
+	g, opts := graphOwnedBy(t, nodes, 0)
+	if _, err := nodes[0].cl.Compile(context.Background(), server.NewRequest(g, opts)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(nodes[0].url + "/v1/artifact/" + keyHashOf(t, g, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached artifact answered %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(body)
+	if got := resp.Header.Get("X-Streammap-Content-Hash"); got != hex.EncodeToString(sum[:]) {
+		t.Fatalf("content hash header %q does not match body", got)
+	}
+	if _, err := artifact.Decode(body); err != nil {
+		t.Fatalf("artifact endpoint served undecodable bytes: %v", err)
+	}
+
+	resp2, err := http.Get(nodes[0].url + "/v1/artifact/feedfeedfeedfeedfeedfeedfeedfeed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown key answered %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestFleetStatsShapeSingleNode: without fleet config the stats payload
+// has no fleet block — single-node deployments are unchanged.
+func TestFleetStatsShapeSingleNode(t *testing.T) {
+	srv, cl := startServer(t, server.Config{})
+	if st := srv.Stats(); st.Fleet != nil {
+		t.Fatalf("single-node stats grew a fleet block: %+v", st.Fleet)
+	}
+	st, err := cl.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fleet != nil {
+		t.Fatalf("single-node /stats JSON grew a fleet block: %+v", st.Fleet)
+	}
+}

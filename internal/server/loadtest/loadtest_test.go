@@ -106,3 +106,55 @@ func TestNodeLossMix(t *testing.T) {
 		t.Errorf("server counted %d requests for %d compiles + %d remaps", st.Requests, res.Sent, res.Remaps)
 	}
 }
+
+// TestMultiNodeChurn is the fleet-serving acceptance run: three nodes,
+// one ring, one shared store. After warm-up no known-key request may
+// compile anywhere; killing one of three nodes must not move the
+// fleet-wide hit rate by more than 10 points; and the killed node,
+// re-added with empty caches, must warm-start its first owned-key
+// request from the shared store.
+func TestMultiNodeChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node load test skipped in -short mode")
+	}
+	res, err := loadtest.RunMultiNode(context.Background(), loadtest.MultiNodeParams{
+		Seed:             0xF1EE7,
+		HotKeys:          8,
+		RequestsPerPhase: 60,
+		MaxFilters:       12,
+		Dir:              t.TempDir(),
+	})
+	var out bytes.Buffer
+	if res != nil {
+		res.Fprint(&out)
+		t.Logf("\n%s", out.String())
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Steady.Errors > 0 || res.Churn.Errors > 0 {
+		t.Errorf("requests failed (steady: %d, churn: %d; first: %s%s)",
+			res.Steady.Errors, res.Churn.Errors, res.Steady.FirstError, res.Churn.FirstError)
+	}
+	if res.Steady.Compiles != 0 {
+		t.Errorf("steady phase ran %d pipeline compiles for known keys; the fleet cache must absorb all of them", res.Steady.Compiles)
+	}
+	if drop := res.Steady.HitRate - res.Churn.HitRate; drop > 0.10 {
+		t.Errorf("hit rate dropped %.1f points after losing 1 of %d nodes (steady %.1f%%, churn %.1f%%); must stay within 10",
+			drop*100, res.Params.Nodes, res.Steady.HitRate*100, res.Churn.HitRate*100)
+	}
+	if !res.RejoinOK {
+		t.Errorf("re-added node did not warm-start from the shared store (store hits %d, compiles %d)",
+			res.RejoinStoreHits, res.RejoinCompiles)
+	}
+	var killed int
+	for _, n := range res.Nodes {
+		if n.Killed {
+			killed++
+		}
+	}
+	if killed != 1 {
+		t.Errorf("expected exactly one killed+re-added node, got %d", killed)
+	}
+}

@@ -13,11 +13,18 @@
 //   - Coalescing singleflights identical requests on the same key the
 //     cache uses, so a thundering herd of one graph costs one compile and
 //     one artifact encode.
-//   - core.Service then applies its two tiers (memory LRU, disk artifacts)
-//     before the pipeline runs.
+//   - core.Service then applies its cache tiers (memory LRU, disk
+//     artifacts, optional shared store) before the pipeline runs.
 //
-// /healthz reports liveness (503 while draining); /stats serves the
-// Stats counters. See DESIGN.md S14.
+// In fleet mode (Config.Fleet) N servers act as one cache: a
+// consistent-hash ring assigns every key an owner, non-owned requests
+// are answered from local caches, fetched from the owner as raw
+// artifact bytes, proxied one hop, or redirected — see fleet.go and
+// DESIGN.md S17.
+//
+// /healthz reports liveness (503 while draining) and, in a fleet,
+// per-peer reachability; /stats serves the Stats counters. See
+// DESIGN.md S14.
 package server
 
 import (
@@ -26,6 +33,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -36,6 +44,7 @@ import (
 	"streammap/internal/artifact"
 	"streammap/internal/core"
 	"streammap/internal/driver"
+	"streammap/internal/fleet"
 	"streammap/internal/sdf"
 	"streammap/internal/topology"
 )
@@ -63,6 +72,13 @@ type Config struct {
 	// (Options.Workers, default GOMAXPROCS). Requests cannot set it: the
 	// server owns its parallelism budget.
 	CompileWorkers int
+	// Fleet, when enabled (SelfURL + at least one other peer), turns this
+	// node into a member of a consistent-hash serving fleet: compile
+	// requests for keys another node owns are answered from the local
+	// cache when possible and otherwise fetched from or proxied to the
+	// owner; /v1/artifact/{key} serves raw artifact bytes to peers. See
+	// DESIGN.md S17.
+	Fleet fleet.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +129,16 @@ type Server struct {
 	respByPtr map[*core.Compiled]*list.Element
 	respBound int
 
+	// Fleet state: nil membership means single-node serving.
+	fleetM    *fleet.Membership
+	peerHTTP  *http.Client
+	proxied   atomic.Int64
+	redirects atomic.Int64
+	peerHits  atomic.Int64
+	localHits atomic.Int64
+	forwarded atomic.Int64
+	fallbacks atomic.Int64
+
 	requests  atomic.Int64
 	remaps    atomic.Int64
 	inFlight  atomic.Int64
@@ -131,14 +157,16 @@ type respItem struct {
 	body []byte
 }
 
-// New returns a compile server over a fresh core.Service.
+// New returns a compile server over a fresh core.Service. An invalid
+// fleet configuration panics: it is a deployment error caught at process
+// start, never a request-time condition.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	respBound := cfg.Service.MaxEntries
 	if respBound <= 0 {
 		respBound = 256 // core.ServiceConfig's own default
 	}
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		svc:       core.NewService(cfg.Service),
 		start:     time.Now(),
@@ -148,6 +176,18 @@ func New(cfg Config) *Server {
 		respByPtr: map[*core.Compiled]*list.Element{},
 		respBound: respBound,
 	}
+	if cfg.Fleet.Enabled() {
+		m, err := fleet.NewMembership(cfg.Fleet)
+		if err != nil {
+			panic(fmt.Sprintf("server: fleet config: %v", err))
+		}
+		s.fleetM = m
+		// Peer calls ride the caller's request context for cancellation;
+		// the client timeout is a backstop against a peer that accepts and
+		// stalls.
+		s.peerHTTP = &http.Client{Timeout: cfg.RequestTimeout}
+	}
+	return s
 }
 
 // Service exposes the underlying compile service (tests and embedders).
@@ -161,14 +201,16 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // Handler returns the server's routes:
 //
-//	POST /v1/compile  CompileRequest -> encoded artifact
-//	POST /v1/remap    RemapRequest -> encoded artifact for the degraded machine
-//	GET  /healthz     liveness (503 while draining)
-//	GET  /stats       Stats counters
+//	POST /v1/compile         CompileRequest -> encoded artifact
+//	POST /v1/remap           RemapRequest -> encoded artifact for the degraded machine
+//	GET  /v1/artifact/{key}  raw encoded artifact bytes by key hash (peer fetch)
+//	GET  /healthz            liveness (503 while draining; fleet peer states)
+//	GET  /stats              Stats counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	mux.HandleFunc("POST /v1/remap", s.handleRemap)
+	mux.HandleFunc("GET /v1/artifact/{key}", s.handleArtifact)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
@@ -176,7 +218,7 @@ func (s *Server) Handler() http.Handler {
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      s.requests.Load(),
 		Remaps:        s.remaps.Load(),
@@ -189,14 +231,50 @@ func (s *Server) Stats() Stats {
 		Latency:       s.lat.snapshot(),
 		Service:       s.svc.Stats(),
 	}
+	if s.fleetM != nil {
+		st.Fleet = &FleetStats{
+			Self:            s.fleetM.Self(),
+			PeersTotal:      len(s.fleetM.Peers()) + 1,
+			PeersAlive:      len(s.fleetM.Alive()),
+			Proxied:         s.proxied.Load(),
+			Redirects:       s.redirects.Load(),
+			PeerHits:        s.peerHits.Load(),
+			LocalHits:       s.localHits.Load(),
+			ForwardedServed: s.forwarded.Load(),
+			Fallbacks:       s.fallbacks.Load(),
+			RingMoves:       s.fleetM.RingMoves(),
+		}
+	}
+	return st
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// handleHealthz reports this node's serving state. Single-node: "ok" or
+// (503) "draining". In a fleet the body also carries per-peer
+// reachability, and an unreachable or draining peer degrades the status
+// to "degraded" — still 200: this node serves fine, the fleet is just
+// short-handed. Only draining is a 503, because only draining means
+// "stop routing here".
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{Status: "ok"}
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+		h.Status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	if s.fleetM != nil && r.Header.Get(headerProbe) == "" {
+		h.Peers = s.probePeers(r.Context())
+		if h.Status == "ok" {
+			for _, p := range h.Peers {
+				if p.State != "ok" {
+					h.Status = "degraded"
+					break
+				}
+			}
+		}
+	}
+	status := http.StatusOK
+	if h.Status == "draining" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -206,15 +284,28 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	start := time.Now()
+	// A request proxied here by a peer is recorded in the proxying node's
+	// latency window, not double-counted in ours (see finish).
+	forwarded := r.Header.Get(headerForwarded) != ""
+	if forwarded {
+		s.forwarded.Add(1)
+	}
 	if s.draining.Load() {
 		s.errs.Add(1)
 		http.Error(w, "server is draining", http.StatusServiceUnavailable)
 		return
 	}
 
+	// The body is buffered rather than stream-decoded: a request this
+	// node does not own may need to travel on, verbatim, to the key's
+	// owner.
+	rawBody, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
 	var req CompileRequest
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	if err := json.Unmarshal(rawBody, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
@@ -229,12 +320,27 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts.Workers = s.cfg.CompileWorkers
-	key, err := requestKey(g.Fingerprint(), driver.ExportOptions(opts))
+	key, err := core.KeyOf(g, opts)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	s.serveFlight(w, r, start, key, func(ctx context.Context) (int, string, []byte) {
+
+	// Fleet routing: a request for a key another node owns is served from
+	// the local cache, fetched from the owner, proxied, or redirected —
+	// unless it was already forwarded once (one hop, never a cycle).
+	if s.fleetM != nil && !forwarded {
+		if owner := s.fleetM.Owner(core.KeyHash(key)); owner != s.fleetM.Self() {
+			if s.routeToOwner(w, r, start, owner, key, g, opts, rawBody) {
+				return
+			}
+			// Owner unreachable: serve locally rather than fail. The result
+			// still lands in the shared store, so the fleet converges.
+			s.fallbacks.Add(1)
+		}
+	}
+
+	s.serveFlight(w, r, start, key, !forwarded, func(ctx context.Context) (int, string, []byte) {
 		return s.compile(ctx, g, opts)
 	})
 }
@@ -279,7 +385,7 @@ func (s *Server) handleRemap(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	s.serveFlight(w, r, start, key, func(ctx context.Context) (int, string, []byte) {
+	s.serveFlight(w, r, start, key, true, func(ctx context.Context) (int, string, []byte) {
 		return s.remap(ctx, a, degraded, gpuMap)
 	})
 }
@@ -291,14 +397,14 @@ func (s *Server) handleRemap(w http.ResponseWriter, r *http.Request) {
 // consume a slot or queue space, so a thundering herd of one key can
 // never trip its own backpressure.
 func (s *Server) serveFlight(w http.ResponseWriter, r *http.Request, start time.Time, key string,
-	run func(ctx context.Context) (status int, contentType string, body []byte)) {
+	recordLat bool, run func(ctx context.Context) (status int, contentType string, body []byte)) {
 	s.flightMu.Lock()
 	if call, ok := s.flight[key]; ok {
 		s.flightMu.Unlock()
 		s.coalesced.Add(1)
 		select {
 		case <-call.done:
-			s.finish(w, call, start)
+			s.finish(w, call, start, recordLat)
 		case <-r.Context().Done():
 			// Client gone; nothing useful to write.
 		}
@@ -342,7 +448,7 @@ func (s *Server) serveFlight(w http.ResponseWriter, r *http.Request, start time.
 				[]byte(fmt.Sprintf("compile queue full (%d in flight, %d queued)\n",
 					s.cfg.MaxInFlight, s.cfg.MaxQueue)))
 		}
-		s.finish(w, call, start)
+		s.finish(w, call, start, recordLat)
 		return
 	}
 	defer release()
@@ -351,7 +457,7 @@ func (s *Server) serveFlight(w http.ResponseWriter, r *http.Request, start time.
 	defer cancel()
 	status, contentType, payload := run(ctx)
 	resolve(status, contentType, payload)
-	s.finish(w, call, start)
+	s.finish(w, call, start, recordLat)
 }
 
 // admit takes a compile slot, queueing up to MaxQueue requests behind the
@@ -469,8 +575,11 @@ func (s *Server) encodedResponse(c *core.Compiled) ([]byte, error) {
 }
 
 // finish writes a resolved flight to one requester and records the
-// request's latency and error counters.
-func (s *Server) finish(w http.ResponseWriter, call *flightCall, start time.Time) {
+// request's latency and error counters. recordLat is false for requests a
+// peer proxied here: the proxying node records the client-observed
+// latency, and recording it again at the owner would double-count every
+// proxied request in the fleet's latency picture.
+func (s *Server) finish(w http.ResponseWriter, call *flightCall, start time.Time, recordLat bool) {
 	switch {
 	case call.status == http.StatusTooManyRequests:
 		s.rejected.Add(1)
@@ -481,7 +590,7 @@ func (s *Server) finish(w http.ResponseWriter, call *flightCall, start time.Time
 	w.Header().Set("Content-Type", call.contentType)
 	w.WriteHeader(call.status)
 	w.Write(call.body)
-	if call.status != http.StatusTooManyRequests {
+	if recordLat && call.status != http.StatusTooManyRequests {
 		s.lat.record(float64(time.Since(start).Microseconds()) / 1e3)
 	}
 }

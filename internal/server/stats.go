@@ -33,6 +33,30 @@ type Stats struct {
 
 	Latency LatencyStats      `json:"latency"`
 	Service core.ServiceStats `json:"service"`
+	// Fleet is present only when this node serves as a fleet member.
+	Fleet *FleetStats `json:"fleet,omitempty"`
+}
+
+// FleetStats counts this node's view of fleet routing: how non-owned
+// requests were answered and how much keyspace ownership has churned.
+type FleetStats struct {
+	Self       string `json:"self"`       // this node's advertised URL
+	PeersTotal int    `json:"peersTotal"` // configured fleet size, self included
+	PeersAlive int    `json:"peersAlive"` // members currently routed to
+	Proxied    int64  `json:"proxied"`    // non-owned requests proxied to their owner
+	Redirects  int64  `json:"redirects"`  // non-owned requests answered 307 (redirect mode)
+	PeerHits   int64  `json:"peerHits"`   // non-owned requests served via peer artifact fetch
+	LocalHits  int64  `json:"localHits"`  // non-owned requests served from this node's own caches
+	// ForwardedServed counts requests a peer proxied here (this node is
+	// the owner side of someone else's Proxied).
+	ForwardedServed int64 `json:"forwardedServed"`
+	// Fallbacks counts non-owned requests compiled locally because the
+	// owner was unreachable.
+	Fallbacks int64 `json:"fallbacks"`
+	// RingMoves is the accumulated keyspace fraction (in 1/1000ths) that
+	// changed owners across membership transitions — 0 while the fleet is
+	// stable, ~333 per node lost or revived in a 3-node fleet.
+	RingMoves int64 `json:"ringMoves"`
 }
 
 // latencyRing keeps the last ringSize request latencies for quantile

@@ -2,9 +2,9 @@ package server
 
 import (
 	"encoding/json"
-	"fmt"
 
 	"streammap/internal/artifact"
+	"streammap/internal/core"
 	"streammap/internal/driver"
 	"streammap/internal/sdf"
 	"streammap/internal/topology"
@@ -50,25 +50,14 @@ func NewRemapRequest(a *artifact.Artifact, d topology.Degradation) (RemapRequest
 	return RemapRequest{Artifact: b, Degradation: d}, nil
 }
 
-// requestKey is the coalescing identity of a request: the graph
-// fingerprint plus the canonical (deterministically marshalled) wire form
-// of the normalized options — the same identity the core.Service cache
-// keys on, so requests that would share a cache entry share one flight.
-func requestKey(fingerprint uint64, w artifact.Options) (string, error) {
-	b, err := json.Marshal(w)
-	if err != nil {
-		return "", err
-	}
-	return fmt.Sprintf("%016x|%s", fingerprint, b), nil
-}
-
 // remapKey is the coalescing identity of a remap: the artifact's compile
-// identity (fingerprint + normalized options, exactly requestKey) plus the
-// canonical wire form of the degradation. The "remap|" prefix keeps the
-// keyspace disjoint from compile flights, whose keys start with bare
-// fingerprint hex — both kinds share one flight table.
+// identity (core.CanonicalKey — fingerprint + normalized options, the
+// exact identity compile flights, the cache and the fleet ring all share)
+// plus the canonical wire form of the degradation. The "remap|" prefix
+// keeps the keyspace disjoint from compile flights, whose keys start with
+// bare fingerprint hex — both kinds share one flight table.
 func remapKey(a *artifact.Artifact, d topology.Degradation) (string, error) {
-	ck, err := requestKey(a.Fingerprint, a.Options)
+	ck, err := core.CanonicalKey(a.Fingerprint, a.Options)
 	if err != nil {
 		return "", err
 	}
