@@ -5,7 +5,8 @@
 //
 //	experiments [-exp all|fig4.1|fig4.2|fig4.3|fig4.4|table5.1|ablation|scaling] [-quick] [-fragments N]
 //	experiments -exp loadtest [-server-url URL] [-requests 200] [-rps 100]
-//	            [-fleet 16] [-mix hot|unique|mixed|nodeloss|multinode] [-seed S] [-verify]
+//	            [-fleet 16] [-mix hot|unique|mixed|nodeloss|multinode|chaos]
+//	            [-seed S] [-verify] [-fault-spec SPEC]
 //
 // Full runs sweep every N of every application and can take several
 // minutes; -quick trims each sweep to three sizes.
@@ -19,7 +20,13 @@
 // gets a valid degraded plan. The multinode mix instead brings up a
 // 3-node serving fleet over one shared artifact store, kills one node
 // mid-run and re-adds it cold, asserting the fleet-wide hit rate survives
-// the churn and the rejoining node warm-starts from the store. Both are
+// the churn and the rejoining node warm-starts from the store. The chaos
+// mix brings up the same 3-node fleet with deterministic fault injection
+// on every seam (peer transport, disk tier, shared store, clocks),
+// crashes one node, tears its persistent entries mid-file and restarts
+// it — then exits nonzero unless every response was a 200 or 429 and
+// every served artifact was bit-equivalent to a clean local compile
+// (-fault-spec overrides the default fault mix). These mixes are
 // excluded from -exp all: they benchmark the serving layer, not the paper.
 package main
 
@@ -32,6 +39,7 @@ import (
 	"time"
 
 	"streammap/internal/experiments"
+	"streammap/internal/faultinject"
 	"streammap/internal/server"
 	"streammap/internal/server/client"
 	"streammap/internal/server/loadtest"
@@ -47,11 +55,42 @@ func main() {
 	requests := flag.Int("requests", 200, "loadtest: total requests")
 	rps := flag.Float64("rps", 100, "loadtest: target request rate (0 = unpaced)")
 	fleet := flag.Int("fleet", 16, "loadtest: concurrent client workers")
-	mix := flag.String("mix", "mixed", "loadtest: traffic mix (hot, unique, mixed, nodeloss, multinode)")
+	mix := flag.String("mix", "mixed", "loadtest: traffic mix (hot, unique, mixed, nodeloss, multinode, chaos)")
 	seed := flag.Uint64("seed", 1, "loadtest: workload seed")
 	verify := flag.Bool("verify", false, "loadtest: check served artifacts against local compiles")
+	faultSpec := flag.String("fault-spec", "", "loadtest chaos mix: fault-injection spec (empty = the default chaos mix)")
 	flag.Parse()
 
+	if *exp == "loadtest" && loadtest.Mix(*mix) == loadtest.MixChaos {
+		spec, err := faultinject.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: -fault-spec: %v\n", err)
+			os.Exit(2)
+		}
+		res, err := loadtest.RunChaos(context.Background(), loadtest.ChaosParams{
+			Seed:             *seed,
+			RequestsPerPhase: *requests,
+			Workers:          *fleet,
+			Spec:             spec,
+		})
+		if res != nil {
+			res.Fprint(os.Stdout)
+		}
+		if err == nil && !res.Availability() {
+			err = fmt.Errorf("non-429 errors under chaos")
+		}
+		if err == nil && len(res.EquivalenceFailures) > 0 {
+			err = fmt.Errorf("%d served artifacts differ from clean local compiles", len(res.EquivalenceFailures))
+		}
+		if err == nil && res.Faults.Total() == 0 {
+			err = fmt.Errorf("the fault schedule fired nothing")
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *exp == "loadtest" && loadtest.Mix(*mix) == loadtest.MixMultiNode {
 		// The multinode mix owns its servers (it kills and re-adds one),
 		// so it cannot target -server-url.

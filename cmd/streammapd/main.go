@@ -10,7 +10,7 @@
 //	           [-max-inflight N] [-max-queue N] [-timeout 60s]
 //	           [-compile-workers N] [-drain-timeout 15s] [-port-file FILE]
 //	           [-self-url URL] [-peers URL,URL,...] [-store-dir DIR]
-//	           [-fleet-redirect]
+//	           [-fleet-redirect] [-fault-spec SPEC]
 //
 // Endpoints:
 //
@@ -46,6 +46,17 @@
 //
 //	streammapd -addr 127.0.0.1:0 -cache-dir /var/cache/streammap -port-file /tmp/port &
 //	curl -fsS "http://$(cat /tmp/port)/healthz"
+//
+// Chaos tier: -fault-spec threads deterministic, seeded fault injection
+// through the daemon's peer transport, disk tier, shared store and
+// membership clocks — for staging-environment chaos testing, never
+// production. The spec is comma-separated key=value pairs, e.g.
+//
+//	streammapd ... -fault-spec 'seed=7,peer-refuse=0.1,latency=50ms:0.2,torn-write=0.1,skew=300ms'
+//
+// (keys: seed, peer-refuse, latency, corrupt, truncate, torn-write,
+// corrupt-file, enospc, skew). An empty spec injects nothing and costs
+// nothing. See DESIGN.md S18.
 package main
 
 import (
@@ -63,6 +74,7 @@ import (
 	"time"
 
 	"streammap/internal/core"
+	"streammap/internal/faultinject"
 	"streammap/internal/fleet"
 	"streammap/internal/server"
 )
@@ -81,14 +93,24 @@ func main() {
 	peers := flag.String("peers", "", "fleet: comma-separated base URLs of every member, self included")
 	storeDir := flag.String("store-dir", "", "shared content-addressed artifact store directory (fleet warm starts)")
 	fleetRedirect := flag.Bool("fleet-redirect", false, "fleet: answer non-owned keys with 307 to the owner instead of proxying")
+	faultSpec := flag.String("fault-spec", "", "chaos tier: seeded fault-injection spec, e.g. 'seed=7,peer-refuse=0.1,torn-write=0.1' (empty = no injection)")
 	flag.Parse()
+
+	spec, err := faultinject.Parse(*faultSpec)
+	if err != nil {
+		log.Fatalf("streammapd: -fault-spec: %v", err)
+	}
+	faults := faultinject.New(spec)
+	if faults != nil {
+		log.Printf("streammapd: CHAOS TIER ACTIVE: injecting faults (%s) — not for production", spec)
+	}
 
 	svcCfg := core.ServiceConfig{
 		MaxEntries: *cacheEntries,
 		CacheDir:   *cacheDir,
 	}
 	if *storeDir != "" {
-		svcCfg.Shared = fleet.NewDirStore(*storeDir)
+		svcCfg.Shared = fleet.NewDirStore(*storeDir).WithFaults(faults)
 	}
 	var fleetCfg fleet.Config
 	if *peers != "" {
@@ -112,6 +134,7 @@ func main() {
 		RequestTimeout: *timeout,
 		CompileWorkers: *compileWorkers,
 		Fleet:          fleetCfg,
+		Faults:         faults,
 	})
 	if fleetCfg.Enabled() {
 		log.Printf("streammapd: fleet member %s among %d peers (redirect=%v)",

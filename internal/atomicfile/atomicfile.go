@@ -1,0 +1,124 @@
+// Package atomicfile writes files so that readers see either the previous
+// content or the complete new content — never a prefix. The recipe is the
+// classic one the disk tier and shared store both need: exclusive temp
+// file in the destination directory, write, fsync the file, rename over
+// the destination, fsync the parent directory so the rename itself
+// survives a crash. A *faultinject.Injector threads through every call so
+// the chaos tier can tear writes at each stage.
+package atomicfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+
+	"streammap/internal/faultinject"
+)
+
+// tempSeq makes temp names unique within the process; O_EXCL makes them
+// exclusive against other processes (and against a stale name colliding).
+var tempSeq atomic.Uint64
+
+// Write atomically writes data to path, creating parent directories as
+// needed. site names the seam for fault injection ("disk", "store"); fi
+// may be nil.
+//
+// Injected faults behave like the real thing:
+//   - WriteTorn: a prefix lands in the temp file, then the "crash" — the
+//     temp file is left on disk (as a crash would leave it), the
+//     destination is untouched, and ErrTorn is returned.
+//   - WriteNoSpace: a partial write, then ErrNoSpace; the temp file is
+//     removed (the error path the caller would normally take).
+//   - WriteCorrupt: only a prefix is committed, but the write reports
+//     success — the silent-corruption case readers must quarantine.
+func Write(path string, data []byte, fi *faultinject.Injector, site string) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, tmp, err := createExcl(dir, filepath.Base(path))
+	if err != nil {
+		return err
+	}
+
+	fault := fi.Write(site)
+	n := len(data)
+	if fault != faultinject.WriteOK {
+		n = len(data) / 2
+	}
+	if _, werr := f.Write(data[:n]); werr != nil {
+		f.Close()
+		os.Remove(tmp)
+		return werr
+	}
+
+	switch fault {
+	case faultinject.WriteTorn:
+		// Crash before rename: no fsync, no rename, partial temp left.
+		f.Close()
+		return fmt.Errorf("%s: %w", path, faultinject.ErrTorn)
+	case faultinject.WriteNoSpace:
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("%s: %w", path, faultinject.ErrNoSpace)
+	}
+
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	// WriteCorrupt falls through here returning nil: committed, fsynced,
+	// durable — and half the bytes are missing.
+	return nil
+}
+
+// createExcl opens a fresh temp file in dir with O_EXCL, retrying past
+// the (unlikely) case of a leftover temp with the same name.
+func createExcl(dir, base string) (*os.File, string, error) {
+	pid := os.Getpid()
+	for i := 0; i < 8; i++ {
+		tmp := filepath.Join(dir, "."+base+"."+strconv.Itoa(pid)+"."+strconv.FormatUint(tempSeq.Add(1), 36)+".tmp")
+		f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			return f, tmp, nil
+		}
+		if !os.IsExist(err) {
+			return nil, "", err
+		}
+	}
+	return nil, "", fmt.Errorf("atomicfile: could not create exclusive temp file in %s", dir)
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives a crash.
+// Filesystems that refuse to fsync directories (some network mounts) are
+// tolerated: the rename still happened, we just lose the durability edge.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !isSyncUnsupported(err) {
+		return err
+	}
+	return nil
+}
+
+func isSyncUnsupported(err error) bool {
+	pe, ok := err.(*os.PathError)
+	return ok && (pe.Err.Error() == "invalid argument" || pe.Err.Error() == "operation not supported")
+}

@@ -1,0 +1,134 @@
+package atomicfile
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"streammap/internal/faultinject"
+)
+
+func TestWriteRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "x.json")
+	data := []byte(`{"ok":true}`)
+	if err := Write(path, data, nil, "disk"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != string(data) {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// Overwrite must replace, not error on the existing destination.
+	if err := Write(path, []byte("v2"), nil, "disk"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2" {
+		t.Fatalf("overwrite: got %q", got)
+	}
+	ents, _ := os.ReadDir(filepath.Dir(path))
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp file %s after clean writes", e.Name())
+		}
+	}
+}
+
+func TestWriteTorn(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.json")
+	if err := Write(path, []byte("original"), nil, "disk"); err != nil {
+		t.Fatal(err)
+	}
+	fi := faultinject.New(faultinject.Spec{Seed: 1, TornWrite: 1})
+	err := Write(path, []byte("0123456789"), fi, "disk")
+	if !errors.Is(err, faultinject.ErrTorn) {
+		t.Fatalf("want ErrTorn, got %v", err)
+	}
+	// Destination untouched; partial temp left behind like a real crash.
+	got, _ := os.ReadFile(path)
+	if string(got) != "original" {
+		t.Fatalf("torn write clobbered destination: %q", got)
+	}
+	tmps := 0
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			tmps++
+			b, _ := os.ReadFile(filepath.Join(dir, e.Name()))
+			if string(b) != "01234" {
+				t.Fatalf("torn temp holds %q, want half prefix", b)
+			}
+		}
+	}
+	if tmps != 1 {
+		t.Fatalf("want 1 leftover temp after torn write, got %d", tmps)
+	}
+}
+
+func TestWriteNoSpace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.json")
+	fi := faultinject.New(faultinject.Spec{Seed: 1, WriteENOSPC: 1})
+	err := Write(path, []byte("0123456789"), fi, "disk")
+	if !errors.Is(err, faultinject.ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("destination must not exist after ENOSPC")
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 0 {
+		t.Fatalf("ENOSPC path must clean its temp, dir has %d entries", len(ents))
+	}
+}
+
+func TestWriteCorruptCommitsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.json")
+	fi := faultinject.New(faultinject.Spec{Seed: 1, CorruptFile: 1})
+	if err := Write(path, []byte("0123456789"), fi, "disk"); err != nil {
+		t.Fatalf("corrupt-file fault must report success, got %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("want silently committed half prefix, got %q", got)
+	}
+}
+
+func TestConcurrentWritersNoInterleave(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.json")
+	payload := func(b byte) []byte {
+		out := make([]byte, 4096)
+		for i := range out {
+			out[i] = b
+		}
+		return out
+	}
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		b := byte('a' + i)
+		go func() { done <- Write(path, payload(b), nil, "disk") }()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || len(got) != 4096 {
+		t.Fatalf("read back %d bytes, %v", len(got), err)
+	}
+	for _, c := range got[1:] {
+		if c != got[0] {
+			t.Fatal("interleaved bytes from two writers — atomicity violated")
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 
 	"streammap/internal/artifact"
+	"streammap/internal/atomicfile"
 	"streammap/internal/driver"
 	"streammap/internal/sdf"
 )
@@ -14,16 +16,21 @@ import (
 // and the fleet ring:
 //
 //   - the disk tier (ServiceConfig.CacheDir): this node's private
-//     directory of encoded artifacts, written atomically (temp file +
-//     rename) so concurrent services can share a directory and a reader
-//     never observes a partial entry;
+//     directory of encoded artifacts, written durably and atomically
+//     (exclusive temp file, fsync, rename, fsync of the parent directory)
+//     so concurrent services can share a directory, a reader never
+//     observes a partial entry, and a committed entry survives a crash;
 //   - the shared tier (ServiceConfig.Shared): the fleet-wide
 //     ArtifactStore, consulted when both local tiers miss and written
 //     after every successful compilation, so a freshly started node
 //     warm-starts from every compile the fleet has ever finished.
 //
-// Corrupt, truncated or stale-version entries in either tier are treated
-// as misses and overwritten by the next successful compilation.
+// Entries that fail validation are quarantined, not silently overwritten:
+// the bytes move aside to *.corrupt (evidence preserved, path freed) and
+// ServiceStats.CorruptQuarantined counts them. The one exception is a
+// format-version mismatch (artifact.ErrVersion) — that is an upgrade
+// path, not corruption, so the entry is treated as a plain miss and
+// overwritten by the next successful compile.
 
 // diskPath returns the content-addressed file for a key hash.
 func (s *Service) diskPath(hash string) string {
@@ -33,7 +40,8 @@ func (s *Service) diskPath(hash string) string {
 // loadDisk tries to serve a request from the disk tier. It returns
 // (nil, false) on any miss — no entry, unreadable file, corrupt or
 // version-mismatched encoding, fingerprint mismatch, or import failure —
-// never an error: the caller falls through to the next tier.
+// never an error: the caller falls through to the next tier. Entries that
+// fail validation are quarantined on the way out.
 func (s *Service) loadDisk(hash string, g *sdf.Graph, opts Options) (*Compiled, bool) {
 	if s.cfg.CacheDir == "" {
 		return nil, false
@@ -44,6 +52,7 @@ func (s *Service) loadDisk(hash string, g *sdf.Graph, opts Options) (*Compiled, 
 	}
 	c, err := rehydrate(data, g, opts)
 	if err != nil {
+		s.quarantineDisk(hash, err)
 		return nil, false
 	}
 	return c, true
@@ -51,7 +60,9 @@ func (s *Service) loadDisk(hash string, g *sdf.Graph, opts Options) (*Compiled, 
 
 // loadShared tries to serve a request from the shared store, write-through
 // caching a hit into the local disk tier so the next restart of this node
-// needs no fleet at all.
+// needs no fleet at all. Store entries that fail validation are
+// quarantined (when the store supports it) so the bad bytes cannot poison
+// other nodes' warm starts.
 func (s *Service) loadShared(hash string, g *sdf.Graph, opts Options) (*Compiled, bool) {
 	if s.cfg.Shared == nil {
 		return nil, false
@@ -62,12 +73,42 @@ func (s *Service) loadShared(hash string, g *sdf.Graph, opts Options) (*Compiled
 	}
 	c, err := rehydrate(data, g, opts)
 	if err != nil {
-		return nil, false // corrupt or foreign entry: miss, recompile over it
+		s.quarantineShared(hash, err)
+		return nil, false
 	}
 	if s.writeDisk(hash, data) == nil && s.cfg.CacheDir != "" {
 		s.diskWrites.Add(1)
 	}
 	return c, true
+}
+
+// quarantineDisk sidelines a disk-tier entry that failed validation:
+// renamed to <hash>.artifact.json.corrupt so the evidence survives for
+// inspection while the keyed path is free for the recompile. Version
+// mismatches are exempt — they are an upgrade path and get overwritten in
+// place.
+func (s *Service) quarantineDisk(hash string, cause error) {
+	if errors.Is(cause, artifact.ErrVersion) {
+		return
+	}
+	path := s.diskPath(hash)
+	if os.Rename(path, path+".corrupt") == nil {
+		s.corruptQuarantined.Add(1)
+	}
+}
+
+// quarantineShared sidelines a shared-store entry that failed validation,
+// when the store supports quarantining (fleet.DirStore does). Same
+// version-mismatch exemption as the disk tier.
+func (s *Service) quarantineShared(hash string, cause error) {
+	if errors.Is(cause, artifact.ErrVersion) {
+		return
+	}
+	if q, ok := s.cfg.Shared.(Quarantiner); ok {
+		if q.Quarantine(hash) == nil {
+			s.corruptQuarantined.Add(1)
+		}
+	}
 }
 
 // rehydrate decodes an encoded artifact and rebuilds a servable Compiled
@@ -119,31 +160,14 @@ func (s *Service) persistEncoded(hash string, c *Compiled) {
 	}
 }
 
-// writeDisk persists encoded bytes to the disk tier with an atomic
-// write-rename. A nil error with CacheDir unset means "nothing to do".
+// writeDisk persists encoded bytes to the disk tier durably and
+// atomically (exclusive temp, fsync file and parent dir, rename). A nil
+// error with CacheDir unset means "nothing to do". The configured fault
+// injector, if any, can tear or corrupt the write here — exactly the
+// crash window the atomic recipe defends.
 func (s *Service) writeDisk(hash string, data []byte) error {
 	if s.cfg.CacheDir == "" {
 		return nil
 	}
-	if err := os.MkdirAll(s.cfg.CacheDir, 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(s.cfg.CacheDir, ".artifact-*.tmp")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), s.diskPath(hash)); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	return atomicfile.Write(s.diskPath(hash), data, s.cfg.Faults, "disk")
 }

@@ -1,0 +1,187 @@
+package core_test
+
+// Torn-write recovery and quarantine coverage for the persistent tiers —
+// the chaos tier's contract in miniature: corrupt entries are sidelined,
+// never served, never silently overwritten, and the service recompiles
+// cleanly past them.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"streammap/internal/core"
+	"streammap/internal/driver"
+	"streammap/internal/faultinject"
+	"streammap/internal/fleet"
+)
+
+// waitStat polls one service-stat accessor until it reaches want.
+func waitStat(t *testing.T, name string, get func() int64, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for get() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s did not reach %d (at %d)", name, want, get())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestServiceTornWriteRecovery is the satellite acceptance test: truncate
+// a disk-tier entry AND its shared-store twin mid-file, restart the
+// service on the same directories, and the warm start must skip both,
+// quarantine both (entries renamed to *.corrupt, CorruptQuarantined=2),
+// recompile cleanly, and leave repaired entries a third service hits.
+func TestServiceTornWriteRecovery(t *testing.T) {
+	cacheDir, storeDir := t.TempDir(), t.TempDir()
+	store := fleet.NewDirStore(storeDir)
+	ctx := context.Background()
+
+	s1 := core.NewService(core.ServiceConfig{CacheDir: cacheDir, Shared: store})
+	c1, err := s1.Compile(ctx, cacheGraph(t, "torn"), cacheOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStat(t, "diskWrites", func() int64 { return s1.Stats().DiskWrites }, 1)
+	waitStat(t, "storeWrites", func() int64 { return s1.Stats().StoreWrites }, 1)
+
+	// Tear both persistent copies mid-file, as a crash mid-write (or a
+	// filesystem that lied about durability) would.
+	tear := func(dir string) string {
+		t.Helper()
+		files := artifactFiles(t, dir)
+		if len(files) != 1 {
+			t.Fatalf("%d artifacts in %s, want 1", len(files), dir)
+		}
+		data, err := os.ReadFile(files[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(files[0], data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return files[0]
+	}
+	diskFile, storeFile := tear(cacheDir), tear(storeDir)
+
+	// Restart: same directories, fresh LRU. Both torn entries must be
+	// quarantined, the compile must run fresh, and the result must match
+	// the original bit for bit.
+	s2 := core.NewService(core.ServiceConfig{CacheDir: cacheDir, Shared: store})
+	c2, err := s2.Compile(ctx, cacheGraph(t, "torn"), cacheOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := driver.Equivalent(c1, c2); err != nil {
+		t.Fatalf("recompiled result differs from original: %v", err)
+	}
+	waitStat(t, "diskWrites", func() int64 { return s2.Stats().DiskWrites }, 1)
+	waitStat(t, "storeWrites", func() int64 { return s2.Stats().StoreWrites }, 1)
+	st := s2.Stats()
+	if st.DiskHits != 0 || st.StoreHits != 0 || st.Misses != 1 {
+		t.Fatalf("torn entries were served, not skipped: %+v", st)
+	}
+	if st.CorruptQuarantined != 2 {
+		t.Fatalf("CorruptQuarantined = %d, want 2 (disk + store): %+v", st.CorruptQuarantined, st)
+	}
+	for _, f := range []string{diskFile, storeFile} {
+		if _, err := os.Stat(f + ".corrupt"); err != nil {
+			t.Errorf("quarantined evidence %s.corrupt missing: %v", filepath.Base(f), err)
+		}
+	}
+
+	// The recompile repaired both tiers: a third service disk-hits.
+	s3 := core.NewService(core.ServiceConfig{CacheDir: cacheDir, Shared: store})
+	if _, err := s3.Compile(ctx, cacheGraph(t, "torn"), cacheOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if st := s3.Stats(); st.DiskHits != 1 || st.Misses != 0 || st.CorruptQuarantined != 0 {
+		t.Fatalf("repaired entry not served clean: %+v", st)
+	}
+}
+
+// TestServiceInjectedTornWrite: with a TornWrite fault schedule, the disk
+// write fails loudly (DiskErrors, ErrTorn on the seam), the destination is
+// never touched, and the partial temp file a crash would leave does not
+// confuse a later clean service.
+func TestServiceInjectedTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	fi := faultinject.New(faultinject.Spec{Seed: 11, TornWrite: 1})
+
+	s1 := core.NewService(core.ServiceConfig{CacheDir: dir, Faults: fi})
+	c1, err := s1.Compile(ctx, cacheGraph(t, "injtorn"), cacheOpts())
+	if err != nil {
+		t.Fatal(err) // the tier is best-effort: the compile itself succeeds
+	}
+	waitStat(t, "diskErrors", func() int64 { return s1.Stats().DiskErrors }, 1)
+	if n := len(artifactFiles(t, dir)); n != 0 {
+		t.Fatalf("torn write committed %d artifacts; destination must stay untouched", n)
+	}
+	if fi.Stats().Torn == 0 {
+		t.Fatal("injector reports no torn writes fired")
+	}
+
+	// A clean service recompiles and persists past the leftover temp file.
+	s2 := core.NewService(core.ServiceConfig{CacheDir: dir})
+	c2, err := s2.Compile(ctx, cacheGraph(t, "injtorn"), cacheOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDiskWrites(t, s2, 1)
+	if err := driver.Equivalent(c1, c2); err != nil {
+		t.Fatalf("recompile differs: %v", err)
+	}
+	if n := len(artifactFiles(t, dir)); n != 1 {
+		t.Fatalf("%d artifacts after clean rewrite, want 1", n)
+	}
+}
+
+// TestDirStoreQuarantine pins the store-side quarantine contract,
+// including the double-quarantine race being a no-op.
+func TestDirStoreQuarantine(t *testing.T) {
+	store := fleet.NewDirStore(t.TempDir())
+	const key = "deadbeefdeadbeefdeadbeefdeadbeef"
+	if err := store.Put(key, []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Quarantine(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Get(key); ok {
+		t.Fatal("quarantined entry still readable under its key")
+	}
+	evidence := filepath.Join(store.Dir(), key+".artifact.json.corrupt")
+	if b, err := os.ReadFile(evidence); err != nil || string(b) != "junk" {
+		t.Fatalf("evidence file: %q, %v", b, err)
+	}
+	// Racing node already moved it: not an error.
+	if err := store.Quarantine(key); err != nil {
+		t.Fatalf("double quarantine: %v", err)
+	}
+	if err := store.Quarantine("../escape"); err == nil {
+		t.Fatal("hostile key accepted")
+	}
+}
+
+// TestDirStoreInjectedENOSPC: an out-of-space Put fails loudly with the
+// injected error and leaves neither entry nor temp litter.
+func TestDirStoreInjectedENOSPC(t *testing.T) {
+	fi := faultinject.New(faultinject.Spec{Seed: 4, WriteENOSPC: 1})
+	store := fleet.NewDirStore(t.TempDir()).WithFaults(fi)
+	const key = "c0ffeec0ffeec0ffeec0ffeec0ffee00"
+	if err := store.Put(key, []byte("data")); !errors.Is(err, faultinject.ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	if _, ok := store.Get(key); ok {
+		t.Fatal("failed Put still committed an entry")
+	}
+	ents, _ := os.ReadDir(store.Dir())
+	if len(ents) != 0 {
+		t.Fatalf("ENOSPC left %d files behind", len(ents))
+	}
+}

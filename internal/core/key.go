@@ -55,3 +55,13 @@ type ArtifactStore interface {
 	Get(key string) (data []byte, ok bool)
 	Put(key string, data []byte) error
 }
+
+// Quarantiner is the optional ArtifactStore extension for sidelining an
+// entry that failed validation instead of silently overwriting it: the
+// implementation moves the bytes out of the keyed namespace (e.g. rename
+// to *.corrupt) so the evidence survives for inspection and the next Put
+// starts clean. The service type-asserts for it; stores without it simply
+// leave the bad entry in place to be overwritten.
+type Quarantiner interface {
+	Quarantine(key string) error
+}

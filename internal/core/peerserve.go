@@ -42,13 +42,16 @@ func (s *Service) CompiledByHash(hash string) (*Compiled, bool) {
 // EncodedFromTiers returns the encoded artifact bytes for a key hash from
 // the persistent tiers — local disk first, then the shared store. The
 // bytes are decode-validated before being returned, so a corrupt entry is
-// a miss, never a served poison. The in-memory tier is CompiledByHash's
+// a miss, never a served poison — and it is quarantined on the way out so
+// it cannot keep masking the key. The in-memory tier is CompiledByHash's
 // job: callers that can encode a live result should prefer it.
 func (s *Service) EncodedFromTiers(hash string) ([]byte, bool) {
 	if s.cfg.CacheDir != "" {
 		if data, err := os.ReadFile(s.diskPath(hash)); err == nil {
 			if _, derr := artifact.Decode(data); derr == nil {
 				return data, true
+			} else {
+				s.quarantineDisk(hash, derr)
 			}
 		}
 	}
@@ -56,6 +59,8 @@ func (s *Service) EncodedFromTiers(hash string) ([]byte, bool) {
 		if data, ok := s.cfg.Shared.Get(hash); ok {
 			if _, derr := artifact.Decode(data); derr == nil {
 				return data, true
+			} else {
+				s.quarantineShared(hash, derr)
 			}
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"streammap/internal/driver"
+	"streammap/internal/faultinject"
 	"streammap/internal/pee"
 	"streammap/internal/sdf"
 )
@@ -36,6 +37,11 @@ type ServiceConfig struct {
 	// for keys the fleet already knows. Hits are write-through cached into
 	// CacheDir. Nil disables the tier.
 	Shared ArtifactStore
+	// Faults, when non-nil, threads deterministic fault injection through
+	// the disk tier's writes (torn writes, silent corruption, ENOSPC).
+	// Chaos-tier testing only; nil in production, where every seam is a
+	// no-op.
+	Faults *faultinject.Injector
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
@@ -61,7 +67,12 @@ type ServiceStats struct {
 	StoreHits   int64 `json:"storeHits"`   // requests served from the shared store without compiling
 	StoreWrites int64 `json:"storeWrites"` // artifacts persisted to the shared store
 	StoreErrors int64 `json:"storeErrors"` // failed shared-store writes (the tier is best-effort)
-	Entries     int   `json:"entries"`     // entries currently in the in-memory tier
+	// CorruptQuarantined counts persistent-tier entries that failed
+	// validation and were moved aside to *.corrupt instead of being
+	// silently overwritten (version-mismatched entries are exempt — those
+	// are an upgrade path, not corruption).
+	CorruptQuarantined int64 `json:"corruptQuarantined"`
+	Entries            int   `json:"entries"` // entries currently in the in-memory tier
 
 	// Engine aggregates the estimation-engine memo counters over every
 	// compilation this service actually ran (cache and disk hits don't
@@ -160,15 +171,16 @@ type Service struct {
 	byKey  map[cacheKey]*list.Element
 	byHash map[string]*list.Element // same entries, keyed by KeyHash (fleet lookups)
 
-	hits        atomic.Int64
-	misses      atomic.Int64
-	evictions   atomic.Int64
-	diskHits    atomic.Int64
-	diskWrites  atomic.Int64
-	diskErrors  atomic.Int64
-	storeHits   atomic.Int64
-	storeWrites atomic.Int64
-	storeErrors atomic.Int64
+	hits               atomic.Int64
+	misses             atomic.Int64
+	evictions          atomic.Int64
+	diskHits           atomic.Int64
+	diskWrites         atomic.Int64
+	diskErrors         atomic.Int64
+	storeHits          atomic.Int64
+	storeWrites        atomic.Int64
+	storeErrors        atomic.Int64
+	corruptQuarantined atomic.Int64
 
 	engQueries    atomic.Int64
 	engMisses     atomic.Int64
@@ -200,16 +212,17 @@ func (s *Service) Stats() ServiceStats {
 	entries := s.lru.Len()
 	s.mu.Unlock()
 	return ServiceStats{
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Evictions:   s.evictions.Load(),
-		DiskHits:    s.diskHits.Load(),
-		DiskWrites:  s.diskWrites.Load(),
-		DiskErrors:  s.diskErrors.Load(),
-		StoreHits:   s.storeHits.Load(),
-		StoreWrites: s.storeWrites.Load(),
-		StoreErrors: s.storeErrors.Load(),
-		Entries:     entries,
+		Hits:               s.hits.Load(),
+		Misses:             s.misses.Load(),
+		Evictions:          s.evictions.Load(),
+		DiskHits:           s.diskHits.Load(),
+		DiskWrites:         s.diskWrites.Load(),
+		DiskErrors:         s.diskErrors.Load(),
+		StoreHits:          s.storeHits.Load(),
+		StoreWrites:        s.storeWrites.Load(),
+		StoreErrors:        s.storeErrors.Load(),
+		CorruptQuarantined: s.corruptQuarantined.Load(),
+		Entries:            entries,
 		Engine: EngineStatsOf(pee.Stats{
 			Queries:    s.engQueries.Load(),
 			Misses:     s.engMisses.Load(),

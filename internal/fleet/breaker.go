@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Breaker is a per-peer circuit breaker for fleet I/O. The serving layer
+// used to mark a peer down on its first transport error; under injected
+// faults that turns one flaky response into a ring rebuild (and a slice of
+// the keyspace changing owners) every cooldown. The breaker absorbs a
+// bounded number of consecutive failures per peer before tripping:
+//
+//	closed    — requests flow; consecutive failures are counted.
+//	open      — requests are skipped locally (no dial, no timeout burn)
+//	            until the cooldown lapses.
+//	half-open — after the cooldown, exactly one probe request is let
+//	            through; success closes the breaker, failure reopens it
+//	            for another cooldown.
+//
+// Only transport-level failures feed the breaker. Integrity failures
+// (bad content hash, undecodable body) are counted by the caller as
+// peerBadBytes and routed past — but they are not liveness signals: a
+// peer that answers HTTP with garbage is a data problem, and marking it
+// down would churn the keyspace without fixing anything. A healthy
+// "I don't have it" (404) is success.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu    sync.Mutex
+	peers map[string]*breakerPeer
+	now   func() time.Time
+
+	opens atomic.Int64
+}
+
+// BreakerConfig tunes a Breaker; zero fields take the stated defaults.
+type BreakerConfig struct {
+	// Failures is the consecutive-failure count that opens the circuit
+	// (default 3).
+	Failures int
+	// Cooldown is how long an open circuit rejects before the half-open
+	// probe (default 2s; the fleet wires DownCooldown here so breaker
+	// revival and ring revival stay in step).
+	Cooldown time.Duration
+	// Retries is the number of extra attempts the serving layer grants one
+	// peer operation after its first failure (default 1). The breaker
+	// itself only stores it; callers consult Retries().
+	Retries int
+	// Backoff is the base delay between those attempts; callers draw a
+	// decorrelated-jitter sleep from it (default 10ms).
+	Backoff time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures <= 0 {
+		c.Failures = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 1
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 10 * time.Millisecond
+	}
+	return c
+}
+
+type breakerPeer struct {
+	fails     int
+	open      bool
+	openUntil time.Time
+	probing   bool // the one half-open probe is in flight
+}
+
+// NewBreaker returns a breaker over cfg (defaults applied).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{
+		cfg:   cfg.withDefaults(),
+		peers: map[string]*breakerPeer{},
+		now:   time.Now,
+	}
+}
+
+// SetClock replaces the breaker's time source — the seam the chaos tier
+// and tests use to skew or pin the cooldown. Nil restores time.Now.
+func (b *Breaker) SetClock(now func() time.Time) {
+	if now == nil {
+		now = time.Now
+	}
+	b.mu.Lock()
+	b.now = now
+	b.mu.Unlock()
+}
+
+// Retries returns the per-operation retry budget.
+func (b *Breaker) Retries() int { return b.cfg.Retries }
+
+// Backoff returns the base backoff between retries.
+func (b *Breaker) Backoff() time.Duration { return b.cfg.Backoff }
+
+// Opens returns how many times any circuit transitioned closed→open or
+// reopened from a failed half-open probe.
+func (b *Breaker) Opens() int64 { return b.opens.Load() }
+
+func (b *Breaker) peer(url string) *breakerPeer {
+	p, ok := b.peers[url]
+	if !ok {
+		p = &breakerPeer{}
+		b.peers[url] = p
+	}
+	return p
+}
+
+// Allow reports whether a request to url may proceed. An open circuit
+// whose cooldown has lapsed admits exactly one half-open probe; callers
+// must follow every allowed request with Success or Failure so the probe
+// slot is released.
+func (b *Breaker) Allow(url string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := b.peer(url)
+	if !p.open {
+		return true
+	}
+	if p.probing || b.now().Before(p.openUntil) {
+		return false
+	}
+	p.probing = true // half-open: this caller is the probe
+	return true
+}
+
+// Success records a successful request to url, closing its circuit.
+func (b *Breaker) Success(url string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := b.peer(url)
+	p.fails = 0
+	p.open = false
+	p.probing = false
+}
+
+// Failure records a failed request to url. It reports whether this
+// failure opened (or reopened) the circuit — the moment the caller should
+// also mark the peer down in the ring, so routing and the breaker agree.
+func (b *Breaker) Failure(url string) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := b.peer(url)
+	p.fails++
+	if p.probing {
+		// The half-open probe failed: straight back to open.
+		p.probing = false
+		p.openUntil = b.now().Add(b.cfg.Cooldown)
+		b.opens.Add(1)
+		return true
+	}
+	if !p.open && p.fails >= b.cfg.Failures {
+		p.open = true
+		p.openUntil = b.now().Add(b.cfg.Cooldown)
+		b.opens.Add(1)
+		return true
+	}
+	return false
+}

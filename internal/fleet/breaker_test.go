@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle pins the full state machine against a seamed
+// clock: closed absorbs Failures-1 consecutive failures, the Nth opens;
+// open rejects until the cooldown lapses; half-open admits exactly one
+// probe; a failed probe reopens for a fresh cooldown; a successful probe
+// closes the circuit and resets the failure count.
+func TestBreakerLifecycle(t *testing.T) {
+	clock := time.Unix(1_700_000_000, 0)
+	b := NewBreaker(BreakerConfig{Failures: 3, Cooldown: 2 * time.Second})
+	b.SetClock(func() time.Time { return clock })
+	const peer = "http://a:1"
+
+	// Closed: failures below the threshold keep the circuit closed.
+	for i := 0; i < 2; i++ {
+		if !b.Allow(peer) {
+			t.Fatalf("closed circuit rejected request %d", i)
+		}
+		if b.Failure(peer) {
+			t.Fatalf("failure %d opened the circuit below threshold", i+1)
+		}
+	}
+	if !b.Allow(peer) {
+		t.Fatal("closed circuit rejected request at threshold")
+	}
+	if !b.Failure(peer) {
+		t.Fatal("third consecutive failure did not open the circuit")
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("Opens = %d, want 1", b.Opens())
+	}
+	if b.Allow(peer) {
+		t.Fatal("open circuit admitted a request inside the cooldown")
+	}
+
+	// Cooldown lapses: half-open admits exactly one probe.
+	clock = clock.Add(2*time.Second + time.Millisecond)
+	if !b.Allow(peer) {
+		t.Fatal("half-open circuit rejected the probe")
+	}
+	if b.Allow(peer) {
+		t.Fatal("half-open circuit admitted a second concurrent probe")
+	}
+
+	// Probe fails: straight back to open for a fresh cooldown.
+	if !b.Failure(peer) {
+		t.Fatal("failed half-open probe did not reopen the circuit")
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("Opens = %d after reopen, want 2", b.Opens())
+	}
+	if b.Allow(peer) {
+		t.Fatal("reopened circuit admitted a request")
+	}
+
+	// Second probe succeeds: closed, failure count reset.
+	clock = clock.Add(2*time.Second + time.Millisecond)
+	if !b.Allow(peer) {
+		t.Fatal("half-open circuit rejected the second probe")
+	}
+	b.Success(peer)
+	for i := 0; i < 2; i++ {
+		if !b.Allow(peer) {
+			t.Fatal("closed-after-probe circuit rejected a request")
+		}
+		if b.Failure(peer) {
+			t.Fatal("failure count was not reset by the successful probe")
+		}
+	}
+}
+
+// TestBreakerPeersIndependent: one peer's open circuit never affects
+// another's.
+func TestBreakerPeersIndependent(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Failures: 1, Cooldown: time.Hour})
+	b.Failure("http://a:1")
+	if b.Allow("http://a:1") {
+		t.Fatal("peer a should be open")
+	}
+	if !b.Allow("http://b:1") {
+		t.Fatal("peer b tripped by peer a's circuit")
+	}
+}
+
+// TestBreakerSuccessResetsStreak: non-consecutive failures never open —
+// the breaker counts streaks, not totals.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Failures: 2, Cooldown: time.Hour})
+	const peer = "http://a:1"
+	for i := 0; i < 16; i++ {
+		if b.Failure(peer) {
+			t.Fatalf("interleaved failure %d opened the circuit", i)
+		}
+		b.Success(peer)
+	}
+	if b.Opens() != 0 {
+		t.Fatalf("Opens = %d for interleaved failures", b.Opens())
+	}
+}
+
+// TestBreakerDefaults pins the documented zero-value behavior.
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	if b.Retries() != 1 {
+		t.Fatalf("default Retries = %d, want 1", b.Retries())
+	}
+	if b.Backoff() != 10*time.Millisecond {
+		t.Fatalf("default Backoff = %v, want 10ms", b.Backoff())
+	}
+	if got := NewBreaker(BreakerConfig{Retries: -1}).Retries(); got != 0 {
+		t.Fatalf("negative Retries = %d, want 0", got)
+	}
+}

@@ -34,6 +34,16 @@ type Config struct {
 	// DownCooldown is how long a peer that failed a proxy or fetch stays
 	// routed around before being optimistically revived (default 2s).
 	DownCooldown time.Duration
+	// BreakerFailures is how many consecutive transport/integrity failures
+	// a peer is granted before its circuit opens and it is marked down
+	// (default 3). One flaky response must not rebuild the ring.
+	BreakerFailures int
+	// PeerRetries is the extra attempts granted to one peer fetch or proxy
+	// after its first failure (default 1; negative disables retries).
+	PeerRetries int
+	// RetryBackoff is the base delay between those attempts; the serving
+	// layer sleeps a decorrelated-jitter multiple of it (default 10ms).
+	RetryBackoff time.Duration
 }
 
 // Enabled reports whether the config describes a real fleet: a self URL
@@ -121,6 +131,18 @@ func NewMembership(cfg Config) (*Membership, error) {
 // Config returns the (normalized) configuration the membership was built
 // from.
 func (m *Membership) Config() Config { return m.cfg }
+
+// SetClock replaces the membership's time source — the seam the chaos
+// tier uses to skew cooldown revival, and tests use to pin it. Nil
+// restores time.Now.
+func (m *Membership) SetClock(now func() time.Time) {
+	if now == nil {
+		now = time.Now
+	}
+	m.mu.Lock()
+	m.now = now
+	m.mu.Unlock()
+}
 
 // Self returns this node's normalized URL.
 func (m *Membership) Self() string { return m.cfg.SelfURL }

@@ -5,6 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"streammap/internal/atomicfile"
+	"streammap/internal/faultinject"
 )
 
 // Store is a shared content-addressed artifact store: the fleet-wide
@@ -29,18 +32,32 @@ type Store interface {
 }
 
 // DirStore is the local-directory Store: one file per key under a root
-// directory, written with the same temp-file + rename discipline as the
-// service's disk cache tier. Pointing every node of a fleet at one
-// DirStore on a shared filesystem gives the fleet a common backing store;
-// rename is atomic on POSIX filesystems, so cross-process readers never
-// observe torn entries.
+// directory, written with the same durable atomic discipline as the
+// service's disk cache tier (exclusive temp file, fsync, rename, fsync of
+// the parent directory). Pointing every node of a fleet at one DirStore
+// on a shared filesystem gives the fleet a common backing store; rename
+// is atomic on POSIX filesystems, so cross-process readers never observe
+// torn entries, and the directory fsync means a committed entry survives
+// a crash.
 type DirStore struct {
-	dir string
+	dir    string
+	faults *faultinject.Injector
 }
 
 // NewDirStore returns a store rooted at dir. The directory is created
 // lazily on first Put, so constructing a store is side-effect free.
 func NewDirStore(dir string) *DirStore { return &DirStore{dir: dir} }
+
+// WithFaults returns a view of the store whose writes go through fi's
+// torn-write/corruption/ENOSPC schedule — the chaos tier's seam into the
+// shared store. A nil injector returns s unchanged, so callers thread the
+// result through unconditionally.
+func (s *DirStore) WithFaults(fi *faultinject.Injector) *DirStore {
+	if fi == nil {
+		return s
+	}
+	return &DirStore{dir: s.dir, faults: fi}
+}
 
 // Dir returns the store's root directory.
 func (s *DirStore) Dir() string { return s.dir }
@@ -78,29 +95,26 @@ func (s *DirStore) Get(key string) ([]byte, bool) {
 	return data, true
 }
 
-// Put implements Store.
+// Put implements Store with a durable atomic write: exclusive temp file,
+// fsync, rename, fsync of the store directory.
 func (s *DirStore) Put(key string, data []byte) error {
 	if !validKey(key) {
 		return fmt.Errorf("fleet: invalid store key %q", key)
 	}
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		return err
+	return atomicfile.Write(s.path(key), data, s.faults, "store")
+}
+
+// Quarantine moves an entry that failed validation aside as
+// <key>.artifact.json.corrupt: the evidence survives for inspection and
+// the keyed path is free for the next clean Put. A missing entry is not
+// an error — another node racing the same corrupt bytes may have
+// quarantined it first.
+func (s *DirStore) Quarantine(key string) error {
+	if !validKey(key) {
+		return fmt.Errorf("fleet: invalid store key %q", key)
 	}
-	tmp, err := os.CreateTemp(s.dir, ".store-*.tmp")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
-		os.Remove(tmp.Name())
+	p := s.path(key)
+	if err := os.Rename(p, p+".corrupt"); err != nil && !os.IsNotExist(err) {
 		return err
 	}
 	return nil

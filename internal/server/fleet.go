@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -32,9 +33,11 @@ import (
 //  4. a one-hop proxy of the full compile request to the owner, marked
 //     with headerForwarded so it can never cycle; the owner compiles
 //     (and persists to the shared store), this node caches the response;
-//  5. local fallback: the owner is unreachable — it is marked down,
-//     routed around for a cooldown, and this node compiles the key
-//     itself. Degraded means slower, never unavailable.
+//  5. local fallback: the owner is unreachable — its failures feed a
+//     per-peer circuit breaker (bounded retries with decorrelated-jitter
+//     backoff first), an opening circuit marks it down and routes around
+//     it for a cooldown, and this node compiles the key itself. Degraded
+//     means slower, never unavailable.
 //
 // See DESIGN.md S17.
 
@@ -92,7 +95,17 @@ func (s *Server) localEncoded(hash string) ([]byte, bool) {
 
 // routeToOwner answers a compile request whose key belongs to owner. It
 // reports whether the response was written; false means the owner could
-// not be reached and the caller should serve locally.
+// not be reached (or its circuit is open) and the caller should serve
+// locally.
+//
+// Failure discipline (see DESIGN.md S18): transport failures are retried
+// within the breaker's bounded budget with decorrelated-jitter backoff;
+// exhausting the budget feeds the per-peer circuit breaker, and only an
+// opening circuit marks the owner down in the ring — one flaky response
+// never rebuilds the ring. Integrity failures (bad hash, undecodable
+// body) are counted as peerBadBytes and fall through; they never mark the
+// owner down. Every peer hop below shares one context deadline derived
+// from the request's timeout budget.
 func (s *Server) routeToOwner(w http.ResponseWriter, r *http.Request, start time.Time,
 	owner, key string, g *sdf.Graph, opts core.Options, rawBody []byte) bool {
 	hash := core.KeyHash(key)
@@ -114,17 +127,48 @@ func (s *Server) routeToOwner(w http.ResponseWriter, r *http.Request, start time
 		return true
 	}
 
-	if body, ok, ownerUp := s.peerFetch(r.Context(), owner, hash, g, opts); ok {
+	// Open circuit: we already know the owner is unhealthy — skip the
+	// dial (and its timeout burn) and serve locally at once.
+	if !s.breaker.Allow(owner) {
+		s.breakerSkips.Add(1)
+		return false
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	if body, ok, ownerUp := s.peerFetch(ctx, owner, hash, g, opts); ok {
+		s.breaker.Success(owner)
 		s.peerHits.Add(1)
 		s.writeArtifact(w, body)
 		s.lat.record(float64(time.Since(start).Microseconds()) / 1e3)
 		return true
 	} else if !ownerUp {
-		s.fleetM.MarkDown(owner)
+		if s.breaker.Failure(owner) {
+			s.fleetM.MarkDown(owner)
+		}
 		return false
 	}
 
-	return s.proxyCompile(w, r, start, owner, hash, g, opts, rawBody)
+	// The owner answered HTTP (it just lacks the bytes, or sent bytes that
+	// failed verification): close out this breaker attempt as a liveness
+	// success before the proxy makes its own.
+	s.breaker.Success(owner)
+	return s.proxyCompile(w, r.WithContext(ctx), start, owner, hash, g, opts, rawBody)
+}
+
+// retrySleep blocks for one decorrelated-jitter backoff — uniform in
+// [base, 3*base), the same discipline the client uses for 429s — or until
+// ctx ends, reporting false when it did.
+func (s *Server) retrySleep(ctx context.Context) bool {
+	base := s.breaker.Backoff()
+	d := base + time.Duration(rand.Int63n(int64(2*base)))
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // writeArtifact writes a cache-served artifact body.
@@ -134,11 +178,26 @@ func (s *Server) writeArtifact(w http.ResponseWriter, body []byte) {
 	w.Write(body)
 }
 
-// peerFetch asks owner for the encoded artifact of a key hash. ok means
-// verified bytes were fetched and ingested; ownerUp=false means the owner
-// did not answer HTTP at all (as opposed to answering 404/500, which is a
-// healthy owner without the bytes).
+// peerFetch asks owner for the encoded artifact of a key hash, retrying
+// transport failures within the breaker's budget. ok means verified bytes
+// were fetched and ingested; ownerUp=false means the owner did not answer
+// HTTP on any attempt (as opposed to answering 404/500, which is a
+// healthy owner without the bytes, or answering with bytes that failed
+// verification, which is a healthy owner counted under peerBadBytes).
 func (s *Server) peerFetch(ctx context.Context, owner, hash string, g *sdf.Graph, opts core.Options) (body []byte, ok, ownerUp bool) {
+	for attempt := 0; ; attempt++ {
+		data, ok, up := s.peerFetchOnce(ctx, owner, hash, g, opts)
+		if ok || up {
+			return data, ok, true
+		}
+		if attempt >= s.breaker.Retries() || !s.retrySleep(ctx) {
+			return nil, false, false
+		}
+		s.peerRetries.Add(1)
+	}
+}
+
+func (s *Server) peerFetchOnce(ctx context.Context, owner, hash string, g *sdf.Graph, opts core.Options) (body []byte, ok, ownerUp bool) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/v1/artifact/"+hash, nil)
 	if err != nil {
 		return nil, false, true
@@ -150,19 +209,25 @@ func (s *Server) peerFetch(ctx context.Context, owner, hash string, g *sdf.Graph
 	defer resp.Body.Close()
 	data, err := readBounded(resp.Body, s.cfg.MaxBodyBytes)
 	if err != nil || resp.StatusCode != http.StatusOK {
+		// A body cut short mid-read is indistinguishable from oversize here;
+		// both are a miss from a peer that did answer HTTP.
 		return nil, false, true
 	}
 	// Trust nothing off the wire: the transport hash must match when the
 	// peer sent one, and the bytes must decode to an artifact for exactly
 	// the graph this request is about. IngestEncoded re-validates and
-	// installs it in the local caches.
+	// installs it in the local caches. Verification failures are
+	// peerBadBytes, never a liveness signal.
 	if want := resp.Header.Get(headerContentHash); want != "" && want != contentHash(data) {
+		s.peerBadBytes.Add(1)
 		return nil, false, true
 	}
 	if a, err := artifact.Decode(data); err != nil || a.Fingerprint != g.Fingerprint() {
+		s.peerBadBytes.Add(1)
 		return nil, false, true
 	}
 	if err := s.svc.IngestEncoded(g, opts, data); err != nil {
+		s.peerBadBytes.Add(1)
 		return nil, false, true
 	}
 	return data, true, true
@@ -170,33 +235,64 @@ func (s *Server) peerFetch(ctx context.Context, owner, hash string, g *sdf.Graph
 
 // proxyCompile forwards the verbatim compile request to the owner and
 // relays its response, caching a 200 body locally so the next request for
-// this key is a local hit. Reports false (nothing written) when the owner
-// is unreachable.
+// this key is a local hit. Transport failures are retried within the
+// breaker's budget; exhausting it feeds the breaker (and marks the owner
+// down only if the circuit opened). A 200 body is verified — content hash
+// when the owner stamped one, then artifact decode + fingerprint — before
+// it reaches the client: a corrupted relay is peerBadBytes plus a local
+// fallback, never a served poison. Reports false (nothing written) when
+// the caller should serve locally.
 func (s *Server) proxyCompile(w http.ResponseWriter, r *http.Request, start time.Time,
 	owner, hash string, g *sdf.Graph, opts core.Options, rawBody []byte) bool {
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, owner+"/v1/compile", bytes.NewReader(rawBody))
-	if err != nil {
-		return false
-	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set(headerForwarded, s.fleetM.Self())
-	resp, err := s.peerHTTP.Do(req)
-	if err != nil {
-		s.fleetM.MarkDown(owner)
-		return false
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, owner+"/v1/compile", bytes.NewReader(rawBody))
+		if err != nil {
+			return false
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(headerForwarded, s.fleetM.Self())
+		resp, err = s.peerHTTP.Do(req)
+		if err == nil {
+			break
+		}
+		if attempt >= s.breaker.Retries() || !s.retrySleep(r.Context()) {
+			if s.breaker.Failure(owner) {
+				s.fleetM.MarkDown(owner)
+			}
+			return false
+		}
+		s.peerRetries.Add(1)
 	}
 	defer resp.Body.Close()
 	body, err := readBounded(resp.Body, s.cfg.MaxBodyBytes)
 	if err != nil {
-		s.fleetM.MarkDown(owner)
+		// The owner accepted the request and then the stream died — likely
+		// mid-compile. Retrying a possibly expensive compile from scratch is
+		// worse than falling back locally (the flight table coalesces).
+		if s.breaker.Failure(owner) {
+			s.fleetM.MarkDown(owner)
+		}
 		return false
 	}
-	s.proxied.Add(1)
+	s.breaker.Success(owner)
 	if resp.StatusCode == http.StatusOK {
-		// Best-effort replication: a decode failure just means the next
+		// Verify before relaying: the owner stamps forwarded 200 responses
+		// with a content hash, and the bytes must be an artifact for exactly
+		// this request's graph.
+		if want := resp.Header.Get(headerContentHash); want != "" && want != contentHash(body) {
+			s.peerBadBytes.Add(1)
+			return false
+		}
+		if a, err := artifact.Decode(body); err != nil || a.Fingerprint != g.Fingerprint() {
+			s.peerBadBytes.Add(1)
+			return false
+		}
+		// Best-effort replication: an ingest failure just means the next
 		// request for this key proxies again.
 		s.svc.IngestEncoded(g, opts, body)
 	}
+	s.proxied.Add(1)
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}

@@ -267,11 +267,16 @@ func TestFleetRedirectMode(t *testing.T) {
 	}
 }
 
-// TestFleetOwnerDownFallback: an unreachable owner is marked down and the
-// receiving node compiles the key itself — degraded, never unavailable —
-// and the ring-churn counter reflects the lost node.
+// TestFleetOwnerDownFallback: an unreachable owner's circuit opens, the
+// ring marks it down, and the receiving node compiles the key itself —
+// degraded, never unavailable — and the ring-churn counter reflects the
+// lost node. BreakerFailures is pinned to 1 so a single failed request
+// carries the whole transition; the default tolerance has its own test.
 func TestFleetOwnerDownFallback(t *testing.T) {
-	nodes := startFleetNodes(t, 3, nil)
+	nodes := startFleetNodes(t, 3, func(_ int, cfg *server.Config) {
+		cfg.Fleet.BreakerFailures = 1 // first transport failure opens the circuit
+		cfg.Fleet.PeerRetries = -1    // no retry budget: one attempt, one verdict
+	})
 	g, opts := graphOwnedBy(t, nodes, 0)
 	nodes[0].ts.Close()
 
@@ -285,9 +290,74 @@ func TestFleetOwnerDownFallback(t *testing.T) {
 	if st.Fleet.PeersAlive != 2 {
 		t.Fatalf("dead owner still in the alive set: %+v", st.Fleet)
 	}
+	if st.Fleet.BreakerOpens != 1 || st.Fleet.PeerRetries != 0 {
+		t.Fatalf("breaker counters wrong: %+v", st.Fleet)
+	}
 	// A third of a 3-node keyspace changed owners (within sampling slack).
 	if st.Fleet.RingMoves < 200 || st.Fleet.RingMoves > 500 {
 		t.Fatalf("ringMoves %d outside ~1/3 keyspace for one lost node of three", st.Fleet.RingMoves)
+	}
+}
+
+// TestFleetBreakerAbsorbsFailures: with the default tolerance, early
+// transport failures retry and fall back locally WITHOUT marking the
+// owner down — only the configured consecutive-failure count opens the
+// circuit and rebuilds the ring, and an open circuit skips peer I/O
+// entirely.
+func TestFleetBreakerAbsorbsFailures(t *testing.T) {
+	nodes := startFleetNodes(t, 3, func(_ int, cfg *server.Config) {
+		cfg.Fleet.BreakerFailures = 3
+		cfg.Fleet.PeerRetries = -1
+		cfg.Fleet.RetryBackoff = time.Millisecond
+	})
+	// Four distinct keys all owned by node 0, so every request below
+	// exercises the dead owner's circuit.
+	ring, opts := fleetRing(t, nodes), testOpts(2)
+	var graphs []*sdf.Graph
+	for size := 2; size <= 128 && len(graphs) < 4; size++ {
+		g := appGraph(t, "DES", size)
+		if ring.Owner(keyHashOf(t, g, opts)) == nodes[0].url {
+			graphs = append(graphs, g)
+		}
+	}
+	if len(graphs) < 4 {
+		t.Fatalf("only %d keys owned by node 0 in sizes [2,128]", len(graphs))
+	}
+	nodes[0].ts.Close()
+	ctx := context.Background()
+
+	// Two failures: tolerated. The owner stays in the ring — one flaky
+	// moment must not churn a third of the keyspace.
+	for i := 0; i < 2; i++ {
+		if _, err := nodes[1].cl.Compile(ctx, server.NewRequest(graphs[i], opts)); err != nil {
+			t.Fatalf("request %d failed: %v", i, err)
+		}
+	}
+	st := nodes[1].srv.Stats()
+	if st.Fleet.Fallbacks != 2 || st.Fleet.PeersAlive != 3 || st.Fleet.BreakerOpens != 0 || st.Fleet.RingMoves != 0 {
+		t.Fatalf("breaker tripped early: %+v", st.Fleet)
+	}
+
+	// Third consecutive failure opens the circuit and marks the peer down.
+	if _, err := nodes[1].cl.Compile(ctx, server.NewRequest(graphs[2], opts)); err != nil {
+		t.Fatal(err)
+	}
+	st = nodes[1].srv.Stats()
+	if st.Fleet.BreakerOpens != 1 || st.Fleet.PeersAlive != 2 {
+		t.Fatalf("third failure did not open the circuit: %+v", st.Fleet)
+	}
+
+	// With the circuit open and the dead node out of the ring, its old key
+	// routes to a live owner — but a key that WOULD have routed to it no
+	// longer burns a dial. Re-request graphs[3] against the rebuilt ring:
+	// wherever it lands, no new breaker transition may occur, and any
+	// residual routing to the dead owner must be a skip, not an attempt.
+	if _, err := nodes[1].cl.Compile(ctx, server.NewRequest(graphs[3], opts)); err != nil {
+		t.Fatal(err)
+	}
+	st = nodes[1].srv.Stats()
+	if st.Fleet.BreakerOpens != 1 {
+		t.Fatalf("extra breaker transition after open: %+v", st.Fleet)
 	}
 }
 

@@ -1,0 +1,495 @@
+package loadtest
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"streammap/internal/artifact"
+	"streammap/internal/core"
+	"streammap/internal/driver"
+	"streammap/internal/faultinject"
+	"streammap/internal/fleet"
+	"streammap/internal/server"
+	"streammap/internal/server/client"
+	"streammap/internal/synth"
+)
+
+// MixChaos is the fault-injection scenario: a multi-node fleet serving
+// known-key traffic while a deterministic, seeded fault schedule refuses
+// peer connections, delays and corrupts peer responses, tears and
+// corrupts disk and store writes, and skews the membership clocks — then
+// one node is crashed, its persistent entries are truncated mid-file, and
+// it restarts on the same directories. The acceptance bar is absolute:
+// every response is either a 200 whose artifact is bit-equivalent to a
+// clean local compile, or a 429 — never an error, never wrong bytes.
+// Like multinode it owns its servers, so it runs through RunChaos.
+const MixChaos Mix = "chaos"
+
+// ChaosParams configures one chaos run.
+type ChaosParams struct {
+	Seed  uint64
+	Nodes int // fleet size (default 3)
+	// HotKeys is the known-key working set replayed in every phase
+	// (default 6); each key's clean local compile is the equivalence
+	// reference for everything the fleet serves.
+	HotKeys int
+	// RequestsPerPhase is the traffic per chaos phase (default 50).
+	RequestsPerPhase int
+	Workers          int           // concurrent client workers (default 8)
+	Timeout          time.Duration // per-request deadline (default 30s)
+	MaxFilters       int           // scenario size bound (default 16)
+	MaxGPUs          int           // scenario GPU bound (default 4)
+	// Dir hosts the shared store and per-node disk tiers. Empty means a
+	// fresh temp dir (left behind for inspection).
+	Dir string
+	// Spec is the fault mix every node injects (each node derives its own
+	// schedule seed from Seed and its index, so the fleet's faults are
+	// decorrelated but pinned). The zero Spec means DefaultChaosSpec.
+	Spec faultinject.Spec
+}
+
+// DefaultChaosSpec is the standard chaos mix: every fault class enabled
+// at rates high enough that a ~150-request run fires all of them, low
+// enough that the fleet stays mostly functional — degraded serving is the
+// regime under test, not a full outage.
+func DefaultChaosSpec(seed uint64) faultinject.Spec {
+	return faultinject.Spec{
+		Seed:         seed,
+		PeerRefuse:   0.20,
+		PeerLatency:  5 * time.Millisecond,
+		PeerLatencyP: 0.20,
+		CorruptBody:  0.12,
+		TruncateBody: 0.12,
+		TornWrite:    0.18,
+		CorruptFile:  0.12,
+		WriteENOSPC:  0.08,
+		ClockSkewMax: 200 * time.Millisecond,
+	}
+}
+
+func (p ChaosParams) withDefaults() ChaosParams {
+	if p.Nodes <= 0 {
+		p.Nodes = 3
+	}
+	if p.HotKeys <= 0 {
+		p.HotKeys = 6
+	}
+	if p.RequestsPerPhase <= 0 {
+		p.RequestsPerPhase = 50
+	}
+	if p.Workers <= 0 {
+		p.Workers = 8
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 30 * time.Second
+	}
+	if p.MaxFilters <= 0 {
+		p.MaxFilters = 16
+	}
+	if p.MaxGPUs <= 0 {
+		p.MaxGPUs = 4
+	}
+	if !p.Spec.Enabled() {
+		p.Spec = DefaultChaosSpec(p.Seed)
+	}
+	return p
+}
+
+// ChaosPhase reports one traffic phase. OK responses have all passed the
+// bit-equivalence check against the clean reference — mismatches land in
+// ChaosResult.EquivalenceFailures, not here.
+type ChaosPhase struct {
+	Name       string
+	Requests   int
+	OK         int
+	Throttled  int // 429s — shed load, allowed under chaos
+	Errors     int // anything else: the availability bar is broken
+	FirstError string
+}
+
+// ChaosResult is one chaos run's report.
+type ChaosResult struct {
+	Params ChaosParams
+	Spec   faultinject.Spec
+
+	// Warmup seeds the fleet under fault injection; Chaos replays the hot
+	// set across all nodes; Aftermath does the same after the victim node
+	// crashed, had its persistent entries truncated mid-file, and
+	// restarted on the same directories.
+	Warmup, Chaos, Aftermath ChaosPhase
+
+	// Faults sums the faults every node's injector actually fired — the
+	// proof that "zero errors" was earned under fire, not under silence.
+	Faults faultinject.Stats
+	// TruncatedDisk/TruncatedStore count the entries the crash phase tore
+	// mid-file in the victim's disk tier and the shared store.
+	TruncatedDisk, TruncatedStore int
+	// Quarantined sums entries the fleet moved aside to *.corrupt after
+	// failed validation (torn files from the crash, injected silent
+	// corruption) instead of serving or silently overwriting them.
+	Quarantined int64
+	// Compiles is the fleet-wide pipeline-compile total — chaos trades
+	// efficiency for availability, so this is informational, not a bar.
+	Compiles     int64
+	Fallbacks    int64
+	BreakerOpens int64
+	BreakerSkips int64
+	PeerRetries  int64
+	PeerBadBytes int64
+	RingMoves    int64
+
+	// EquivalenceFailures lists every 200 response whose artifact was not
+	// bit-equivalent to the clean local compile of the same request.
+	// Non-empty means the hardening leaked wrong bytes to a client.
+	EquivalenceFailures []string
+
+	Duration time.Duration
+}
+
+// RunChaos compiles a clean reference artifact for every hot key, brings
+// up a fleet of in-process compile servers with deterministic fault
+// injection threaded through every seam (peer transport, disk tier,
+// shared store, membership clocks), replays known-key traffic, crashes
+// one node and truncates its persistent entries mid-file, restarts it on
+// the same directories, and keeps the traffic coming. Every 200 is
+// checked bit-equivalent to the clean reference.
+func RunChaos(ctx context.Context, p ChaosParams) (*ChaosResult, error) {
+	p = p.withDefaults()
+	if p.Dir == "" {
+		d, err := os.MkdirTemp("", "streammap-chaos-*")
+		if err != nil {
+			return nil, err
+		}
+		p.Dir = d
+	}
+	res := &ChaosResult{Params: p, Spec: p.Spec}
+	start := time.Now()
+
+	// The corpus and, per key, the clean reference artifact — compiled
+	// locally before any injector exists, so the references cannot be
+	// touched by the chaos tier.
+	corpus, err := synth.Corpus(synth.CorpusParams{
+		Seed:       p.Seed,
+		Scenarios:  p.HotKeys,
+		MaxFilters: p.MaxFilters,
+		MaxGPUs:    p.MaxGPUs,
+		Workers:    2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reqs := make([]server.CompileRequest, p.HotKeys)
+	hashes := make([]string, p.HotKeys)
+	refs := make([]*artifact.Artifact, p.HotKeys)
+	for i, sc := range corpus {
+		g, err := sc.BuildGraph()
+		if err != nil {
+			return nil, fmt.Errorf("chaos: scenario %d: %w", i, err)
+		}
+		reqs[i] = server.NewRequest(g, sc.Opts)
+		key, err := core.KeyOf(g, sc.Opts)
+		if err != nil {
+			return nil, err
+		}
+		hashes[i] = core.KeyHash(key)
+		if refs[i], err = localArtifact(ctx, reqs[i]); err != nil {
+			return nil, fmt.Errorf("chaos: reference compile %d: %w", i, err)
+		}
+	}
+
+	// Listeners first, so every node's config can name every URL (the
+	// first listen reserves each port; the node rebinds it in start).
+	addrs := make([]string, p.Nodes)
+	urls := make([]string, p.Nodes)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		urls[i] = "http://" + addrs[i]
+		ln.Close()
+	}
+
+	// One injector per node, schedule seeds decorrelated by node index.
+	// Restarting a node reuses its injector: the schedule continues, it
+	// does not replay.
+	storeDir := filepath.Join(p.Dir, "store")
+	injs := make([]*faultinject.Injector, p.Nodes)
+	for i := range injs {
+		spec := p.Spec
+		spec.Seed = p.Seed*0x9E3779B97F4A7C15 + uint64(i+1)
+		injs[i] = faultinject.New(spec)
+	}
+	nodes := make([]*mnNode, p.Nodes)
+	// Per-node client transports, so the victim's stale keep-alive
+	// connections can be flushed after its restart — a real client re-dials
+	// a crashed-and-restarted node; a pooled dead conn EOFs instead.
+	trs := make([]*http.Transport, p.Nodes)
+	nodeCfg := func(i int, cacheDir string) server.Config {
+		return server.Config{
+			Service: core.ServiceConfig{
+				CacheDir: cacheDir,
+				Shared:   fleet.NewDirStore(storeDir).WithFaults(injs[i]),
+			},
+			Fleet: fleet.Config{
+				SelfURL: urls[i],
+				Peers:   urls,
+				// Short cooldown so breaker reopen/half-open and ring
+				// revival all cycle within the run, under skewed clocks.
+				DownCooldown: 750 * time.Millisecond,
+				RetryBackoff: time.Millisecond,
+			},
+			Faults: injs[i],
+		}
+	}
+	for i := range nodes {
+		trs[i] = &http.Transport{}
+		nodes[i] = &mnNode{
+			url:    urls[i],
+			cacheD: filepath.Join(p.Dir, fmt.Sprintf("node%d-disk", i)),
+			cl:     &client.Client{BaseURL: urls[i], HTTP: &http.Client{Transport: trs[i]}},
+		}
+		if err := nodes[i].start(nodeCfg(i, nodes[i].cacheD), addrs[i]); err != nil {
+			return nil, err
+		}
+	}
+	defer func() {
+		for _, n := range nodes {
+			if n.alive {
+				n.kill()
+			}
+		}
+	}()
+
+	// The victim: the node owning the most hot keys — its crash and torn
+	// restart hit the largest share of the keyspace.
+	ring, err := fleet.NewMembership(fleet.Config{SelfURL: urls[0], Peers: urls})
+	if err != nil {
+		return nil, err
+	}
+	owned := make([][]int, p.Nodes)
+	for k, h := range hashes {
+		for i, u := range urls {
+			if ring.Owner(h) == u {
+				owned[i] = append(owned[i], k)
+			}
+		}
+	}
+	victim := 0
+	for i := range owned {
+		if len(owned[i]) > len(owned[victim]) {
+			victim = i
+		}
+	}
+
+	// Phase driver: like multinode's, plus the equivalence check — every
+	// 200's artifact must match the clean reference bit for bit.
+	type pick struct{ node, key int }
+	var eqMu sync.Mutex
+	runPhase := func(name string, n int, draw func(r int) (node, key int)) ChaosPhase {
+		ph := ChaosPhase{Name: name, Requests: n}
+		picks := make([]pick, n)
+		for r := range picks {
+			picks[r].node, picks[r].key = draw(r)
+		}
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		feed := make(chan pick)
+		for w := 0; w < p.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for pk := range feed {
+					rctx, cancel := context.WithTimeout(ctx, p.Timeout)
+					a, err := nodes[pk.node].cl.Compile(rctx, reqs[pk.key])
+					cancel()
+					if err == nil {
+						if eqErr := driver.EquivalentArtifacts(refs[pk.key], a); eqErr != nil {
+							eqMu.Lock()
+							res.EquivalenceFailures = append(res.EquivalenceFailures,
+								fmt.Sprintf("%s: key %d via node %d: %v", name, pk.key, pk.node, eqErr))
+							eqMu.Unlock()
+						}
+					}
+					mu.Lock()
+					switch {
+					case err == nil:
+						ph.OK++
+					default:
+						if _, ok := client.IsThrottled(err); ok {
+							ph.Throttled++
+						} else {
+							ph.Errors++
+							if ph.FirstError == "" {
+								ph.FirstError = err.Error()
+							}
+						}
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		for _, pk := range picks {
+			feed <- pk
+		}
+		close(feed)
+		wg.Wait()
+		return ph
+	}
+	rng := synth.NewRand(p.Seed ^ 0xC4A05C4A05C4A05)
+
+	// Warm-up: every hot key offered once to a non-owner, so the fleet
+	// paths (fetch, proxy, store write) run under injection from the very
+	// first request.
+	res.Warmup = runPhase("warmup", p.HotKeys, func(r int) (int, int) {
+		ni := rng.Intn(p.Nodes)
+		if urls[ni] == ring.Owner(hashes[r]) {
+			ni = (ni + 1) % p.Nodes
+		}
+		return ni, r
+	})
+
+	// Chaos steady state: known keys across every node while the injectors
+	// refuse, delay, corrupt, tear and skew.
+	res.Chaos = runPhase("chaos", p.RequestsPerPhase, func(int) (int, int) {
+		return rng.Intn(p.Nodes), rng.Intn(p.HotKeys)
+	})
+
+	// Crash: kill the victim, tear its disk tier and half the shared store
+	// mid-file — the on-disk picture a real crash leaves — and restart it
+	// on the SAME directories, so its warm start must quarantine its way
+	// back to health.
+	nodes[victim].kill()
+	// The restart replaces the victim's server object, so bank its
+	// pre-crash counters now.
+	crashStats := nodes[victim].srv.Stats()
+	if res.TruncatedDisk, err = truncateEntries(nodes[victim].cacheD, 1); err != nil {
+		return res, fmt.Errorf("chaos: tearing disk tier: %w", err)
+	}
+	if res.TruncatedStore, err = truncateEntries(storeDir, 2); err != nil {
+		return res, fmt.Errorf("chaos: tearing store: %w", err)
+	}
+	if err := nodes[victim].start(nodeCfg(victim, nodes[victim].cacheD), addrs[victim]); err != nil {
+		return res, fmt.Errorf("chaos: restarting victim: %w", err)
+	}
+	// Drop connections pooled against the dead listener: a POST on one
+	// EOFs without retry, which would be a harness artifact, not a serving
+	// failure.
+	trs[victim].CloseIdleConnections()
+
+	// Aftermath: the restarted victim sees every hot key first (its torn
+	// disk entries must quarantine, never serve), then traffic spreads
+	// back across the fleet.
+	res.Aftermath = runPhase("aftermath", p.HotKeys+p.RequestsPerPhase, func(r int) (int, int) {
+		if r < p.HotKeys {
+			return victim, r
+		}
+		return rng.Intn(p.Nodes), rng.Intn(p.HotKeys)
+	})
+
+	stats := []server.Stats{crashStats}
+	for _, n := range nodes {
+		stats = append(stats, n.srv.Stats())
+	}
+	for i := range injs {
+		res.Faults.Add(injs[i].Stats())
+	}
+	for _, st := range stats {
+		res.Quarantined += st.Service.CorruptQuarantined
+		res.Compiles += st.Service.Misses
+		if st.Fleet != nil {
+			res.Fallbacks += st.Fleet.Fallbacks
+			res.BreakerOpens += st.Fleet.BreakerOpens
+			res.BreakerSkips += st.Fleet.BreakerSkips
+			res.PeerRetries += st.Fleet.PeerRetries
+			res.PeerBadBytes += st.Fleet.PeerBadBytes
+			res.RingMoves += st.Fleet.RingMoves
+		}
+	}
+	sort.Strings(res.EquivalenceFailures)
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// truncateEntries tears every stride-th committed artifact entry in dir
+// to half its bytes, in place — the persistent-tier picture a crash
+// mid-write would leave if the write path were not atomic, and the input
+// the quarantine path must catch. Entries are walked in sorted order so
+// the set torn is deterministic. A missing directory tears nothing.
+func truncateEntries(dir string, stride int) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".artifact.json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	torn := 0
+	for i, name := range names {
+		if i%stride != 0 {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		fi, err := os.Stat(path)
+		if err != nil {
+			return torn, err
+		}
+		if err := os.Truncate(path, fi.Size()/2); err != nil {
+			return torn, err
+		}
+		torn++
+	}
+	return torn, nil
+}
+
+// Availability reports whether every request in every phase was answered
+// with a 200 or a 429 — the chaos bar.
+func (r *ChaosResult) Availability() bool {
+	return r.Warmup.Errors == 0 && r.Chaos.Errors == 0 && r.Aftermath.Errors == 0
+}
+
+// Fprint renders the run report.
+func (r *ChaosResult) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "chaos: %d nodes, %d hot keys, %d req/phase, seed=%#x (%.2fs)\n",
+		r.Params.Nodes, r.Params.HotKeys, r.Params.RequestsPerPhase, r.Params.Seed, r.Duration.Seconds())
+	fmt.Fprintf(w, "  fault spec: %s\n", r.Spec)
+	for _, ph := range []ChaosPhase{r.Warmup, r.Chaos, r.Aftermath} {
+		fmt.Fprintf(w, "  %-9s %3d requests: %3d ok, %d throttled, %d errors\n",
+			ph.Name, ph.Requests, ph.OK, ph.Throttled, ph.Errors)
+		if ph.FirstError != "" {
+			fmt.Fprintf(w, "            first error: %s\n", ph.FirstError)
+		}
+	}
+	f := r.Faults
+	fmt.Fprintf(w, "  faults fired: %d refused, %d delayed, %d corrupted, %d truncated, %d torn, %d bad files, %d enospc (%d total)\n",
+		f.Refused, f.Delayed, f.Corrupted, f.Truncated, f.Torn, f.BadFiles, f.NoSpace, f.Total())
+	fmt.Fprintf(w, "  crash: tore %d disk + %d store entries; fleet quarantined %d\n",
+		r.TruncatedDisk, r.TruncatedStore, r.Quarantined)
+	fmt.Fprintf(w, "  hardening: %d fallbacks, %d breaker opens, %d breaker skips, %d peer retries, %d bad peer bytes, %d ring moves\n",
+		r.Fallbacks, r.BreakerOpens, r.BreakerSkips, r.PeerRetries, r.PeerBadBytes, r.RingMoves)
+	fmt.Fprintf(w, "  compiles fleet-wide: %d\n", r.Compiles)
+	for _, e := range r.EquivalenceFailures {
+		fmt.Fprintf(w, "  EQUIVALENCE FAIL: %s\n", e)
+	}
+	if len(r.EquivalenceFailures) == 0 {
+		ok := r.Warmup.OK + r.Chaos.OK + r.Aftermath.OK
+		fmt.Fprintf(w, "  equivalence: all %d served artifacts identical to clean local compiles\n", ok)
+	}
+}

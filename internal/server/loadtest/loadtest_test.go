@@ -107,6 +107,73 @@ func TestNodeLossMix(t *testing.T) {
 	}
 }
 
+// TestChaosMix is the fault-injection acceptance run: a three-node fleet
+// under a pinned seeded fault schedule (peer refusals, latency, corrupted
+// and truncated peer bodies, torn/corrupted/ENOSPC writes, skewed
+// clocks), plus a mid-run crash that tears the victim's disk tier and
+// half the shared store before restarting it on the same directories.
+// The bar: every response is a 200 or a 429, every 200's artifact is
+// bit-equivalent to a clean local compile, and the run must prove faults
+// actually fired and torn entries were actually quarantined — "zero
+// errors" under silence would test nothing.
+func TestChaosMix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos load test skipped in -short mode")
+	}
+	res, err := loadtest.RunChaos(context.Background(), loadtest.ChaosParams{
+		Seed:             0xC4A0,
+		HotKeys:          6,
+		RequestsPerPhase: 50,
+		MaxFilters:       12,
+		Dir:              t.TempDir(),
+	})
+	var out bytes.Buffer
+	if res != nil {
+		res.Fprint(&out)
+		t.Logf("\n%s", out.String())
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !res.Availability() {
+		t.Errorf("non-429 errors under chaos (warmup %d, chaos %d, aftermath %d; first: %s%s%s)",
+			res.Warmup.Errors, res.Chaos.Errors, res.Aftermath.Errors,
+			res.Warmup.FirstError, res.Chaos.FirstError, res.Aftermath.FirstError)
+	}
+	if len(res.EquivalenceFailures) > 0 {
+		t.Errorf("%d served artifacts differ from clean local compiles (first: %s)",
+			len(res.EquivalenceFailures), res.EquivalenceFailures[0])
+	}
+	for _, ph := range []loadtest.ChaosPhase{res.Warmup, res.Chaos, res.Aftermath} {
+		if ph.OK+ph.Throttled+ph.Errors != ph.Requests {
+			t.Errorf("%s accounting: %d ok + %d throttled + %d errors != %d requests",
+				ph.Name, ph.OK, ph.Throttled, ph.Errors, ph.Requests)
+		}
+	}
+	if res.Faults.Total() == 0 {
+		t.Error("the fault schedule fired nothing; the run proved nothing")
+	}
+	// Both fault classes must have fired: peer-transport faults (which the
+	// breaker, retries and hash verification absorb) and write faults
+	// (which the atomic write recipe and quarantine absorb). Individual
+	// kinds within a class may draw zero on a quiet run — the number of
+	// seam calls depends on cache state and timing even though each site's
+	// schedule is pinned.
+	if peer := res.Faults.Refused + res.Faults.Delayed + res.Faults.Corrupted + res.Faults.Truncated; peer == 0 {
+		t.Error("no peer-transport fault fired; the fleet hardening went untested")
+	}
+	if write := res.Faults.Torn + res.Faults.BadFiles + res.Faults.NoSpace; write == 0 {
+		t.Error("no write fault fired; the durability hardening went untested")
+	}
+	if res.TruncatedDisk+res.TruncatedStore == 0 {
+		t.Error("the crash phase tore no persistent entries; the quarantine path went untested")
+	}
+	if res.Quarantined == 0 {
+		t.Error("no entry was quarantined despite torn files; corrupt bytes were served or silently overwritten")
+	}
+}
+
 // TestMultiNodeChurn is the fleet-serving acceptance run: three nodes,
 // one ring, one shared store. After warm-up no known-key request may
 // compile anywhere; killing one of three nodes must not move the

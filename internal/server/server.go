@@ -44,6 +44,7 @@ import (
 	"streammap/internal/artifact"
 	"streammap/internal/core"
 	"streammap/internal/driver"
+	"streammap/internal/faultinject"
 	"streammap/internal/fleet"
 	"streammap/internal/sdf"
 	"streammap/internal/topology"
@@ -79,6 +80,12 @@ type Config struct {
 	// owner; /v1/artifact/{key} serves raw artifact bytes to peers. See
 	// DESIGN.md S17.
 	Fleet fleet.Config
+	// Faults, when non-nil, threads deterministic fault injection through
+	// the peer transport (refusals, latency, corrupted/truncated bodies)
+	// and the membership/breaker clocks (skew), and is passed down to the
+	// service's disk tier. Chaos-tier testing only; nil in production,
+	// where every seam is a no-op. See DESIGN.md S18.
+	Faults *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -130,14 +137,18 @@ type Server struct {
 	respBound int
 
 	// Fleet state: nil membership means single-node serving.
-	fleetM    *fleet.Membership
-	peerHTTP  *http.Client
-	proxied   atomic.Int64
-	redirects atomic.Int64
-	peerHits  atomic.Int64
-	localHits atomic.Int64
-	forwarded atomic.Int64
-	fallbacks atomic.Int64
+	fleetM       *fleet.Membership
+	breaker      *fleet.Breaker
+	peerHTTP     *http.Client
+	proxied      atomic.Int64
+	redirects    atomic.Int64
+	peerHits     atomic.Int64
+	localHits    atomic.Int64
+	forwarded    atomic.Int64
+	fallbacks    atomic.Int64
+	peerBadBytes atomic.Int64
+	peerRetries  atomic.Int64
+	breakerSkips atomic.Int64
 
 	requests  atomic.Int64
 	remaps    atomic.Int64
@@ -162,6 +173,11 @@ type respItem struct {
 // start, never a request-time condition.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.Service.Faults == nil {
+		// One injector drives every seam in the node unless the service was
+		// handed its own.
+		cfg.Service.Faults = cfg.Faults
+	}
 	respBound := cfg.Service.MaxEntries
 	if respBound <= 0 {
 		respBound = 256 // core.ServiceConfig's own default
@@ -182,13 +198,33 @@ func New(cfg Config) *Server {
 			panic(fmt.Sprintf("server: fleet config: %v", err))
 		}
 		s.fleetM = m
+		s.breaker = fleet.NewBreaker(fleet.BreakerConfig{
+			Failures: cfg.Fleet.BreakerFailures,
+			Cooldown: m.Config().DownCooldown,
+			Retries:  cfg.Fleet.PeerRetries,
+			Backoff:  cfg.Fleet.RetryBackoff,
+		})
 		// Peer calls ride the caller's request context for cancellation;
 		// the client timeout is a backstop against a peer that accepts and
-		// stalls.
-		s.peerHTTP = &http.Client{Timeout: cfg.RequestTimeout}
+		// stalls. The fault injector's transport wrapper is identity when
+		// injection is off.
+		s.peerHTTP = &http.Client{
+			Timeout:   cfg.RequestTimeout,
+			Transport: cfg.Faults.Transport(nil),
+		}
+		if cfg.Faults != nil {
+			// Chaos tier: cooldown revival on both the ring and the breaker
+			// reads a skewed clock.
+			s.fleetM.SetClock(cfg.Faults.Clock(nil))
+			s.breaker.SetClock(cfg.Faults.Clock(nil))
+		}
 	}
 	return s
 }
+
+// Breaker exposes the per-peer circuit breaker (nil outside fleet mode) —
+// tests and the chaos harness read its open count.
+func (s *Server) Breaker() *fleet.Breaker { return s.breaker }
 
 // Service exposes the underlying compile service (tests and embedders).
 func (s *Server) Service() *core.Service { return s.svc }
@@ -243,6 +279,10 @@ func (s *Server) Stats() Stats {
 			ForwardedServed: s.forwarded.Load(),
 			Fallbacks:       s.fallbacks.Load(),
 			RingMoves:       s.fleetM.RingMoves(),
+			PeerBadBytes:    s.peerBadBytes.Load(),
+			PeerRetries:     s.peerRetries.Load(),
+			BreakerOpens:    s.breaker.Opens(),
+			BreakerSkips:    s.breakerSkips.Load(),
 		}
 	}
 	return st
@@ -340,7 +380,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	s.serveFlight(w, r, start, key, !forwarded, func(ctx context.Context) (int, string, []byte) {
+	s.serveFlight(w, r, start, key, forwarded, func(ctx context.Context) (int, string, []byte) {
 		return s.compile(ctx, g, opts)
 	})
 }
@@ -385,7 +425,7 @@ func (s *Server) handleRemap(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	s.serveFlight(w, r, start, key, true, func(ctx context.Context) (int, string, []byte) {
+	s.serveFlight(w, r, start, key, false, func(ctx context.Context) (int, string, []byte) {
 		return s.remap(ctx, a, degraded, gpuMap)
 	})
 }
@@ -395,16 +435,19 @@ func (s *Server) handleRemap(w http.ResponseWriter, r *http.Request) {
 // admission, runs run under the request timeout, and resolves the flight
 // for every joiner. Coalescing happens before admission: joiners never
 // consume a slot or queue space, so a thundering herd of one key can
-// never trip its own backpressure.
+// never trip its own backpressure. forwarded marks a request proxied here
+// by a peer: its latency is recorded at the proxying node instead, and
+// its 200 body is stamped with a content hash so the proxying node can
+// verify the relay.
 func (s *Server) serveFlight(w http.ResponseWriter, r *http.Request, start time.Time, key string,
-	recordLat bool, run func(ctx context.Context) (status int, contentType string, body []byte)) {
+	forwarded bool, run func(ctx context.Context) (status int, contentType string, body []byte)) {
 	s.flightMu.Lock()
 	if call, ok := s.flight[key]; ok {
 		s.flightMu.Unlock()
 		s.coalesced.Add(1)
 		select {
 		case <-call.done:
-			s.finish(w, call, start, recordLat)
+			s.finish(w, call, start, forwarded)
 		case <-r.Context().Done():
 			// Client gone; nothing useful to write.
 		}
@@ -448,7 +491,7 @@ func (s *Server) serveFlight(w http.ResponseWriter, r *http.Request, start time.
 				[]byte(fmt.Sprintf("compile queue full (%d in flight, %d queued)\n",
 					s.cfg.MaxInFlight, s.cfg.MaxQueue)))
 		}
-		s.finish(w, call, start, recordLat)
+		s.finish(w, call, start, forwarded)
 		return
 	}
 	defer release()
@@ -457,7 +500,7 @@ func (s *Server) serveFlight(w http.ResponseWriter, r *http.Request, start time.
 	defer cancel()
 	status, contentType, payload := run(ctx)
 	resolve(status, contentType, payload)
-	s.finish(w, call, start, recordLat)
+	s.finish(w, call, start, forwarded)
 }
 
 // admit takes a compile slot, queueing up to MaxQueue requests behind the
@@ -575,11 +618,14 @@ func (s *Server) encodedResponse(c *core.Compiled) ([]byte, error) {
 }
 
 // finish writes a resolved flight to one requester and records the
-// request's latency and error counters. recordLat is false for requests a
-// peer proxied here: the proxying node records the client-observed
-// latency, and recording it again at the owner would double-count every
-// proxied request in the fleet's latency picture.
-func (s *Server) finish(w http.ResponseWriter, call *flightCall, start time.Time, recordLat bool) {
+// request's latency and error counters. forwarded marks a request a peer
+// proxied here: the proxying node records the client-observed latency
+// (recording it again at the owner would double-count every proxied
+// request), and the 200 body is stamped with headerContentHash so the
+// relay back through the proxying node is integrity-checked end to end —
+// only on forwarded requests, so directly served traffic never pays the
+// hash.
+func (s *Server) finish(w http.ResponseWriter, call *flightCall, start time.Time, forwarded bool) {
 	switch {
 	case call.status == http.StatusTooManyRequests:
 		s.rejected.Add(1)
@@ -587,10 +633,13 @@ func (s *Server) finish(w http.ResponseWriter, call *flightCall, start time.Time
 	case call.status != http.StatusOK:
 		s.errs.Add(1)
 	}
+	if forwarded && call.status == http.StatusOK {
+		w.Header().Set(headerContentHash, contentHash(call.body))
+	}
 	w.Header().Set("Content-Type", call.contentType)
 	w.WriteHeader(call.status)
 	w.Write(call.body)
-	if recordLat && call.status != http.StatusTooManyRequests {
+	if !forwarded && call.status != http.StatusTooManyRequests {
 		s.lat.record(float64(time.Since(start).Microseconds()) / 1e3)
 	}
 }

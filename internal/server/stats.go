@@ -57,6 +57,20 @@ type FleetStats struct {
 	// changed owners across membership transitions — 0 while the fleet is
 	// stable, ~333 per node lost or revived in a 3-node fleet.
 	RingMoves int64 `json:"ringMoves"`
+	// PeerBadBytes counts peer responses that answered HTTP but failed
+	// integrity verification (content-hash mismatch, undecodable artifact,
+	// wrong fingerprint). Integrity failures never mark the peer down —
+	// the request falls through to the next routing step instead.
+	PeerBadBytes int64 `json:"peerBadBytes"`
+	// PeerRetries counts extra attempts spent on peer fetches and proxies
+	// after a first transport failure (bounded by Config.PeerRetries).
+	PeerRetries int64 `json:"peerRetries"`
+	// BreakerOpens counts circuit-open transitions across all peers; each
+	// one also marked the peer down in the ring.
+	BreakerOpens int64 `json:"breakerOpens"`
+	// BreakerSkips counts non-owned requests that skipped peer I/O
+	// entirely because the owner's circuit was open.
+	BreakerSkips int64 `json:"breakerSkips"`
 }
 
 // latencyRing keeps the last ringSize request latencies for quantile
