@@ -11,6 +11,7 @@
 //	           [-compile-workers N] [-drain-timeout 15s] [-port-file FILE]
 //	           [-self-url URL] [-peers URL,URL,...] [-store-dir DIR]
 //	           [-fleet-redirect] [-fault-spec SPEC]
+//	           [-log-level info] [-log-format text] [-debug-addr ADDR]
 //
 // Endpoints:
 //
@@ -19,6 +20,8 @@
 //	GET  /v1/artifact/{key}  raw artifact bytes by key hash (fleet peer fetch)
 //	GET  /healthz            liveness (503 while draining; fleet peer states)
 //	GET  /stats              cache/admission/latency counters as JSON
+//	GET  /metrics            Prometheus text exposition (see DESIGN.md S19)
+//	GET  /debug/traces       recent + slowest request traces as JSON
 //
 // -addr with port 0 binds an ephemeral port; the bound address is logged
 // and, with -port-file, written to a file (for scripts and CI). On
@@ -57,6 +60,12 @@
 // (keys: seed, peer-refuse, latency, corrupt, truncate, torn-write,
 // corrupt-file, enospc, skew). An empty spec injects nothing and costs
 // nothing. See DESIGN.md S18.
+//
+// Observability: -log-level (debug|info|warn|error) and -log-format
+// (text|json) shape the structured log on stderr; debug level logs one
+// line per request with its trace ID. -debug-addr starts a second
+// listener serving net/http/pprof — separate from the service port so
+// profiling is never exposed where compile traffic is.
 package main
 
 import (
@@ -67,6 +76,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only on -debug-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -76,6 +86,7 @@ import (
 	"streammap/internal/core"
 	"streammap/internal/faultinject"
 	"streammap/internal/fleet"
+	"streammap/internal/obs"
 	"streammap/internal/server"
 )
 
@@ -94,15 +105,27 @@ func main() {
 	storeDir := flag.String("store-dir", "", "shared content-addressed artifact store directory (fleet warm starts)")
 	fleetRedirect := flag.Bool("fleet-redirect", false, "fleet: answer non-owned keys with 307 to the owner instead of proxying")
 	faultSpec := flag.String("fault-spec", "", "chaos tier: seeded fault-injection spec, e.g. 'seed=7,peer-refuse=0.1,torn-write=0.1' (empty = no injection)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error (debug logs every request with its trace ID)")
+	logFormat := flag.String("log-format", "text", "log encoding on stderr: text or json")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = no profiling listener)")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		log.Fatalf("streammapd: %v", err)
+	}
+	fatalf := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
 
 	spec, err := faultinject.Parse(*faultSpec)
 	if err != nil {
-		log.Fatalf("streammapd: -fault-spec: %v", err)
+		fatalf("-fault-spec: %v", err)
 	}
 	faults := faultinject.New(spec)
 	if faults != nil {
-		log.Printf("streammapd: CHAOS TIER ACTIVE: injecting faults (%s) — not for production", spec)
+		logger.Warn("CHAOS TIER ACTIVE: injecting faults — not for production", "spec", spec.String())
 	}
 
 	svcCfg := core.ServiceConfig{
@@ -115,7 +138,7 @@ func main() {
 	var fleetCfg fleet.Config
 	if *peers != "" {
 		if *selfURL == "" {
-			log.Fatal("streammapd: -peers requires -self-url (this node's own entry in the list)")
+			fatalf("-peers requires -self-url (this node's own entry in the list)")
 		}
 		fleetCfg = fleet.Config{
 			SelfURL:  *selfURL,
@@ -123,7 +146,7 @@ func main() {
 			Redirect: *fleetRedirect,
 		}
 		if !fleetCfg.Enabled() {
-			log.Fatal("streammapd: -peers must name at least one member besides -self-url")
+			fatalf("-peers must name at least one member besides -self-url")
 		}
 	}
 
@@ -135,26 +158,44 @@ func main() {
 		CompileWorkers: *compileWorkers,
 		Fleet:          fleetCfg,
 		Faults:         faults,
+		Logger:         logger,
 	})
 	if fleetCfg.Enabled() {
-		log.Printf("streammapd: fleet member %s among %d peers (redirect=%v)",
-			*selfURL, len(fleetCfg.Peers), *fleetRedirect)
+		logger.Info("fleet member joining",
+			"self", *selfURL, "peers", len(fleetCfg.Peers), "redirect", *fleetRedirect)
+	}
+
+	if *debugAddr != "" {
+		// pprof gets its own listener: http.DefaultServeMux carries the
+		// /debug/pprof handlers registered by the blank import, and nothing
+		// else in this process registers on the default mux.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatalf("listen -debug-addr %s: %v", *debugAddr, err)
+		}
+		logger.Info("pprof listening", "addr", dln.Addr().String())
+		go func() {
+			dbg := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			if err := dbg.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("streammapd: listen %s: %v", *addr, err)
+		fatalf("listen %s: %v", *addr, err)
 	}
 	bound := ln.Addr().String()
-	log.Printf("streammapd: listening on %s", bound)
+	logger.Info("listening", "addr", bound)
 	if *portFile != "" {
 		// Write-then-rename so a polling script never reads a partial file.
 		tmp := *portFile + ".tmp"
 		if err := os.WriteFile(tmp, []byte(bound), 0o644); err != nil {
-			log.Fatalf("streammapd: port file: %v", err)
+			fatalf("port file: %v", err)
 		}
 		if err := os.Rename(tmp, *portFile); err != nil {
-			log.Fatalf("streammapd: port file: %v", err)
+			fatalf("port file: %v", err)
 		}
 	}
 
@@ -169,20 +210,22 @@ func main() {
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case s := <-sig:
-		log.Printf("streammapd: %v: draining (up to %s)", s, *drainTimeout)
+		logger.Info("draining", "signal", s.String(), "grace", drainTimeout.String())
 		srv.SetDraining(true)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Printf("streammapd: drain incomplete: %v", err)
+			logger.Error("drain incomplete", "err", err)
 			os.Exit(1)
 		}
 		st := srv.Stats()
-		log.Printf("streammapd: drained cleanly after %d requests (%d compiles, %d cache hits, %d coalesced, %d rejected)",
-			st.Requests, st.Service.Misses, st.Service.Hits+st.Service.DiskHits, st.Coalesced, st.Rejected)
+		logger.Info("drained cleanly",
+			"requests", st.Requests, "compiles", st.Service.Misses,
+			"cacheHits", st.Service.Hits+st.Service.DiskHits,
+			"coalesced", st.Coalesced, "rejected", st.Rejected)
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("streammapd: serve: %v", err)
+			fatalf("serve: %v", err)
 		}
 	}
 	fmt.Println("streammapd: bye")

@@ -1,13 +1,17 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"log/slog"
 	"os"
 	"path/filepath"
+	"time"
 
 	"streammap/internal/artifact"
 	"streammap/internal/atomicfile"
 	"streammap/internal/driver"
+	"streammap/internal/obs"
 	"streammap/internal/sdf"
 )
 
@@ -35,6 +39,37 @@ import (
 // diskPath returns the content-addressed file for a key hash.
 func (s *Service) diskPath(hash string) string {
 	return filepath.Join(s.cfg.CacheDir, hash+".artifact.json")
+}
+
+// probeDiskTier is loadDisk with its observability: a span on the
+// requesting trace and a probe-latency observation, hit or miss.
+func (s *Service) probeDiskTier(ctx context.Context, hash string, g *sdf.Graph, opts Options) (*Compiled, bool) {
+	start := time.Now()
+	_, span := obs.StartSpan(ctx, "cache.disk")
+	c, ok := s.loadDisk(hash, g, opts)
+	if ok {
+		span.SetNote("hit")
+	} else {
+		span.SetNote("miss")
+	}
+	span.End()
+	s.probeDisk.ObserveSince(start)
+	return c, ok
+}
+
+// probeStoreTier is loadShared with the same observability.
+func (s *Service) probeStoreTier(ctx context.Context, hash string, g *sdf.Graph, opts Options) (*Compiled, bool) {
+	start := time.Now()
+	_, span := obs.StartSpan(ctx, "cache.store")
+	c, ok := s.loadShared(hash, g, opts)
+	if ok {
+		span.SetNote("hit")
+	} else {
+		span.SetNote("miss")
+	}
+	span.End()
+	s.probeStore.ObserveSince(start)
+	return c, ok
 }
 
 // loadDisk tries to serve a request from the disk tier. It returns
@@ -94,6 +129,8 @@ func (s *Service) quarantineDisk(hash string, cause error) {
 	path := s.diskPath(hash)
 	if os.Rename(path, path+".corrupt") == nil {
 		s.corruptQuarantined.Add(1)
+		s.log.Warn("quarantined corrupt disk-tier entry",
+			slog.String("hash", hash), slog.String("cause", cause.Error()))
 	}
 }
 
@@ -107,6 +144,8 @@ func (s *Service) quarantineShared(hash string, cause error) {
 	if q, ok := s.cfg.Shared.(Quarantiner); ok {
 		if q.Quarantine(hash) == nil {
 			s.corruptQuarantined.Add(1)
+			s.log.Warn("quarantined corrupt shared-store entry",
+				slog.String("hash", hash), slog.String("cause", cause.Error()))
 		}
 	}
 }
@@ -147,6 +186,7 @@ func (s *Service) persistEncoded(hash string, c *Compiled) {
 	if s.cfg.CacheDir != "" {
 		if err := s.writeDisk(hash, data); err != nil {
 			s.diskErrors.Add(1)
+			s.log.Warn("disk-tier write failed", slog.String("hash", hash), slog.String("error", err.Error()))
 		} else {
 			s.diskWrites.Add(1)
 		}
@@ -154,6 +194,7 @@ func (s *Service) persistEncoded(hash string, c *Compiled) {
 	if s.cfg.Shared != nil {
 		if err := s.cfg.Shared.Put(hash, data); err != nil {
 			s.storeErrors.Add(1)
+			s.log.Warn("shared-store write failed", slog.String("hash", hash), slog.String("error", err.Error()))
 		} else {
 			s.storeWrites.Add(1)
 		}

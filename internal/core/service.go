@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 
 	"streammap/internal/driver"
 	"streammap/internal/faultinject"
+	"streammap/internal/obs"
 	"streammap/internal/pee"
 	"streammap/internal/sdf"
 )
@@ -42,6 +44,15 @@ type ServiceConfig struct {
 	// Chaos-tier testing only; nil in production, where every seam is a
 	// no-op.
 	Faults *faultinject.Injector
+	// Metrics, when non-nil, registers the service's cache and pipeline
+	// metrics (tier probe latencies, per-stage durations, the ServiceStats
+	// counters) on this registry — internal/server passes its own so one
+	// /metrics exposition covers the whole node. Nil leaves every
+	// instrument a no-op.
+	Metrics *obs.Registry
+	// Logger, when non-nil, receives the service's structured log records
+	// (quarantine events, persistent-tier write failures). Nil discards.
+	Logger *slog.Logger
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
@@ -185,6 +196,14 @@ type Service struct {
 	engQueries    atomic.Int64
 	engMisses     atomic.Int64
 	engCollisions atomic.Int64
+
+	// Observability (nil-safe: a service built without ServiceConfig.Metrics
+	// pays a nil check per observation and nothing else).
+	log        *slog.Logger
+	probeDisk  *obs.Histogram    // disk-tier probe latency, hit or miss
+	probeStore *obs.Histogram    // shared-store probe latency, hit or miss
+	compileDur *obs.Histogram    // full pipeline wall-clock, fresh compiles only
+	stageDur   *obs.HistogramVec // per-stage wall-clock by stage name
 }
 
 type lruItem struct {
@@ -196,14 +215,59 @@ type lruItem struct {
 // NewService returns a compile service.
 func NewService(cfg ServiceConfig) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:       cfg,
 		sem:       make(chan struct{}, cfg.MaxConcurrent),
 		compileFn: driver.Compile,
 		lru:       list.New(),
 		byKey:     map[cacheKey]*list.Element{},
 		byHash:    map[string]*list.Element{},
+		log:       cfg.Logger,
 	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	s.registerMetrics(cfg.Metrics)
+	return s
+}
+
+// registerMetrics puts the service's counters and latency histograms on
+// reg (a nil registry registers nothing and leaves every instrument a
+// no-op). The existing ServiceStats atomics stay the source of truth —
+// they are bridged in at scrape time — so /stats and /metrics can never
+// disagree.
+func (s *Service) registerMetrics(reg *obs.Registry) {
+	s.probeDisk = reg.Histogram("streammap_cache_probe_seconds",
+		"Cache tier probe latency by tier, hit or miss.", nil, obs.Label{Key: "tier", Value: "disk"})
+	s.probeStore = reg.Histogram("streammap_cache_probe_seconds",
+		"Cache tier probe latency by tier, hit or miss.", nil, obs.Label{Key: "tier", Value: "store"})
+	s.compileDur = reg.Histogram("streammap_compile_seconds",
+		"Full pipeline wall-clock for fresh compiles (cache hits excluded).", nil)
+	s.stageDur = reg.HistogramVec("streammap_stage_duration_seconds",
+		"Pipeline stage wall-clock by stage name.", "stage", nil)
+
+	bridge := func(name, help string, v *atomic.Int64, labels ...obs.Label) {
+		reg.CounterFunc(name, help, func() float64 { return float64(v.Load()) }, labels...)
+	}
+	bridge("streammap_cache_hits_total", "Cache hits by tier.", &s.hits, obs.Label{Key: "tier", Value: "memory"})
+	bridge("streammap_cache_hits_total", "Cache hits by tier.", &s.diskHits, obs.Label{Key: "tier", Value: "disk"})
+	bridge("streammap_cache_hits_total", "Cache hits by tier.", &s.storeHits, obs.Label{Key: "tier", Value: "store"})
+	bridge("streammap_cache_misses_total", "Requests that ran a full compilation.", &s.misses)
+	bridge("streammap_cache_evictions_total", "In-memory LRU entries evicted.", &s.evictions)
+	bridge("streammap_cache_writes_total", "Artifacts persisted by tier.", &s.diskWrites, obs.Label{Key: "tier", Value: "disk"})
+	bridge("streammap_cache_writes_total", "Artifacts persisted by tier.", &s.storeWrites, obs.Label{Key: "tier", Value: "store"})
+	bridge("streammap_cache_errors_total", "Failed persistent-tier writes by tier.", &s.diskErrors, obs.Label{Key: "tier", Value: "disk"})
+	bridge("streammap_cache_errors_total", "Failed persistent-tier writes by tier.", &s.storeErrors, obs.Label{Key: "tier", Value: "store"})
+	bridge("streammap_corrupt_quarantined_total", "Persistent-tier entries quarantined after failing validation.", &s.corruptQuarantined)
+	bridge("streammap_engine_queries_total", "Estimation-engine memo queries across fresh compiles.", &s.engQueries)
+	bridge("streammap_engine_misses_total", "Estimation-engine memo misses across fresh compiles.", &s.engMisses)
+	bridge("streammap_engine_collisions_total", "Estimation-engine memo collisions across fresh compiles.", &s.engCollisions)
+	reg.GaugeFunc("streammap_cache_entries", "Entries in the in-memory tier.", func() float64 {
+		s.mu.Lock()
+		n := s.lru.Len()
+		s.mu.Unlock()
+		return float64(n)
+	})
 }
 
 // Stats returns a snapshot of the service counters.
@@ -254,11 +318,14 @@ func (s *Service) Compile(ctx context.Context, g *sdf.Graph, opts Options) (*Com
 	}
 	hash := KeyHash(ck)
 
+	_, memSpan := obs.StartSpan(ctx, "cache.memory")
 	s.mu.Lock()
 	if el, ok := s.byKey[key]; ok {
 		s.lru.MoveToFront(el)
 		e := el.Value.(*lruItem).e
 		s.mu.Unlock()
+		memSpan.SetNote("hit")
+		memSpan.End()
 		s.hits.Add(1)
 		select {
 		case <-e.done:
@@ -273,30 +340,43 @@ func (s *Service) Compile(ctx context.Context, g *sdf.Graph, opts Options) (*Com
 	s.byHash[hash] = el
 	s.evictLocked()
 	s.mu.Unlock()
+	memSpan.SetNote("miss")
+	memSpan.End()
 
 	// The compilation runs detached from the requesting context: other
 	// callers may have joined this entry, and one caller's cancellation
 	// must not poison theirs. The originator still returns promptly on its
 	// own ctx; an abandoned compilation finishes and populates the cache.
+	// WithoutCancel keeps the context's values — the leader's trace — so
+	// tier probes and pipeline stages still land in the right trace (the
+	// trace drops them if the request already finished without them).
+	dctx := context.WithoutCancel(ctx)
 	go func() {
 		s.sem <- struct{}{}
 		var persist *Compiled
-		if c, ok := s.loadDisk(hash, g, opts); ok {
+		if c, ok := s.probeDiskTier(dctx, hash, g, opts); ok {
 			// Disk tier hit: the artifact is rehydrated (partitions
 			// re-extracted, estimates/PDG/assignment restored verbatim, plan
 			// reassembled) without running any pipeline stage.
 			s.diskHits.Add(1)
 			e.c = c
-		} else if c, ok := s.loadShared(hash, g, opts); ok {
+		} else if c, ok := s.probeStoreTier(dctx, hash, g, opts); ok {
 			// Shared-store hit: some fleet node compiled this key before;
 			// rehydrate it here the same way, again with no pipeline stage.
 			s.storeHits.Add(1)
 			e.c = c
 		} else {
 			s.misses.Add(1)
-			e.c, e.err = s.compileFn(context.WithoutCancel(ctx), g, opts)
+			cstart := time.Now()
+			cctx, span := obs.StartSpan(dctx, "compile")
+			e.c, e.err = s.compileFn(cctx, g, opts)
+			span.End()
 			if e.err == nil {
+				s.compileDur.ObserveSince(cstart)
 				persist = e.c
+				for _, st := range e.c.Stages {
+					s.stageDur.With(st.Name).Observe(st.Duration.Seconds())
+				}
 				// Fold this compilation's estimation-engine counters into the
 				// service-wide aggregate. Only fresh compiles contribute: a
 				// disk hit rehydrates with an untouched engine, and a memory

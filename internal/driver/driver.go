@@ -26,6 +26,7 @@ import (
 	"streammap/internal/gpu"
 	"streammap/internal/gpusim"
 	"streammap/internal/mapping"
+	"streammap/internal/obs"
 	"streammap/internal/partition"
 	"streammap/internal/pdg"
 	"streammap/internal/pee"
@@ -251,7 +252,10 @@ func Compile(ctx context.Context, g *sdf.Graph, opts Options) (*Compiled, error)
 			return nil, fmt.Errorf("driver: cancelled before %s pass: %w", s.name, err)
 		}
 		start := time.Now()
-		if err := s.run(ctx, c); err != nil {
+		sctx, span := obs.StartSpan(ctx, "stage."+s.name)
+		err := s.run(sctx, c)
+		span.End()
+		if err != nil {
 			return nil, err
 		}
 		m := StageMetric{Name: s.name, Duration: time.Since(start)}

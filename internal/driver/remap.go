@@ -9,6 +9,7 @@ import (
 
 	"streammap/internal/artifact"
 	"streammap/internal/mapping"
+	"streammap/internal/obs"
 	"streammap/internal/partition"
 	"streammap/internal/pdg"
 	"streammap/internal/pee"
@@ -106,23 +107,28 @@ func Remap(ctx context.Context, a *artifact.Artifact, degraded *topology.Tree, o
 	c := &Compiled{Graph: g, Options: dopts, Prof: prof, Engine: pee.NewEngine(g, prof), Parts: parts, PDG: dg}
 
 	start := time.Now()
+	rctx, span := obs.StartSpan(ctx, "stage.remap")
 	c.Problem = remapProblem(dopts, dg, parts.Parts)
 	mode := "portfolio"
 	if opts.GPUMap != nil && dopts.Mapper == ILPMapper {
 		mode = "warm"
-		c.Assign, err = warmRemap(ctx, c.Problem, a, opts.GPUMap)
+		c.Assign, err = warmRemap(rctx, c.Problem, a, opts.GPUMap)
 	} else {
-		c.Assign, err = solveMapping(ctx, dopts, c.Problem)
+		c.Assign, err = solveMapping(rctx, dopts, c.Problem)
 	}
 	if err != nil {
+		span.End()
 		return nil, err
 	}
-	c.Stages = append(c.Stages, StageMetric{
+	m := StageMetric{
 		Name:     "remap",
 		Duration: time.Since(start),
 		Info: fmt.Sprintf("%s; gpus %d->%d; parts %d; objective %g -> %g",
 			mode, len(a.Options.Topo.GPUNodes), degraded.NumGPUs(), len(parts.Parts), a.Assignment.Objective, c.Assign.Objective),
-	})
+	}
+	span.SetNote(m.Info)
+	span.End()
+	c.Stages = append(c.Stages, m)
 
 	// The re-merge candidate is a repair for degradation-induced
 	// oversubscription: it is scored only when partitions outnumber the
@@ -133,11 +139,15 @@ func Remap(ctx context.Context, a *artifact.Artifact, degraded *topology.Tree, o
 	if n := len(parts.Parts); n > degraded.NumGPUs() && n <= remergeMaxParts &&
 		c.Assign.Objective > a.Assignment.Objective {
 		start = time.Now()
-		info, err := c.tryRemerge(ctx, g)
+		mctx, span := obs.StartSpan(ctx, "stage.remap-merge")
+		info, err := c.tryRemerge(mctx, g)
 		if err != nil {
+			span.End()
 			return nil, err
 		}
 		remerged = info.adopted
+		span.SetNote(info.String())
+		span.End()
 		c.Stages = append(c.Stages, StageMetric{Name: "remap-merge", Duration: time.Since(start), Info: info.String()})
 	}
 

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"log/slog"
 	"slices"
 	"sort"
 	"strings"
@@ -93,6 +94,9 @@ type Membership struct {
 
 	// now is a clock seam for tests.
 	now func() time.Time
+	// log receives membership transitions (peer down, peer revived); set
+	// via SetLogger, defaults to discard.
+	log *slog.Logger
 }
 
 // NewMembership validates cfg and returns the node's membership view.
@@ -123,9 +127,21 @@ func NewMembership(cfg Config) (*Membership, error) {
 		cfg:       cfg,
 		downUntil: map[string]time.Time{},
 		now:       time.Now,
+		log:       slog.New(slog.DiscardHandler),
 	}
 	m.ring = NewRing(cfg.Peers, cfg.Replicas)
 	return m, nil
+}
+
+// SetLogger routes membership transition records (peer marked down, peer
+// revived) to l. Nil restores the discard default.
+func (m *Membership) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(slog.DiscardHandler)
+	}
+	m.mu.Lock()
+	m.log = l
+	m.mu.Unlock()
 }
 
 // Config returns the (normalized) configuration the membership was built
@@ -187,8 +203,13 @@ func (m *Membership) MarkDown(url string) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	_, already := m.downUntil[url]
 	m.downUntil[url] = m.now().Add(m.cfg.DownCooldown)
 	m.rebuildLocked()
+	if !already {
+		m.log.Warn("peer marked down; routing around it",
+			slog.String("peer", url), slog.Duration("cooldown", m.cfg.DownCooldown))
+	}
 }
 
 // RingMoves returns the accumulated keyspace movement over every
@@ -209,6 +230,7 @@ func (m *Membership) reviveLocked() {
 		if now.After(until) {
 			delete(m.downUntil, url)
 			changed = true
+			m.log.Info("peer cooldown lapsed; routing to it again", slog.String("peer", url))
 		}
 	}
 	if changed {

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured logging setup shared by the binaries: one flag pair
+// (-log-level, -log-format) maps to a slog handler, and TraceAttr puts
+// the request's trace ID on every record so a log line and a
+// /debug/traces entry join on one key.
+
+// NewLogger builds a slog.Logger from the -log-level / -log-format flag
+// values. level is debug|info|warn|error (default info); format is
+// text|json (default text).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}
+
+// TraceAttr returns the trace attribute for ctx's trace — an empty Attr
+// (elided by slog) when the context is untraced.
+func TraceAttr(ctx context.Context) slog.Attr {
+	id := TraceIDFrom(ctx)
+	if id == "" {
+		return slog.Attr{}
+	}
+	return slog.String("trace", id)
+}

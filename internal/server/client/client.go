@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"streammap/internal/artifact"
+	"streammap/internal/obs"
 	"streammap/internal/server"
 )
 
@@ -185,6 +186,11 @@ func (c *Client) post(ctx context.Context, url string, payload []byte) (int, htt
 		return 0, nil, nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if hv := obs.HeaderValue(ctx); hv != "" {
+		// A caller already inside a trace (an instrumented tool, a test)
+		// propagates it; the server adopts the ID instead of minting one.
+		hreq.Header.Set(obs.TraceHeader, hv)
+	}
 	resp, err := c.noFollowClient().Do(hreq)
 	if err != nil {
 		return 0, nil, nil, err
@@ -233,6 +239,18 @@ func (c *Client) Healthz(ctx context.Context) error {
 	}
 	_ = body
 	return nil
+}
+
+// Metrics scrapes and parses the server's /metrics exposition. The
+// returned samples key on the full sample name (labels included); two
+// scrapes Delta into the traffic between them — how the loadtest
+// harness builds its per-tier latency report.
+func (c *Client) Metrics(ctx context.Context) (obs.Samples, error) {
+	body, err := c.get(ctx, "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParseText(body)
 }
 
 // Stats fetches the server's /stats counters.

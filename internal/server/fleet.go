@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"sync"
@@ -14,6 +15,7 @@ import (
 
 	"streammap/internal/artifact"
 	"streammap/internal/core"
+	"streammap/internal/obs"
 	"streammap/internal/sdf"
 )
 
@@ -112,24 +114,35 @@ func (s *Server) routeToOwner(w http.ResponseWriter, r *http.Request, start time
 
 	// Local read-through: a previously fetched or proxied hot key is
 	// served from this node's own caches, owner untouched.
+	_, localSpan := obs.StartSpan(r.Context(), "fleet.local")
 	if body, ok := s.localEncoded(hash); ok {
+		localSpan.SetNote("hit")
+		localSpan.End()
 		s.localHits.Add(1)
 		s.writeArtifact(w, body)
 		s.lat.record(float64(time.Since(start).Microseconds()) / 1e3)
 		return true
 	}
+	localSpan.SetNote("miss")
+	localSpan.End()
 
 	if s.fleetM.Config().Redirect {
+		_, span := obs.StartSpan(r.Context(), "fleet.redirect")
+		span.SetNote(owner)
 		s.redirects.Add(1)
 		w.Header().Set("Location", owner+"/v1/compile")
 		w.WriteHeader(http.StatusTemporaryRedirect)
 		fmt.Fprintf(w, "key %s is owned by %s\n", hash, owner)
+		span.End()
 		return true
 	}
 
 	// Open circuit: we already know the owner is unhealthy — skip the
 	// dial (and its timeout burn) and serve locally at once.
 	if !s.breaker.Allow(owner) {
+		_, span := obs.StartSpan(r.Context(), "fleet.breaker")
+		span.Notef("open: skipping %s", owner)
+		span.End()
 		s.breakerSkips.Add(1)
 		return false
 	}
@@ -137,24 +150,44 @@ func (s *Server) routeToOwner(w http.ResponseWriter, r *http.Request, start time
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
-	if body, ok, ownerUp := s.peerFetch(ctx, owner, hash, g, opts); ok {
+	fctx, fetchSpan := obs.StartSpan(ctx, "fleet.fetch")
+	fetchSpan.SetNote(owner)
+	if body, ok, ownerUp := s.peerFetch(fctx, owner, hash, g, opts); ok {
+		fetchSpan.End()
 		s.breaker.Success(owner)
 		s.peerHits.Add(1)
 		s.writeArtifact(w, body)
 		s.lat.record(float64(time.Since(start).Microseconds()) / 1e3)
 		return true
 	} else if !ownerUp {
-		if s.breaker.Failure(owner) {
-			s.fleetM.MarkDown(owner)
-		}
+		fetchSpan.Notef("%s unreachable", owner)
+		fetchSpan.End()
+		s.peerFailed(ctx, owner)
 		return false
 	}
+	fetchSpan.Notef("%s: miss", owner)
+	fetchSpan.End()
 
 	// The owner answered HTTP (it just lacks the bytes, or sent bytes that
 	// failed verification): close out this breaker attempt as a liveness
 	// success before the proxy makes its own.
 	s.breaker.Success(owner)
-	return s.proxyCompile(w, r.WithContext(ctx), start, owner, hash, g, opts, rawBody)
+	pctx, proxySpan := obs.StartSpan(ctx, "fleet.proxy")
+	proxySpan.SetNote(owner)
+	handled := s.proxyCompile(w, r.WithContext(pctx), start, owner, hash, g, opts, rawBody)
+	proxySpan.End()
+	return handled
+}
+
+// peerFailed closes out a failed peer interaction: it feeds the circuit
+// breaker, and an opening circuit marks the peer down in the ring and is
+// logged — the one transition that changes where the fleet routes.
+func (s *Server) peerFailed(ctx context.Context, owner string) {
+	if s.breaker.Failure(owner) {
+		s.fleetM.MarkDown(owner)
+		s.log.LogAttrs(ctx, slog.LevelWarn, "peer circuit opened",
+			slog.String("peer", owner), obs.TraceAttr(ctx))
+	}
 }
 
 // retrySleep blocks for one decorrelated-jitter backoff — uniform in
@@ -201,6 +234,9 @@ func (s *Server) peerFetchOnce(ctx context.Context, owner, hash string, g *sdf.G
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/v1/artifact/"+hash, nil)
 	if err != nil {
 		return nil, false, true
+	}
+	if hv := obs.HeaderValue(ctx); hv != "" {
+		req.Header.Set(obs.TraceHeader, hv)
 	}
 	resp, err := s.peerHTTP.Do(req)
 	if err != nil {
@@ -252,14 +288,17 @@ func (s *Server) proxyCompile(w http.ResponseWriter, r *http.Request, start time
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set(headerForwarded, s.fleetM.Self())
+		if hv := obs.HeaderValue(r.Context()); hv != "" {
+			// The owner adopts this trace, so /debug/traces on both nodes
+			// shows one trace ID for the proxied request.
+			req.Header.Set(obs.TraceHeader, hv)
+		}
 		resp, err = s.peerHTTP.Do(req)
 		if err == nil {
 			break
 		}
 		if attempt >= s.breaker.Retries() || !s.retrySleep(r.Context()) {
-			if s.breaker.Failure(owner) {
-				s.fleetM.MarkDown(owner)
-			}
+			s.peerFailed(r.Context(), owner)
 			return false
 		}
 		s.peerRetries.Add(1)
@@ -270,9 +309,7 @@ func (s *Server) proxyCompile(w http.ResponseWriter, r *http.Request, start time
 		// The owner accepted the request and then the stream died — likely
 		// mid-compile. Retrying a possibly expensive compile from scratch is
 		// worse than falling back locally (the flight table coalesces).
-		if s.breaker.Failure(owner) {
-			s.fleetM.MarkDown(owner)
-		}
+		s.peerFailed(r.Context(), owner)
 		return false
 	}
 	s.breaker.Success(owner)

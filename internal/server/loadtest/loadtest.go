@@ -29,6 +29,7 @@ import (
 
 	"streammap/internal/artifact"
 	"streammap/internal/driver"
+	"streammap/internal/obs"
 	"streammap/internal/sdf"
 	"streammap/internal/server"
 	"streammap/internal/server/client"
@@ -114,6 +115,12 @@ type Result struct {
 	// request to a serving layer.
 	Before, After *server.Stats
 
+	// MetricsBefore/MetricsAfter are the server's /metrics scrapes around
+	// the run (nil when the endpoint was unreachable). Their delta carries
+	// what /stats cannot: server-side latency histograms per route and per
+	// cache tier, reported by Fprint's metrics block.
+	MetricsBefore, MetricsAfter obs.Samples
+
 	// Remaps counts remap requests issued after the simulated device
 	// failure (nodeloss mix only; not counted in Sent); RemapOK counts the
 	// ones that came back as a valid remapped plan. A remap that returns an
@@ -198,6 +205,9 @@ func Run(ctx context.Context, cl *client.Client, p Params) (*Result, error) {
 	res := &Result{Params: p, Unique: len(reqs)}
 	if st, err := cl.Stats(ctx); err == nil {
 		res.Before = st
+	}
+	if m, err := cl.Metrics(ctx); err == nil {
+		res.MetricsBefore = m
 	}
 
 	// Fleet workers drain a paced feed. Pacing happens on the feed, not in
@@ -295,6 +305,9 @@ feedLoop:
 	}
 	if st, err := cl.Stats(ctx); err == nil {
 		res.After = st
+	}
+	if m, err := cl.Metrics(ctx); err == nil {
+		res.MetricsAfter = m
 	}
 
 	if p.Verify {
@@ -406,6 +419,7 @@ func (r *Result) Fprint(w io.Writer) {
 		fmt.Fprintf(w, "  engine: %d queries at %.1f%% hit rate, %d collisions\n",
 			a.Engine.Queries, a.Engine.HitRate*100, a.Engine.Collisions)
 	}
+	r.fprintMetrics(w)
 	if r.FirstError != "" {
 		fmt.Fprintf(w, "  first error: %s\n", r.FirstError)
 	}
@@ -415,4 +429,33 @@ func (r *Result) Fprint(w io.Writer) {
 	if r.Params.Verify && len(r.VerifyErrors) == 0 {
 		fmt.Fprintf(w, "  verify: all %d unique served artifacts identical to local compiles\n", r.Verified)
 	}
+}
+
+// fprintMetrics renders the server-side latency view of the run from the
+// /metrics delta: p50/p99 per request route and per cache tier, plus
+// admission wait. These are the server's own histograms, so they include
+// work the client never timed (coalesced joiners, detached compiles) and
+// exclude network time — the complement of the client-side percentiles
+// above.
+func (r *Result) fprintMetrics(w io.Writer) {
+	if r.MetricsBefore == nil || r.MetricsAfter == nil {
+		return
+	}
+	d := r.MetricsAfter.Delta(r.MetricsBefore)
+	line := func(label, name string, labels ...obs.Label) {
+		n, _ := d.Get(name+"_count", labels...)
+		if n <= 0 {
+			return
+		}
+		p50, _ := d.Quantile(name, 0.50, labels...)
+		p99, _ := d.Quantile(name, 0.99, labels...)
+		fmt.Fprintf(w, "    %-16s %6.0f obs  p50 %8.2fms  p99 %8.2fms\n", label, n, p50*1e3, p99*1e3)
+	}
+	fmt.Fprintf(w, "  metrics (server-side, this run):\n")
+	line("route compile", "streammap_request_duration_seconds", obs.Label{Key: "route", Value: "compile"})
+	line("route remap", "streammap_request_duration_seconds", obs.Label{Key: "route", Value: "remap"})
+	line("admission wait", "streammap_admission_wait_seconds")
+	line("tier disk", "streammap_cache_probe_seconds", obs.Label{Key: "tier", Value: "disk"})
+	line("tier store", "streammap_cache_probe_seconds", obs.Label{Key: "tier", Value: "store"})
+	line("compile (fresh)", "streammap_compile_seconds")
 }

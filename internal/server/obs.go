@@ -1,0 +1,200 @@
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"streammap/internal/obs"
+)
+
+// The server half of the node's observability (see DESIGN.md S19): every
+// request gets a trace (GET /debug/traces) and lands in the per-route
+// metrics (GET /metrics). The existing /stats atomics remain the source
+// of truth for their counters — they are bridged into the exposition at
+// scrape time, so /stats and /metrics can never disagree — and only the
+// new latency histograms are recorded directly.
+
+// serverMetrics holds the instruments the request path records into.
+type serverMetrics struct {
+	reqCompile  *obs.Counter
+	reqRemap    *obs.Counter
+	reqArtifact *obs.Counter
+
+	durCompile *obs.Histogram
+	durRemap   *obs.Histogram
+
+	// admissionWait is the time a leader spent waiting for a compile slot,
+	// rejected and cancelled leaders included — shed load is exactly when
+	// the wait matters.
+	admissionWait *obs.Histogram
+
+	// respClass counts responses by route and status class; keys are
+	// "route/class" over the fixed route and class sets.
+	respClass map[string]*obs.Counter
+}
+
+var respClasses = []string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// newServerMetrics registers the server's metrics on s.reg and bridges
+// the /stats atomics in. Call once from New, after the fleet state exists.
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := s.reg
+	m := &serverMetrics{
+		reqCompile: reg.Counter("streammap_http_requests_total",
+			"Requests received by route.", obs.Label{Key: "route", Value: "compile"}),
+		reqRemap: reg.Counter("streammap_http_requests_total",
+			"Requests received by route.", obs.Label{Key: "route", Value: "remap"}),
+		reqArtifact: reg.Counter("streammap_http_requests_total",
+			"Requests received by route.", obs.Label{Key: "route", Value: "artifact"}),
+		durCompile: reg.Histogram("streammap_request_duration_seconds",
+			"Request wall-clock by route, all outcomes.", nil, obs.Label{Key: "route", Value: "compile"}),
+		durRemap: reg.Histogram("streammap_request_duration_seconds",
+			"Request wall-clock by route, all outcomes.", nil, obs.Label{Key: "route", Value: "remap"}),
+		admissionWait: reg.Histogram("streammap_admission_wait_seconds",
+			"Time leaders spent waiting for a compile slot, rejections included.", nil),
+		respClass: map[string]*obs.Counter{},
+	}
+	for _, route := range []string{"compile", "remap", "artifact"} {
+		for _, class := range respClasses {
+			m.respClass[route+"/"+class] = reg.Counter("streammap_http_responses_total",
+				"Responses written by route and status class.",
+				obs.Label{Key: "route", Value: route}, obs.Label{Key: "class", Value: class})
+		}
+	}
+
+	bridge := func(name, help string, v *atomic.Int64, labels ...obs.Label) {
+		reg.CounterFunc(name, help, func() float64 { return float64(v.Load()) }, labels...)
+	}
+	bridge("streammap_coalesced_total", "Requests that joined another request's flight.", &s.coalesced)
+	bridge("streammap_rejected_total", "Requests shed with 429.", &s.rejected)
+	bridge("streammap_errors_total", "Requests answered with a non-429 error status.", &s.errs)
+	bridge("streammap_artifact_encodes_total", "Artifact export+encode runs (hits serve memoized bytes).", &s.encodes)
+	reg.GaugeFunc("streammap_in_flight", "Leaders holding a compile slot.",
+		func() float64 { return float64(s.inFlight.Load()) })
+	reg.GaugeFunc("streammap_queued", "Leaders waiting for a compile slot.",
+		func() float64 { return float64(s.queued.Load()) })
+	reg.GaugeFunc("streammap_draining", "1 while the node refuses new work ahead of shutdown.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+
+	if s.fleetM != nil {
+		bridge("streammap_fleet_proxied_total", "Non-owned requests proxied to their owner.", &s.proxied)
+		bridge("streammap_fleet_redirects_total", "Non-owned requests answered 307.", &s.redirects)
+		bridge("streammap_fleet_peer_hits_total", "Non-owned requests served via peer artifact fetch.", &s.peerHits)
+		bridge("streammap_fleet_local_hits_total", "Non-owned requests served from this node's own caches.", &s.localHits)
+		bridge("streammap_fleet_forwarded_total", "Requests a peer proxied here.", &s.forwarded)
+		bridge("streammap_fleet_fallbacks_total", "Non-owned requests compiled locally because the owner was unreachable.", &s.fallbacks)
+		bridge("streammap_fleet_peer_bad_bytes_total", "Peer responses that failed integrity verification.", &s.peerBadBytes)
+		bridge("streammap_fleet_peer_retries_total", "Extra peer attempts after a first transport failure.", &s.peerRetries)
+		bridge("streammap_fleet_breaker_skips_total", "Non-owned requests that skipped peer I/O on an open circuit.", &s.breakerSkips)
+		reg.CounterFunc("streammap_fleet_breaker_opens_total", "Circuit-open transitions across all peers.",
+			func() float64 { return float64(s.breaker.Opens()) })
+		reg.CounterFunc("streammap_fleet_ring_moves_permille", "Accumulated keyspace fraction that changed owners, in 1/1000ths.",
+			func() float64 { return float64(s.fleetM.RingMoves()) })
+		reg.GaugeFunc("streammap_fleet_peers_alive", "Fleet members currently routed to.",
+			func() float64 { return float64(len(s.fleetM.Alive())) })
+		reg.GaugeFunc("streammap_fleet_peers_total", "Configured fleet size, self included.",
+			func() float64 { return float64(len(s.fleetM.Peers()) + 1) })
+	}
+	return m
+}
+
+// request increments the per-route request counter.
+func (m *serverMetrics) request(route string) {
+	switch route {
+	case "compile":
+		m.reqCompile.Inc()
+	case "remap":
+		m.reqRemap.Inc()
+	case "artifact":
+		m.reqArtifact.Inc()
+	}
+}
+
+// response records one finished request: its status class and, for the
+// flight routes, its wall-clock. Status 0 (client vanished before a
+// response was written) counts no class.
+func (m *serverMetrics) response(route string, status int, start time.Time) {
+	if c := statusClass(status); c != "" {
+		m.respClass[route+"/"+c].Inc()
+	}
+	switch route {
+	case "compile":
+		m.durCompile.ObserveSince(start)
+	case "remap":
+		m.durRemap.ObserveSince(start)
+	}
+}
+
+func statusClass(status int) string {
+	if status < 100 || status > 599 {
+		return ""
+	}
+	return respClasses[status/100-1]
+}
+
+// statusWriter records the status a handler resolved to, so the route
+// wrapper can finish the request's trace and metrics without threading a
+// status through every helper. An unset status after a Write means an
+// implicit 200; an unset status with no Write means the client vanished
+// (recorded as 0).
+type statusWriter struct {
+	http.ResponseWriter
+	stat int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.stat == 0 {
+		w.stat = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.stat == 0 {
+		w.stat = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) status() int { return w.stat }
+
+// traced wraps a route handler with the request's whole observability:
+// trace start/adopt (obs.TraceHeader), per-route request/response
+// metrics, and a debug log record carrying the trace ID.
+func (s *Server) traced(route string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.met.request(route)
+		ctx, trace := s.tracer.StartRequest(r.Context(), r.Header.Get(obs.TraceHeader), route)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(ctx))
+		trace.Finish(sw.status())
+		s.met.response(route, sw.status(), start)
+		if s.log.Enabled(ctx, slog.LevelDebug) {
+			s.log.LogAttrs(ctx, slog.LevelDebug, "request",
+				slog.String("route", route),
+				slog.Int("status", sw.status()),
+				slog.Duration("dur", time.Since(start)),
+				obs.TraceAttr(ctx))
+		}
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteText(w)
+}
+
+// handleTraces serves the retained traces: the most recent plus the
+// slowest seen.
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.tracer.Snapshot())
+}

@@ -1,0 +1,319 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"streammap/internal/obs"
+	"streammap/internal/server"
+	"streammap/internal/server/client"
+	"streammap/internal/synth"
+)
+
+// debugTraces fetches and decodes one node's /debug/traces snapshot.
+func debugTraces(t *testing.T, baseURL string) obs.TracesSnapshot {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces answered %d", resp.StatusCode)
+	}
+	var snap obs.TracesSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decoding /debug/traces: %v", err)
+	}
+	return snap
+}
+
+// spanNames collects a trace's span names (the root span included).
+func spanNames(tr *obs.TraceRecord) map[string]int {
+	out := map[string]int{}
+	for _, sp := range tr.Spans {
+		out[sp.Name]++
+	}
+	return out
+}
+
+// TestMetricsEndpoint: /metrics serves a parseable Prometheus text
+// exposition whose counters agree with the traffic sent — the same
+// truth /stats reports, because both read the same atomics.
+func TestMetricsEndpoint(t *testing.T) {
+	_, cl := startServer(t, server.Config{})
+	ctx := context.Background()
+	g := appGraph(t, "DES", 8)
+	req := server.NewRequest(g, testOpts(2))
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Compile(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(cl.BaseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type %q, want the 0.0.4 text exposition", ct)
+	}
+
+	sm, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("scrape did not parse: %v", err)
+	}
+	expect := func(name string, want float64, labels ...obs.Label) {
+		t.Helper()
+		got, ok := sm.Get(name, labels...)
+		if !ok {
+			t.Errorf("%s%v absent from /metrics", name, labels)
+			return
+		}
+		if got != want {
+			t.Errorf("%s%v = %g, want %g", name, labels, got, want)
+		}
+	}
+	expect("streammap_http_requests_total", 3, obs.Label{Key: "route", Value: "compile"})
+	expect("streammap_http_responses_total", 3,
+		obs.Label{Key: "route", Value: "compile"}, obs.Label{Key: "class", Value: "2xx"})
+	expect("streammap_request_duration_seconds_count", 3, obs.Label{Key: "route", Value: "compile"})
+	expect("streammap_cache_misses_total", 1)
+	expect("streammap_cache_hits_total", 2, obs.Label{Key: "tier", Value: "memory"})
+	expect("streammap_compile_seconds_count", 1)
+	expect("streammap_admission_wait_seconds_count", 3) // every leader admits; the cache probe is behind the slot
+
+	// The fresh compile must have landed per-stage durations.
+	stages := 0.0
+	for k, v := range sm {
+		if strings.HasPrefix(k, "streammap_stage_duration_seconds_count{") {
+			stages += v
+		}
+	}
+	if stages == 0 {
+		t.Error("no streammap_stage_duration_seconds samples after a fresh compile")
+	}
+}
+
+// TestTracesEndpoint: a compile's trace lands in /debug/traces with the
+// full span story — admission wait, memory-tier probe, the compilation,
+// per-stage spans — and a repeat request's trace shows the hit instead.
+func TestTracesEndpoint(t *testing.T) {
+	_, cl := startServer(t, server.Config{})
+	ctx := context.Background()
+	g := appGraph(t, "DES", 8)
+	req := server.NewRequest(g, testOpts(2))
+	if _, err := cl.Compile(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := debugTraces(t, cl.BaseURL)
+	if len(snap.Recent) != 1 {
+		t.Fatalf("%d recent traces after one request, want 1", len(snap.Recent))
+	}
+	fresh := snap.Recent[0]
+	if fresh.Name != "compile" || fresh.Status != http.StatusOK {
+		t.Errorf("trace = %s/%d, want compile/200", fresh.Name, fresh.Status)
+	}
+	if fresh.ID == "" || fresh.DurUS <= 0 {
+		t.Errorf("trace missing identity or duration: id=%q durUS=%d", fresh.ID, fresh.DurUS)
+	}
+	names := spanNames(fresh)
+	for _, want := range []string{"admission.wait", "cache.memory"} {
+		if names[want] == 0 {
+			t.Errorf("fresh-compile trace has no %q span (spans: %v)", want, names)
+		}
+	}
+	// "compile" names both the root span (the route) and the compilation.
+	if names["compile"] != 2 {
+		t.Errorf("fresh-compile trace has %d compile spans, want root + compilation (spans: %v)",
+			names["compile"], names)
+	}
+	stageSpans := 0
+	for n := range names {
+		if strings.HasPrefix(n, "stage.") {
+			stageSpans++
+		}
+	}
+	if stageSpans == 0 {
+		t.Errorf("fresh-compile trace has no stage.* spans (spans: %v)", names)
+	}
+
+	// A repeat of the same request is a memory hit: no compile span, and
+	// the cache.memory span carries the hit note.
+	if _, err := cl.Compile(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	snap = debugTraces(t, cl.BaseURL)
+	hit := snap.Recent[0] // newest first
+	hnames := spanNames(hit)
+	if hnames["compile"] != 1 { // the root span only; no compilation ran
+		t.Errorf("memory-hit trace recorded a compilation span (spans: %v)", hnames)
+	}
+	found := false
+	for _, sp := range hit.Spans {
+		if sp.Name == "cache.memory" && sp.Note == "hit" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("memory-hit trace has no cache.memory span noted 'hit': %+v", hit.Spans)
+	}
+}
+
+// TestRejectedRequestsEnterLatencyWindow: a 429 is latency the client
+// observed (its admission wait), so shed requests must land in the
+// /stats window — the count matches every request received, not just
+// the ones that were served.
+func TestRejectedRequestsEnterLatencyWindow(t *testing.T) {
+	srv, cl := startServer(t, server.Config{MaxInFlight: 1, MaxQueue: 1})
+	corpus, err := synth.Corpus(synth.CorpusParams{Seed: 11, Scenarios: 12, MaxFilters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var throttled int64
+	var mu sync.Mutex
+	for _, sc := range corpus {
+		g, err := sc.BuildGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := server.NewRequest(g, sc.Opts)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := cl.Compile(context.Background(), req)
+			if _, is := client.IsThrottled(err); is {
+				mu.Lock()
+				throttled++
+				mu.Unlock()
+			} else if err != nil {
+				t.Errorf("compile: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if throttled == 0 {
+		t.Skip("no request was throttled this run; nothing to assert")
+	}
+	st := srv.Stats()
+	if st.Rejected != throttled {
+		t.Fatalf("server counted %d rejected, clients saw %d", st.Rejected, throttled)
+	}
+	if int64(st.Latency.Count) != st.Requests {
+		t.Errorf("latency window holds %d samples for %d requests; 429s must be recorded too",
+			st.Latency.Count, st.Requests)
+	}
+}
+
+// TestFleetProxySharesTraceID: a request proxied from a non-owner to its
+// owner is one trace — the same ID appears in both nodes' /debug/traces,
+// the non-owner's trace shows the routing spans, and the owner's adopted
+// trace parents itself under the proxying node's span and carries the
+// compilation.
+func TestFleetProxySharesTraceID(t *testing.T) {
+	nodes := startFleetNodes(t, 3, nil)
+	g, opts := graphOwnedBy(t, nodes, 1)
+	if _, err := nodes[0].cl.Compile(context.Background(), server.NewRequest(g, opts)); err != nil {
+		t.Fatal(err)
+	}
+
+	snap0 := debugTraces(t, nodes[0].url)
+	if len(snap0.Recent) != 1 {
+		t.Fatalf("node0 retained %d traces after one request, want 1", len(snap0.Recent))
+	}
+	entry := snap0.Recent[0]
+	if entry.ParentSpan != "" {
+		t.Errorf("the entry node's trace claims an upstream parent %q", entry.ParentSpan)
+	}
+	names := spanNames(entry)
+	for _, want := range []string{"fleet.local", "fleet.fetch", "fleet.proxy"} {
+		if names[want] == 0 {
+			t.Errorf("entry-node trace has no %q span (spans: %v)", want, names)
+		}
+	}
+	if names["compile"] > 1 { // root span only; the pipeline ran on the owner
+		t.Errorf("entry node recorded a compilation it proxied away (spans: %v)", names)
+	}
+
+	// The owner served the forwarded compile under the same trace ID.
+	snap1 := debugTraces(t, nodes[1].url)
+	var forwarded *obs.TraceRecord
+	for _, tr := range snap1.Recent {
+		if tr.ID == entry.ID && tr.Name == "compile" {
+			forwarded = tr
+		}
+	}
+	if forwarded == nil {
+		t.Fatalf("owner retains no compile trace with the entry node's ID %s", entry.ID)
+	}
+	if forwarded.ParentSpan == "" {
+		t.Error("owner's adopted trace records no upstream parent span")
+	}
+	if forwarded.Node != nodes[1].url || entry.Node != nodes[0].url {
+		t.Errorf("trace node stamps %q/%q, want %q/%q",
+			entry.Node, forwarded.Node, nodes[0].url, nodes[1].url)
+	}
+	fnames := spanNames(forwarded)
+	if fnames["compile"] < 2 { // root span + the compilation span
+		t.Errorf("owner's trace carries no compilation span (spans: %v)", fnames)
+	}
+	stageSpans := 0
+	for n := range fnames {
+		if strings.HasPrefix(n, "stage.") {
+			stageSpans++
+		}
+	}
+	if stageSpans == 0 {
+		t.Errorf("owner's trace has no stage.* spans (spans: %v)", fnames)
+	}
+
+	// One request, one story: every trace retained anywhere shares the ID
+	// (the owner also saw the entry node's artifact-fetch probe).
+	for _, tr := range snap1.Recent {
+		if tr.ID != entry.ID {
+			t.Errorf("owner retains a foreign trace %s (%s), want only %s", tr.ID, tr.Name, entry.ID)
+		}
+	}
+}
+
+// TestFleetMetricsPerNode: every fleet member exposes the fleet routing
+// counters on its own /metrics, and the proxied request above shows up
+// as proxied on the entry node and forwarded on the owner.
+func TestFleetMetricsPerNode(t *testing.T) {
+	nodes := startFleetNodes(t, 3, nil)
+	g, opts := graphOwnedBy(t, nodes, 1)
+	ctx := context.Background()
+	if _, err := nodes[0].cl.Compile(ctx, server.NewRequest(g, opts)); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range nodes {
+		sm, err := n.cl.Metrics(ctx)
+		if err != nil {
+			t.Fatalf("node%d scrape: %v", i, err)
+		}
+		if alive, ok := sm.Get("streammap_fleet_peers_alive"); !ok || alive != 3 {
+			t.Errorf("node%d peers_alive = %g, %v; want 3", i, alive, ok)
+		}
+	}
+	sm0, err := nodes[0].cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := sm0.Get("streammap_fleet_proxied_total"); v != 1 {
+		t.Errorf("entry node proxied_total = %g, want 1", v)
+	}
+	sm1, err := nodes[1].cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := sm1.Get("streammap_fleet_forwarded_total"); v != 1 {
+		t.Errorf("owner forwarded_total = %g, want 1", v)
+	}
+}

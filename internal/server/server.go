@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -46,6 +47,7 @@ import (
 	"streammap/internal/driver"
 	"streammap/internal/faultinject"
 	"streammap/internal/fleet"
+	"streammap/internal/obs"
 	"streammap/internal/sdf"
 	"streammap/internal/topology"
 )
@@ -86,6 +88,10 @@ type Config struct {
 	// service's disk tier. Chaos-tier testing only; nil in production,
 	// where every seam is a no-op. See DESIGN.md S18.
 	Faults *faultinject.Injector
+	// Logger receives the server's structured log records (request debug
+	// lines, fleet transitions, cache quarantines), each stamped with the
+	// request's trace ID. Nil discards. See DESIGN.md S19.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -160,6 +166,13 @@ type Server struct {
 	encodes   atomic.Int64
 	draining  atomic.Bool
 	lat       latencyRing
+
+	// Observability: one registry and tracer per server, threaded down
+	// into the service and across fleet hops. See DESIGN.md S19.
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	log    *slog.Logger
+	met    *serverMetrics
 }
 
 // respItem is one memoized response body.
@@ -178,6 +191,23 @@ func New(cfg Config) *Server {
 		// handed its own.
 		cfg.Service.Faults = cfg.Faults
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	reg := obs.NewRegistry()
+	node := ""
+	if cfg.Fleet.Enabled() {
+		node = cfg.Fleet.SelfURL
+	}
+	// The service shares the server's registry and logger so one /metrics
+	// exposition and one log stream cover the whole node.
+	if cfg.Service.Metrics == nil {
+		cfg.Service.Metrics = reg
+	}
+	if cfg.Service.Logger == nil {
+		cfg.Service.Logger = log
+	}
 	respBound := cfg.Service.MaxEntries
 	if respBound <= 0 {
 		respBound = 256 // core.ServiceConfig's own default
@@ -191,6 +221,9 @@ func New(cfg Config) *Server {
 		respLRU:   list.New(),
 		respByPtr: map[*core.Compiled]*list.Element{},
 		respBound: respBound,
+		reg:       reg,
+		tracer:    obs.NewTracer(obs.TracerConfig{Node: node}),
+		log:       log,
 	}
 	if cfg.Fleet.Enabled() {
 		m, err := fleet.NewMembership(cfg.Fleet)
@@ -218,7 +251,9 @@ func New(cfg Config) *Server {
 			s.fleetM.SetClock(cfg.Faults.Clock(nil))
 			s.breaker.SetClock(cfg.Faults.Clock(nil))
 		}
+		s.fleetM.SetLogger(s.log)
 	}
+	s.met = newServerMetrics(s)
 	return s
 }
 
@@ -242,13 +277,17 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 //	GET  /v1/artifact/{key}  raw encoded artifact bytes by key hash (peer fetch)
 //	GET  /healthz            liveness (503 while draining; fleet peer states)
 //	GET  /stats              Stats counters
+//	GET  /metrics            Prometheus text exposition
+//	GET  /debug/traces       retained request traces (recent + slowest)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/compile", s.handleCompile)
-	mux.HandleFunc("POST /v1/remap", s.handleRemap)
-	mux.HandleFunc("GET /v1/artifact/{key}", s.handleArtifact)
+	mux.HandleFunc("POST /v1/compile", s.traced("compile", s.handleCompile))
+	mux.HandleFunc("POST /v1/remap", s.traced("remap", s.handleRemap))
+	mux.HandleFunc("GET /v1/artifact/{key}", s.traced("artifact", s.handleArtifact))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	return mux
 }
 
@@ -377,6 +416,8 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			// Owner unreachable: serve locally rather than fail. The result
 			// still lands in the shared store, so the fleet converges.
 			s.fallbacks.Add(1)
+			s.log.LogAttrs(r.Context(), slog.LevelWarn, "owner unreachable; compiling locally",
+				slog.String("owner", owner), obs.TraceAttr(r.Context()))
 		}
 	}
 
@@ -445,11 +486,15 @@ func (s *Server) serveFlight(w http.ResponseWriter, r *http.Request, start time.
 	if call, ok := s.flight[key]; ok {
 		s.flightMu.Unlock()
 		s.coalesced.Add(1)
+		_, span := obs.StartSpan(r.Context(), "coalesce.join")
 		select {
 		case <-call.done:
+			span.End()
 			s.finish(w, call, start, forwarded)
 		case <-r.Context().Done():
 			// Client gone; nothing useful to write.
+			span.SetNote("client gone")
+			span.End()
 		}
 		return
 	}
@@ -479,8 +524,13 @@ func (s *Server) serveFlight(w http.ResponseWriter, r *http.Request, start time.
 		}
 	}()
 
+	admitStart := time.Now()
+	_, admitSpan := obs.StartSpan(r.Context(), "admission.wait")
 	release, ok := s.admit(r.Context())
+	s.met.admissionWait.ObserveSince(admitStart)
 	if !ok {
+		admitSpan.SetNote("not admitted")
+		admitSpan.End()
 		if r.Context().Err() != nil {
 			// The leader's client vanished while queued — that's not
 			// backpressure. Joiners get a retryable 503, not a 429.
@@ -494,6 +544,7 @@ func (s *Server) serveFlight(w http.ResponseWriter, r *http.Request, start time.
 		s.finish(w, call, start, forwarded)
 		return
 	}
+	admitSpan.End()
 	defer release()
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -639,7 +690,10 @@ func (s *Server) finish(w http.ResponseWriter, call *flightCall, start time.Time
 	w.Header().Set("Content-Type", call.contentType)
 	w.WriteHeader(call.status)
 	w.Write(call.body)
-	if !forwarded && call.status != http.StatusTooManyRequests {
+	// Rejected requests enter the window too: a 429's admission wait is
+	// latency the client observed, and a window that hides shed load
+	// reports p99s that look better the worse the overload gets.
+	if !forwarded {
 		s.lat.record(float64(time.Since(start).Microseconds()) / 1e3)
 	}
 }

@@ -7,8 +7,10 @@ import (
 	"streammap/internal/core"
 )
 
-// LatencyStats summarizes recent request latencies (completed requests
-// only — rejected requests never enter the window).
+// LatencyStats summarizes recent request latencies. Rejected (429)
+// requests are included — their admission wait is latency the client
+// observed; only forwarded requests are excluded (the proxying node
+// records those).
 type LatencyStats struct {
 	// Count is the number of samples currently in the window (bounded by
 	// the ring size, not the request count).
